@@ -1,0 +1,196 @@
+// Ablation benchmarks: isolate the design choices DESIGN.md calls out —
+// the Snoop detection interval, the restart-delay policy surrogate
+// (initial delay), disk write priority is structural, and message cost.
+// Each reports the key resulting metric so `go test -bench Ablation`
+// doubles as a sensitivity sheet.
+package ddbm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ddbm"
+)
+
+func ablationBase() ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.PartitionWays = 8
+	cfg.NumTerminals = 64
+	cfg.PagesPerFile = 100
+	cfg.ThinkTimeMs = 2000
+	cfg.SimTimeMs = 60_000
+	cfg.WarmupMs = 10_000
+	return cfg
+}
+
+// BenchmarkAblationSnoopInterval sweeps the 2PL global deadlock detection
+// interval (paper Table 4 fixes 1 s).
+func BenchmarkAblationSnoopInterval(b *testing.B) {
+	for _, iv := range []float64{250, 1000, 4000} {
+		iv := iv
+		b.Run(formatMs(iv), func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationBase()
+				cfg.Algorithm = ddbm.TwoPL
+				cfg.DetectionIntervalMs = iv
+				res, err := ddbm.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tput = res.ThroughputTPS
+			}
+			b.ReportMetric(tput, "tps")
+		})
+	}
+}
+
+// BenchmarkAblationRestartDelay sweeps the initial restart delay; the
+// adaptive running-average policy takes over once transactions commit, so
+// the sensitivity here is intentionally small.
+func BenchmarkAblationRestartDelay(b *testing.B) {
+	for _, d := range []float64{100, 1000, 10000} {
+		d := d
+		b.Run(formatMs(d), func(b *testing.B) {
+			var abortRatio float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationBase()
+				cfg.Algorithm = ddbm.OPT
+				cfg.InitialRestartDelayMs = d
+				res, err := ddbm.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				abortRatio = res.AbortRatio
+			}
+			b.ReportMetric(abortRatio, "aborts/commit")
+		})
+	}
+}
+
+// BenchmarkAblationMessageCost sweeps InstPerMsg for OPT on the 8-way
+// machine, the §4.4 lever that makes aborts expensive.
+func BenchmarkAblationMessageCost(b *testing.B) {
+	for _, c := range []float64{0, 1000, 4000} {
+		c := c
+		b.Run(formatMs(c), func(b *testing.B) {
+			var resp float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationBase()
+				cfg.Algorithm = ddbm.OPT
+				cfg.InstPerMsg = c
+				res, err := ddbm.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp = res.MeanResponseMs
+			}
+			b.ReportMetric(resp, "resp_ms")
+		})
+	}
+}
+
+// BenchmarkAblationExecPattern compares parallel and sequential cohort
+// execution under 2PL.
+func BenchmarkAblationExecPattern(b *testing.B) {
+	for _, pat := range []ddbm.ExecPattern{ddbm.Parallel, ddbm.Sequential} {
+		pat := pat
+		b.Run(pat.String(), func(b *testing.B) {
+			var resp float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationBase()
+				cfg.Algorithm = ddbm.TwoPL
+				cfg.ExecPattern = pat
+				res, err := ddbm.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp = res.MeanResponseMs
+			}
+			b.ReportMetric(resp, "resp_ms")
+		})
+	}
+}
+
+// BenchmarkAblationWriteLockAcquisition compares claiming write locks at
+// first access (default; update intent is part of the transaction
+// definition) against the literal read-then-convert sequence of §2.2,
+// which adds conversion deadlocks.
+func BenchmarkAblationWriteLockAcquisition(b *testing.B) {
+	for _, upgrade := range []bool{false, true} {
+		upgrade := upgrade
+		name := "immediate"
+		if upgrade {
+			name = "convert"
+		}
+		b.Run(name, func(b *testing.B) {
+			var aborts float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationBase()
+				cfg.Algorithm = ddbm.TwoPL
+				cfg.UpgradeWriteLocks = upgrade
+				res, err := ddbm.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				aborts = res.AbortRatio
+			}
+			b.ReportMetric(aborts, "aborts/commit")
+		})
+	}
+}
+
+// BenchmarkAblationLogging measures footnote 5's assumption that logging
+// is not the bottleneck: throughput with and without log-force modeling.
+func BenchmarkAblationLogging(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		on := on
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationBase()
+				cfg.Algorithm = ddbm.TwoPL
+				cfg.ModelLogging = on
+				res, err := ddbm.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tput = res.ThroughputTPS
+			}
+			b.ReportMetric(tput, "tps")
+		})
+	}
+}
+
+// BenchmarkAblationAuditOverhead measures the cost of the serializability
+// auditor itself.
+func BenchmarkAblationAuditOverhead(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		on := on
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ablationBase()
+				cfg.Algorithm = ddbm.TwoPL
+				cfg.Audit = on
+				if _, err := ddbm.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func formatMs(v float64) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%gk", v/1000)
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,183 @@
+// Benchmarks: one per table/figure of the paper's evaluation section. Each
+// benchmark regenerates its figure at a reduced simulated-time scale (the
+// cmd/experiments binary produces the publication-length versions) and
+// reports the figure's headline numbers as custom metrics, so `go test
+// -bench .` doubles as a quick shape check of the whole reproduction.
+package ddbm_test
+
+import (
+	"testing"
+
+	"ddbm"
+	"ddbm/experiments"
+)
+
+// benchOpts returns reduced-scale options sized for benchmarking.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		TimeScale:    0.03,
+		ThinkTimesMs: []float64{0, 8000, 48000},
+	}
+}
+
+// BenchmarkTableParams exercises Table 1-4 parameter handling: building a
+// machine from the paper's default configuration.
+func BenchmarkTableParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := ddbm.DefaultConfig()
+		cfg.SimTimeMs = 1000
+		cfg.WarmupMs = 100
+		if _, err := ddbm.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMachineFig(b *testing.B, pick func(*experiments.MachineSizeStudy) *experiments.Figure, metric string, sel func(*experiments.Figure) float64) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.RunMachineSizeStudy(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sel(pick(st))
+	}
+	b.ReportMetric(last, metric)
+}
+
+func benchPartFig(b *testing.B, pick func(*experiments.PartitioningStudy) *experiments.Figure, metric string, sel func(*experiments.Figure) float64) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.RunPartitioningStudy(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sel(pick(st))
+	}
+	b.ReportMetric(last, metric)
+}
+
+func benchOverheadFig(b *testing.B, pick func(*experiments.OverheadStudy) *experiments.Figure, metric string, sel func(*experiments.Figure) float64) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.RunOverheadStudy(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sel(pick(st))
+	}
+	b.ReportMetric(last, metric)
+}
+
+// firstY returns series label's y at the given x (0 if absent).
+func firstY(f *experiments.Figure, label string, x float64) float64 {
+	s := f.SeriesByLabel(label)
+	if s == nil {
+		return 0
+	}
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return 0
+}
+
+// BenchmarkFigure2 regenerates throughput vs think time (1- and 8-node).
+func BenchmarkFigure2(b *testing.B) {
+	benchMachineFig(b, (*experiments.MachineSizeStudy).Figure2, "2PL-8n-tps@0s",
+		func(f *experiments.Figure) float64 { return firstY(f, "2PL/8n", 0) })
+}
+
+// BenchmarkFigure3 regenerates response time vs think time.
+func BenchmarkFigure3(b *testing.B) {
+	benchMachineFig(b, (*experiments.MachineSizeStudy).Figure3, "2PL-8n-resp_s@0s",
+		func(f *experiments.Figure) float64 { return firstY(f, "2PL/8n", 0) })
+}
+
+// BenchmarkFigure4 regenerates throughput speedups.
+func BenchmarkFigure4(b *testing.B) {
+	benchMachineFig(b, (*experiments.MachineSizeStudy).Figure4, "2PL-speedup@0s",
+		func(f *experiments.Figure) float64 { return firstY(f, "2PL", 0) })
+}
+
+// BenchmarkFigure5 regenerates response-time speedups.
+func BenchmarkFigure5(b *testing.B) {
+	benchMachineFig(b, (*experiments.MachineSizeStudy).Figure5, "2PL-speedup@48s",
+		func(f *experiments.Figure) float64 { return firstY(f, "2PL", 48) })
+}
+
+// BenchmarkFigure6 regenerates disk utilizations.
+func BenchmarkFigure6(b *testing.B) {
+	benchMachineFig(b, (*experiments.MachineSizeStudy).Figure6, "2PL-8n-disk@0s",
+		func(f *experiments.Figure) float64 { return firstY(f, "2PL/8n", 0) })
+}
+
+// BenchmarkFigure7 regenerates CPU utilizations.
+func BenchmarkFigure7(b *testing.B) {
+	benchMachineFig(b, (*experiments.MachineSizeStudy).Figure7, "2PL-8n-cpu@0s",
+		func(f *experiments.Figure) float64 { return firstY(f, "2PL/8n", 0) })
+}
+
+// BenchmarkFigure8 regenerates the large-DB partitioning improvement.
+func BenchmarkFigure8(b *testing.B) {
+	benchPartFig(b, (*experiments.PartitioningStudy).Figure8, "2PL-speedup@48s",
+		func(f *experiments.Figure) float64 { return firstY(f, "2PL", 48) })
+}
+
+// BenchmarkFigure9 regenerates the small-DB partitioning improvement.
+func BenchmarkFigure9(b *testing.B) {
+	benchPartFig(b, (*experiments.PartitioningStudy).Figure9, "OPT-speedup@48s",
+		func(f *experiments.Figure) float64 { return firstY(f, "OPT", 48) })
+}
+
+// BenchmarkFigure10 regenerates 8-way degradations vs NO_DC.
+func BenchmarkFigure10(b *testing.B) {
+	benchPartFig(b, (*experiments.PartitioningStudy).Figure10, "OPT-degr%@8s",
+		func(f *experiments.Figure) float64 { return firstY(f, "OPT", 8) })
+}
+
+// BenchmarkFigure11 regenerates 1-way degradations vs NO_DC.
+func BenchmarkFigure11(b *testing.B) {
+	benchPartFig(b, (*experiments.PartitioningStudy).Figure11, "OPT-degr%@8s",
+		func(f *experiments.Figure) float64 { return firstY(f, "OPT", 8) })
+}
+
+// BenchmarkFigure12 regenerates 8-way abort ratios.
+func BenchmarkFigure12(b *testing.B) {
+	benchPartFig(b, (*experiments.PartitioningStudy).Figure12, "OPT-aborts@0s",
+		func(f *experiments.Figure) float64 { return firstY(f, "OPT", 0) })
+}
+
+// BenchmarkFigure13 regenerates 1-way abort ratios.
+func BenchmarkFigure13(b *testing.B) {
+	benchPartFig(b, (*experiments.PartitioningStudy).Figure13, "OPT-aborts@0s",
+		func(f *experiments.Figure) float64 { return firstY(f, "OPT", 0) })
+}
+
+// BenchmarkFigure14 regenerates zero-overhead partitioning speedups, think 0.
+func BenchmarkFigure14(b *testing.B) {
+	benchOverheadFig(b, (*experiments.OverheadStudy).Figure14, "2PL-speedup@8way",
+		func(f *experiments.Figure) float64 { return firstY(f, "2PL", 8) })
+}
+
+// BenchmarkFigure15 regenerates zero-overhead partitioning speedups, think 8 s.
+func BenchmarkFigure15(b *testing.B) {
+	benchOverheadFig(b, (*experiments.OverheadStudy).Figure15, "2PL-speedup@8way",
+		func(f *experiments.Figure) float64 { return firstY(f, "2PL", 8) })
+}
+
+// BenchmarkFigure16 regenerates 4K-message partitioning speedups, think 0.
+func BenchmarkFigure16(b *testing.B) {
+	benchOverheadFig(b, (*experiments.OverheadStudy).Figure16, "OPT-speedup@8way",
+		func(f *experiments.Figure) float64 { return firstY(f, "OPT", 8) })
+}
+
+// BenchmarkFigure17 regenerates 4K-message partitioning speedups, think 8 s.
+func BenchmarkFigure17(b *testing.B) {
+	benchOverheadFig(b, (*experiments.OverheadStudy).Figure17, "OPT-speedup@8way",
+		func(f *experiments.Figure) float64 { return firstY(f, "OPT", 8) })
+}

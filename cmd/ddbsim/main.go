@@ -1,0 +1,133 @@
+// Command ddbsim runs one simulation of the distributed database machine
+// model and prints its metrics. All model parameters (paper Tables 1-4) are
+// exposed as flags; defaults are the paper's baseline settings.
+//
+// Example — the 8-node, 8-way-partitioned machine under wound-wait at a
+// 12-second think time:
+//
+//	ddbsim -alg WW -nodes 8 -ways 8 -think 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ddbm"
+)
+
+func main() {
+	cfg := ddbm.DefaultConfig()
+
+	alg := flag.String("alg", "2PL", "algorithm: 2PL, WW, BTO, OPT or NO_DC")
+	nodes := flag.Int("nodes", cfg.NumProcNodes, "number of processing nodes")
+	ways := flag.Int("ways", cfg.PartitionWays, "partitioning degree (0 = spread every relation over all nodes)")
+	pages := flag.Int("pages", cfg.PagesPerFile, "pages per file (300 = small DB, 1200 = large DB)")
+	terms := flag.Int("terminals", cfg.NumTerminals, "number of terminals")
+	think := flag.Float64("think", 0, "mean terminal think time (seconds)")
+	avgPages := flag.Int("txnpages", cfg.AvgPagesPerPartition, "average pages read per partition")
+	writeProb := flag.Float64("writeprob", cfg.WriteProb, "probability an accessed page is updated")
+	instPage := flag.Float64("instpage", cfg.InstPerPage, "mean instructions to process a page")
+	hostMIPS := flag.Float64("hostmips", cfg.HostMIPS, "host CPU speed (MIPS)")
+	procMIPS := flag.Float64("procmips", cfg.ProcMIPS, "processing node CPU speed (MIPS)")
+	disks := flag.Int("disks", cfg.NumDisks, "disks per node")
+	startup := flag.Float64("startup", cfg.InstPerStartup, "instructions to start a process")
+	msg := flag.Float64("msg", cfg.InstPerMsg, "instructions to send/receive a message (each end)")
+	update := flag.Float64("update", cfg.InstPerUpdate, "instructions to initiate a deferred page write")
+	ccreq := flag.Float64("ccreq", cfg.InstPerCCReq, "instructions per concurrency control request")
+	detect := flag.Float64("detect", cfg.DetectionIntervalMs/1000, "2PL Snoop detection interval (seconds)")
+	lockTimeout := flag.Float64("locktimeout", 0, "2PL lock-wait timeout in seconds (0 = deadlock detection)")
+	replicas := flag.Int("replicas", 1, "copies of every file (read-one/write-all)")
+	deferLocks := flag.Bool("defer", false, "defer remote-copy write locks to commit phase 1 (2PL + replication)")
+	auditFlag := flag.Bool("audit", false, "run the serializability auditor and report anomalies")
+	trace := flag.Int("trace", 0, "print the first N transaction life-cycle events")
+	logging := flag.Bool("logging", false, "model log forces (prepare records + commit record)")
+	seq := flag.Bool("sequential", false, "run cohorts sequentially instead of in parallel")
+	simTime := flag.Float64("simtime", cfg.SimTimeMs/1000, "simulated duration (seconds)")
+	warmup := flag.Float64("warmup", cfg.WarmupMs/1000, "warmup before measurement (seconds)")
+	seed := flag.Int64("seed", cfg.Seed, "random seed")
+	flag.Parse()
+
+	kind, err := ddbm.ParseAlgorithm(*alg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Algorithm = kind
+	cfg.NumProcNodes = *nodes
+	cfg.PartitionWays = *ways
+	cfg.PagesPerFile = *pages
+	cfg.NumTerminals = *terms
+	cfg.ThinkTimeMs = *think * 1000
+	cfg.AvgPagesPerPartition = *avgPages
+	cfg.WriteProb = *writeProb
+	cfg.InstPerPage = *instPage
+	cfg.HostMIPS = *hostMIPS
+	cfg.ProcMIPS = *procMIPS
+	cfg.NumDisks = *disks
+	cfg.InstPerStartup = *startup
+	cfg.InstPerMsg = *msg
+	cfg.InstPerUpdate = *update
+	cfg.InstPerCCReq = *ccreq
+	cfg.DetectionIntervalMs = *detect * 1000
+	cfg.LockWaitTimeoutMs = *lockTimeout * 1000
+	cfg.ReplicaCount = *replicas
+	cfg.DeferRemoteWriteLocks = *deferLocks
+	cfg.Audit = *auditFlag
+	cfg.ModelLogging = *logging
+	if *seq {
+		cfg.ExecPattern = ddbm.Sequential
+	}
+	cfg.SimTimeMs = *simTime * 1000
+	cfg.WarmupMs = *warmup * 1000
+	cfg.Seed = *seed
+
+	m, err := ddbm.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *trace > 0 {
+		remaining := *trace
+		m.ObserveTxns(func(e ddbm.TxnEvent) {
+			if remaining > 0 {
+				fmt.Println(e)
+				remaining--
+			}
+		})
+	}
+	res := m.Run()
+
+	fmt.Printf("algorithm            %v (%s execution)\n", cfg.Algorithm, cfg.ExecPattern)
+	fmt.Printf("machine              1 host (%.0f MIPS) + %d nodes (%.0f MIPS, %d disks each)\n",
+		cfg.HostMIPS, cfg.NumProcNodes, cfg.ProcMIPS, cfg.NumDisks)
+	fmt.Printf("database             %d files x %d pages (placement ways=%d)\n",
+		cfg.NumRelations*cfg.PartsPerRelation, cfg.PagesPerFile, cfg.PartitionWays)
+	fmt.Printf("workload             %d terminals, think %.1f s, ~%d reads/txn, write prob %.2f\n",
+		cfg.NumTerminals, cfg.ThinkTimeMs/1000, cfg.AvgPagesPerPartition*cfg.PartsPerRelation, cfg.WriteProb)
+	fmt.Printf("measured window      %.0f s (after %.0f s warmup)\n", res.MeasuredMs/1000, cfg.WarmupMs/1000)
+	fmt.Println()
+	fmt.Printf("throughput           %.3f txns/s (%d commits)\n", res.ThroughputTPS, res.Commits)
+	fmt.Printf("response time        %.0f ms mean (±%.0f ms 95%% CI, sd %.0f, max %.0f)\n",
+		res.MeanResponseMs, res.RespHalfWidth95, res.RespStdDev, res.MaxResponseMs)
+	fmt.Printf("response percentiles P50 %.0f / P90 %.0f / P99 %.0f ms\n",
+		res.RespP50Ms, res.RespP90Ms, res.RespP99Ms)
+	fmt.Printf("abort ratio          %.4f aborts/commit (%d aborts, %.2f restarts/txn)\n",
+		res.AbortRatio, res.Aborts, res.MeanRestarts)
+	fmt.Printf("blocking             %.0f ms mean over %d episodes\n", res.MeanBlockMs, res.BlockCount)
+	fmt.Printf("utilization          proc CPU %.1f%%, proc disk %.1f%%, host CPU %.1f%%\n",
+		res.ProcCPUUtil*100, res.ProcDiskUtil*100, res.HostCPUUtil*100)
+	fmt.Printf("messages             %d\n", res.MessagesSent)
+	fmt.Printf("avg active txns      %.1f\n", res.AvgActiveTxns)
+	if cfg.Audit {
+		fmt.Printf("serializability      %d txns audited, %d anomalies\n",
+			res.AuditedTxns, len(res.AuditViolations))
+		for i, v := range res.AuditViolations {
+			if i >= 5 {
+				fmt.Printf("  ... %d more\n", len(res.AuditViolations)-5)
+				break
+			}
+			fmt.Printf("  %s\n", v)
+		}
+	}
+}

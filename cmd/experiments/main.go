@@ -1,0 +1,138 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§4). By default it runs everything; -fig selects a
+// subset. -scale trades accuracy for speed (1.0 = publication length).
+//
+//	experiments -fig 2,3,4,5          # the machine-size study
+//	experiments -fig all -scale 0.25  # everything, quicker
+//	experiments -fig ext              # the beyond-the-paper extensions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ddbm/experiments"
+)
+
+func main() {
+	figs := flag.String("fig", "all", "comma-separated figure numbers (2-17), 'all', or 'ext'")
+	scale := flag.Float64("scale", 1.0, "simulated-time scale factor (1.0 = publication length)")
+	seed := flag.Int64("seed", 1, "random seed for every run")
+	reps := flag.Int("reps", 1, "replicate runs per configuration (averaged)")
+	quiet := flag.Bool("q", false, "suppress per-run progress lines")
+	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
+	chart := flag.Bool("chart", false, "append an ASCII chart after each figure")
+	flag.Parse()
+
+	emit := func(f *experiments.Figure) {
+		if *csv {
+			fmt.Printf("# %s: %s\n", f.ID, f.Title)
+			f.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			f.Render(os.Stdout)
+		}
+		if *chart {
+			f.Chart(os.Stdout, 64, 16)
+		}
+	}
+
+	opts := experiments.Options{TimeScale: *scale, Seed: *seed, Replicates: *reps}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	all := want["all"]
+	anyOf := func(ids ...string) bool {
+		if all {
+			return true
+		}
+		for _, id := range ids {
+			if want[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	if anyOf("2", "3", "4", "5", "6", "7") {
+		st, err := experiments.RunMachineSizeStudy(opts)
+		check(err)
+		for _, f := range []struct {
+			id  string
+			fig func() *experiments.Figure
+		}{
+			{"2", st.Figure2}, {"3", st.Figure3}, {"4", st.Figure4},
+			{"5", st.Figure5}, {"6", st.Figure6}, {"7", st.Figure7},
+		} {
+			if all || want[f.id] {
+				emit(f.fig())
+			}
+		}
+	}
+
+	if anyOf("8", "9", "10", "11", "12", "13") {
+		st, err := experiments.RunPartitioningStudy(opts)
+		check(err)
+		for _, f := range []struct {
+			id  string
+			fig func() *experiments.Figure
+		}{
+			{"8", st.Figure8}, {"9", st.Figure9}, {"10", st.Figure10},
+			{"11", st.Figure11}, {"12", st.Figure12}, {"13", st.Figure13},
+		} {
+			if all || want[f.id] {
+				emit(f.fig())
+			}
+		}
+	}
+
+	if anyOf("14", "15", "16", "17") {
+		st, err := experiments.RunOverheadStudy(opts)
+		check(err)
+		for _, f := range []struct {
+			id  string
+			fig func() *experiments.Figure
+		}{
+			{"14", st.Figure14}, {"15", st.Figure15},
+			{"16", st.Figure16}, {"17", st.Figure17},
+		} {
+			if all || want[f.id] {
+				emit(f.fig())
+			}
+		}
+	}
+
+	if want["ext"] {
+		extOpts := opts
+		extOpts.ThinkTimesMs = []float64{0, 8000, 24000, 48000, 96000}
+		for _, run := range []func() (*experiments.Figure, error){
+			func() (*experiments.Figure, error) { return experiments.MachineSizeSweep(extOpts, 0) },
+			func() (*experiments.Figure, error) { return experiments.TransactionSizeSweep(extOpts, 8000) },
+			func() (*experiments.Figure, error) { return experiments.ExecPatternSweep(extOpts) },
+			func() (*experiments.Figure, error) { return experiments.SnoopIntervalAblation(extOpts, 4000) },
+			func() (*experiments.Figure, error) { return experiments.MessageCostSweep(extOpts, 8000) },
+			func() (*experiments.Figure, error) { return experiments.TimeoutVsDetection(extOpts, 4000) },
+			func() (*experiments.Figure, error) { return experiments.ReplicationStudy(extOpts, 8000) },
+			func() (*experiments.Figure, error) { return experiments.MixedWorkloadSweep(extOpts, 8000) },
+			func() (*experiments.Figure, error) { return experiments.O2PLSweep(extOpts) },
+		} {
+			fig, err := run()
+			check(err)
+			emit(fig)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// Package ddbm is a discrete-event simulation study of concurrency control
+// performance in distributed ("shared nothing") database machines — a full
+// reproduction of Carey & Livny, "Parallelism and Concurrency Control
+// Performance in Distributed Database Machines", ACM SIGMOD 1989.
+//
+// The model: transactions originate at terminals attached to a host node;
+// each gets a coordinator process at the host and one cohort process at
+// every processing node storing data it touches. Cohorts run sequentially
+// or in parallel and finish through a centralized two-phase commit. Four
+// concurrency control algorithms are provided — two-phase locking (with a
+// rotating "Snoop" global deadlock detector), wound-wait, basic timestamp
+// ordering, and optimistic certification — plus the NO_DC no-contention
+// baseline.
+//
+// Quick start:
+//
+//	cfg := ddbm.DefaultConfig()
+//	cfg.Algorithm = ddbm.TwoPL
+//	cfg.ThinkTimeMs = 8000
+//	res, err := ddbm.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("%.1f tps, %.0f ms response\n", res.ThroughputTPS, res.MeanResponseMs)
+//
+// The experiments package regenerates every figure of the paper's
+// evaluation section on top of this API.
+package ddbm
+
+import (
+	"ddbm/internal/cc"
+	"ddbm/internal/core"
+)
+
+// Algorithm identifies a concurrency control algorithm.
+type Algorithm = cc.Kind
+
+// The four algorithms of the paper plus the no-data-contention baseline.
+const (
+	// TwoPL is distributed two-phase locking (paper §2.2).
+	TwoPL = cc.TwoPL
+	// WoundWait is the wound-wait locking algorithm (paper §2.3).
+	WoundWait = cc.WoundWait
+	// BTO is basic timestamp ordering (paper §2.4).
+	BTO = cc.BTO
+	// OPT is distributed optimistic certification (paper §2.5).
+	OPT = cc.OPT
+	// NoDC is the "no data contention" baseline (paper §4.2).
+	NoDC = cc.NoDC
+	// O2PL is optimistic two-phase locking ([Care88]): read locks at access
+	// time, write locks deferred to the first commit phase. The paper's
+	// simulator carried it (Table 4 note) without presenting results.
+	O2PL = cc.O2PL
+)
+
+// Algorithms lists the algorithms in the paper's presentation order
+// (2PL, BTO, WW, OPT, NO_DC).
+func Algorithms() []Algorithm { return cc.Kinds() }
+
+// ParseAlgorithm converts a name ("2PL", "WW", "BTO", "OPT", "NO_DC") to an
+// Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) { return cc.ParseKind(s) }
+
+// ExecPattern selects sequential or parallel cohort execution (paper §3.3).
+type ExecPattern = core.ExecPattern
+
+// Execution patterns.
+const (
+	// Parallel starts all cohorts together (Gamma/Teradata/Bubba style).
+	Parallel = core.Parallel
+	// Sequential runs cohorts one after another (Non-Stop SQL style).
+	Sequential = core.Sequential
+)
+
+// Config collects every model parameter; see core.Config for field
+// documentation and DefaultConfig for the paper's Table 4 settings.
+type Config = core.Config
+
+// TxnClass describes one transaction class of a multi-class workload
+// (paper Table 2); set Config.Classes to use it.
+type TxnClass = core.TxnClass
+
+// Result reports the metrics of one simulation run.
+type Result = core.Result
+
+// DefaultConfig returns the paper's baseline parameter settings (Table 4).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run simulates one machine configuration and returns its metrics.
+func Run(cfg Config) (Result, error) { return core.Run(cfg) }
+
+// Machine is an assembled database machine; use it instead of Run when you
+// need to attach observers (Machine.ObserveTxns / Machine.TraceTxns)
+// before running.
+type Machine = core.Machine
+
+// TxnEvent is one transaction life-cycle observation; see
+// Machine.ObserveTxns.
+type TxnEvent = core.TxnEvent
+
+// Transaction life-cycle event kinds.
+const (
+	// TxnSubmitted: a terminal submitted a new transaction.
+	TxnSubmitted = core.TxnSubmitted
+	// TxnAttemptStarted: an execution attempt began.
+	TxnAttemptStarted = core.TxnAttemptStarted
+	// TxnAttemptAborted: the attempt aborted.
+	TxnAttemptAborted = core.TxnAttemptAborted
+	// TxnCommitted: the commit decision was made.
+	TxnCommitted = core.TxnCommitted
+)
+
+// NewMachine builds (but does not run) a machine, for callers that attach
+// observers; call its Run method to simulate.
+func NewMachine(cfg Config) (*Machine, error) { return core.NewMachine(cfg) }

@@ -1,0 +1,72 @@
+package ddbm_test
+
+import (
+	"testing"
+
+	"ddbm"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = ddbm.WoundWait
+	cfg.NumProcNodes = 2
+	cfg.NumTerminals = 8
+	cfg.ThinkTimeMs = 500
+	cfg.SimTimeMs = 20_000
+	cfg.WarmupMs = 2_000
+	res, err := ddbm.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits through the public API")
+	}
+	if res.Config.Algorithm != ddbm.WoundWait {
+		t.Error("result does not echo its config")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, name := range []string{"2PL", "WW", "BTO", "OPT", "NO_DC"} {
+		a, err := ddbm.ParseAlgorithm(name)
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q): %v", name, err)
+		}
+		if a.String() != name {
+			t.Errorf("round trip %q -> %q", name, a.String())
+		}
+	}
+	if _, err := ddbm.ParseAlgorithm("2pl"); err == nil {
+		t.Error("lowercase accepted (names are exact)")
+	}
+}
+
+func TestAlgorithmsList(t *testing.T) {
+	algos := ddbm.Algorithms()
+	if len(algos) != 5 {
+		t.Fatalf("Algorithms() returned %d entries", len(algos))
+	}
+	seen := map[ddbm.Algorithm]bool{}
+	for _, a := range algos {
+		seen[a] = true
+	}
+	for _, want := range []ddbm.Algorithm{ddbm.TwoPL, ddbm.WoundWait, ddbm.BTO, ddbm.OPT, ddbm.NoDC} {
+		if !seen[want] {
+			t.Errorf("Algorithms() missing %v", want)
+		}
+	}
+}
+
+func TestExecPatternConstants(t *testing.T) {
+	if ddbm.Parallel.String() != "parallel" || ddbm.Sequential.String() != "sequential" {
+		t.Error("exec pattern constants broken")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := ddbm.DefaultConfig()
+	cfg.NumProcNodes = -1
+	if _, err := ddbm.Run(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package ddbm_test
+
+import (
+	"fmt"
+
+	"ddbm"
+)
+
+// Example runs a small configuration end to end.
+func Example() {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = ddbm.BTO
+	cfg.NumProcNodes = 2
+	cfg.NumTerminals = 4
+	cfg.ThinkTimeMs = 1000
+	cfg.SimTimeMs = 30_000
+	cfg.WarmupMs = 3_000
+
+	res, err := ddbm.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("committed:", res.Commits > 0)
+	fmt.Println("aborts counted:", res.Aborts >= 0)
+	// Output:
+	// committed: true
+	// aborts counted: true
+}
+
+// ExampleParseAlgorithm shows name round-tripping.
+func ExampleParseAlgorithm() {
+	for _, name := range []string{"2PL", "WW", "BTO", "OPT", "NO_DC"} {
+		a, err := ddbm.ParseAlgorithm(name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(a)
+	}
+	// Output:
+	// 2PL
+	// WW
+	// BTO
+	// OPT
+	// NO_DC
+}
+
+// ExampleDefaultConfig shows the paper's Table 4 database dimensions.
+func ExampleDefaultConfig() {
+	cfg := ddbm.DefaultConfig()
+	fmt.Println("files:", cfg.NumRelations*cfg.PartsPerRelation)
+	fmt.Println("database pages:", cfg.NumRelations*cfg.PartsPerRelation*cfg.PagesPerFile)
+	fmt.Println("terminals:", cfg.NumTerminals)
+	// Output:
+	// files: 64
+	// database pages: 19200
+	// terminals: 128
+}

@@ -1,0 +1,33 @@
+// Command quickstart runs one simulation of the paper's baseline
+// configuration (8-node machine, 2PL, moderate load) and prints the key
+// metrics — the minimal end-to-end use of the ddbm API.
+package main
+
+import (
+	"fmt"
+
+	"ddbm"
+)
+
+func main() {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = ddbm.TwoPL
+	cfg.ThinkTimeMs = 8000 // 8 s mean terminal think time
+	cfg.SimTimeMs = 200_000
+	cfg.WarmupMs = 20_000
+
+	res, err := ddbm.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("algorithm:        %v\n", cfg.Algorithm)
+	fmt.Printf("machine:          1 host + %d processing nodes\n", cfg.NumProcNodes)
+	fmt.Printf("think time:       %.0f s\n", cfg.ThinkTimeMs/1000)
+	fmt.Printf("commits:          %d (%.2f tps)\n", res.Commits, res.ThroughputTPS)
+	fmt.Printf("response time:    %.0f ms  (±%.0f ms, 95%% CI)\n", res.MeanResponseMs, res.RespHalfWidth95)
+	fmt.Printf("abort ratio:      %.3f aborts/commit\n", res.AbortRatio)
+	fmt.Printf("proc CPU util:    %.0f%%\n", res.ProcCPUUtil*100)
+	fmt.Printf("proc disk util:   %.0f%%\n", res.ProcDiskUtil*100)
+	fmt.Printf("messages:         %d\n", res.MessagesSent)
+}

@@ -1,0 +1,64 @@
+// Command replication explores the read-one/write-all replicated-data
+// extension ([Care88]) and the deferred-remote-write-lock 2PL variant of
+// the paper's footnote 13 ([Care89]): with replicated copies and expensive
+// messages, immediate 2PL loses ground to OPT, and deferring remote write
+// locks to the first commit phase wins it back. The serializability auditor
+// runs throughout, certifying every history.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ddbm"
+)
+
+func main() {
+	think := flag.Float64("think", 8, "mean think time (seconds)")
+	msg := flag.Float64("msg", 4000, "instructions per message end")
+	scale := flag.Float64("scale", 0.5, "simulated-time scale")
+	flag.Parse()
+
+	run := func(alg ddbm.Algorithm, replicas int, deferLocks bool) ddbm.Result {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.PartitionWays = 8
+		cfg.ThinkTimeMs = *think * 1000
+		cfg.InstPerMsg = *msg
+		cfg.ReplicaCount = replicas
+		cfg.DeferRemoteWriteLocks = deferLocks
+		cfg.Audit = true
+		cfg.SimTimeMs = 700_000 * *scale
+		cfg.WarmupMs = 100_000 * *scale
+		res, err := ddbm.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+
+	fmt.Printf("Replicated data, %gK-instruction messages, think %g s\n\n", *msg/1000, *think)
+	fmt.Printf("%-28s %8s %10s %12s %10s %8s\n",
+		"variant", "copies", "tput(tps)", "resp(ms)", "aborts/cmt", "anomalies")
+	for _, copies := range []int{1, 2, 3} {
+		variants := []struct {
+			name   string
+			alg    ddbm.Algorithm
+			defer_ bool
+		}{
+			{"2PL (immediate locks)", ddbm.TwoPL, false},
+			{"2PL (deferred remote locks)", ddbm.TwoPL, copies > 1},
+			{"OPT", ddbm.OPT, false},
+		}
+		for _, v := range variants {
+			res := run(v.alg, copies, v.defer_)
+			fmt.Printf("%-28s %8d %10.2f %12.0f %10.3f %8d\n",
+				v.name, copies, res.ThroughputTPS, res.MeanResponseMs,
+				res.AbortRatio, len(res.AuditViolations))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Footnote 13's claim: with copies to update and costly messages, plain")
+	fmt.Println("2PL's early remote write locks hold contended resources across message")
+	fmt.Println("delays; deferring them to commit phase 1 restores 2PL's advantage.")
+}

@@ -1,0 +1,288 @@
+// Package experiments regenerates every table and figure of the evaluation
+// section (§4) of Carey & Livny, SIGMOD 1989. Each FigureN function runs
+// the required parameter sweep and returns a Figure — labelled series of
+// (x, y) points — that renders as an aligned text table. Shared sweeps are
+// exposed as *Study types so one grid of simulations can feed several
+// figures without re-running.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"ddbm"
+)
+
+// DefaultThinkTimesMs is the standard load sweep: mean terminal think times
+// spanning the paper's 0-120 second range.
+func DefaultThinkTimesMs() []float64 {
+	return []float64{0, 2000, 4000, 8000, 12000, 16000, 24000, 48000, 96000, 120000}
+}
+
+// Options tunes how experiment sweeps run. The zero value gives
+// paper-shaped defaults.
+type Options struct {
+	// TimeScale multiplies every run's simulated duration (and warmup).
+	// 1.0 (default) gives publication-quality lengths; benchmarks use a
+	// smaller scale for speed.
+	TimeScale float64
+	// Seed seeds every run (default 1).
+	Seed int64
+	// ThinkTimesMs overrides the load sweep for the think-time figures.
+	ThinkTimesMs []float64
+	// Algorithms overrides the algorithm set (default: the paper's four
+	// plus NO_DC).
+	Algorithms []ddbm.Algorithm
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// Replicates runs every configuration this many times with seeds
+	// Seed, Seed+1, ... and averages the results (default 1). Use 3-5 for
+	// publication-grade smoothing of the high-contention points.
+	Replicates int
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.ThinkTimesMs) == 0 {
+		o.ThinkTimesMs = DefaultThinkTimesMs()
+	}
+	if len(o.Algorithms) == 0 {
+		o.Algorithms = ddbm.Algorithms()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Replicates <= 0 {
+		o.Replicates = 1
+	}
+	return o
+}
+
+// duration picks simulated length and warmup for one configuration: the
+// 1-node saturated configurations have response times of minutes and need
+// far longer runs to reach steady state than the 8-node ones.
+func (o Options) duration(numProcNodes int) (simMs, warmupMs float64) {
+	if numProcNodes <= 1 {
+		return 3_000_000 * o.TimeScale, 600_000 * o.TimeScale
+	}
+	return 800_000 * o.TimeScale, 120_000 * o.TimeScale
+}
+
+// apply stamps the options onto a config.
+func (o Options) apply(cfg *ddbm.Config) {
+	cfg.SimTimeMs, cfg.WarmupMs = o.duration(cfg.NumProcNodes)
+	cfg.Seed = o.Seed
+}
+
+// cfgKey renders a configuration as a deterministic lookup key (Config
+// contains slices, so it cannot be a map key itself).
+func cfgKey(cfg ddbm.Config) string { return fmt.Sprintf("%+v", cfg) }
+
+// runGrid executes every configuration (deduplicated, replicated across
+// seeds per Options.Replicates) and returns a lookup table keyed by
+// cfgKey of the base configuration. Runs execute concurrently up to
+// Workers.
+func runGrid(o Options, cfgs []ddbm.Config) (map[string]ddbm.Result, error) {
+	uniq := make([]ddbm.Config, 0, len(cfgs))
+	seen := make(map[string]bool, len(cfgs))
+	for _, c := range cfgs {
+		if k := cfgKey(c); !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, c)
+		}
+	}
+	acc := make(map[string][]ddbm.Result, len(uniq))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, o.Workers)
+	var wg sync.WaitGroup
+	for _, base := range uniq {
+		key := cfgKey(base)
+		for rep := 0; rep < o.Replicates; rep++ {
+			cfg := base
+			cfg.Seed = base.Seed + int64(rep)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := ddbm.Run(cfg)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				acc[key] = append(acc[key], res)
+				if o.Progress != nil {
+					fmt.Fprintf(o.Progress, "ran %-5v nodes=%d ways=%d think=%gs pages=%d seed=%d: %.2f tps, %.0f ms\n",
+						cfg.Algorithm, cfg.NumProcNodes, cfg.PartitionWays, cfg.ThinkTimeMs/1000,
+						cfg.PagesPerFile, cfg.Seed, res.ThroughputTPS, res.MeanResponseMs)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	results := make(map[string]ddbm.Result, len(acc))
+	for k, rs := range acc {
+		results[k] = averageResults(rs)
+	}
+	return results, nil
+}
+
+// averageResults merges replicate runs: scalar metrics are averaged,
+// counters summed, and the first run's config retained.
+func averageResults(rs []ddbm.Result) ddbm.Result {
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	out := rs[0]
+	n := float64(len(rs))
+	out.Commits, out.Aborts, out.MessagesSent, out.BlockCount = 0, 0, 0, 0
+	var tput, resp, hw, sd, max, ar, mr, blk, cpu, dsk, host, act, p50, p90, p99 float64
+	for _, r := range rs {
+		out.Commits += r.Commits
+		out.Aborts += r.Aborts
+		out.MessagesSent += r.MessagesSent
+		out.BlockCount += r.BlockCount
+		tput += r.ThroughputTPS
+		resp += r.MeanResponseMs
+		hw += r.RespHalfWidth95
+		sd += r.RespStdDev
+		if r.MaxResponseMs > max {
+			max = r.MaxResponseMs
+		}
+		ar += r.AbortRatio
+		mr += r.MeanRestarts
+		blk += r.MeanBlockMs
+		cpu += r.ProcCPUUtil
+		dsk += r.ProcDiskUtil
+		host += r.HostCPUUtil
+		act += r.AvgActiveTxns
+		p50 += r.RespP50Ms
+		p90 += r.RespP90Ms
+		p99 += r.RespP99Ms
+	}
+	out.ThroughputTPS = tput / n
+	out.MeanResponseMs = resp / n
+	out.RespHalfWidth95 = hw / n
+	out.RespStdDev = sd / n
+	out.MaxResponseMs = max
+	out.AbortRatio = ar / n
+	out.MeanRestarts = mr / n
+	out.MeanBlockMs = blk / n
+	out.ProcCPUUtil = cpu / n
+	out.ProcDiskUtil = dsk / n
+	out.HostCPUUtil = host / n
+	out.AvgActiveTxns = act / n
+	out.RespP50Ms = p50 / n
+	out.RespP90Ms = p90 / n
+	out.RespP99Ms = p99 / n
+	return out
+}
+
+// Point is one (x, y) observation of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced table or figure: labelled series over a shared
+// x-axis, rendering as an aligned text table.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// SeriesByLabel returns the series with the given label, or nil.
+func (f *Figure) SeriesByLabel(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Render writes the figure as an aligned text table: one row per x value,
+// one column per series.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "  (y = %s)\n", f.YLabel)
+
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	header := fmt.Sprintf("%12s", f.XLabel)
+	for _, s := range f.Series {
+		header += fmt.Sprintf(" %12s", s.Label)
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, x := range sorted {
+		row := fmt.Sprintf("%12.4g", x)
+		for _, s := range f.Series {
+			y, ok := lookup(s.Points, x)
+			if ok {
+				row += fmt.Sprintf(" %12.4g", y)
+			} else {
+				row += fmt.Sprintf(" %12s", "-")
+			}
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var sb strings.Builder
+	f.Render(&sb)
+	return sb.String()
+}
+
+func lookup(pts []Point, x float64) (float64, bool) {
+	for _, p := range pts {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// algoLabel names an algorithm series exactly as the paper's legends do.
+func algoLabel(a ddbm.Algorithm) string { return a.String() }

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ddbm"
+)
+
+// tinyOpts returns options that make sweeps run in a couple of seconds:
+// truncated simulated time and a minimal think-time grid. Values are noisy
+// at this scale, so tests assert structure and basic sanity, not shapes.
+func tinyOpts() Options {
+	return Options{
+		TimeScale:    0.03,
+		ThinkTimesMs: []float64{0, 8000},
+		Algorithms:   []ddbm.Algorithm{ddbm.TwoPL, ddbm.NoDC},
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.TimeScale != 1 || o.Seed != 1 {
+		t.Errorf("defaults: scale %v seed %d", o.TimeScale, o.Seed)
+	}
+	if len(o.ThinkTimesMs) == 0 || len(o.Algorithms) != 5 || o.Workers < 1 {
+		t.Error("defaults incomplete")
+	}
+}
+
+func TestDurationScalesWithMachine(t *testing.T) {
+	o := Options{}.withDefaults()
+	s1, w1 := o.duration(1)
+	s8, w8 := o.duration(8)
+	if s1 <= s8 {
+		t.Error("1-node runs must be longer than 8-node runs (minute-scale response times)")
+	}
+	if w1 >= s1 || w8 >= s8 {
+		t.Error("warmup must be shorter than the run")
+	}
+}
+
+func TestDefaultThinkTimesSpanPaperRange(t *testing.T) {
+	tt := DefaultThinkTimesMs()
+	if tt[0] != 0 || tt[len(tt)-1] != 120000 {
+		t.Errorf("think sweep %v must span 0..120 s", tt)
+	}
+	for i := 1; i < len(tt); i++ {
+		if tt[i] <= tt[i-1] {
+			t.Error("think sweep not increasing")
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		ID: "Figure X", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 20}}},
+			{Label: "b", Points: []Point{{X: 1, Y: 30}}},
+		},
+	}
+	out := fig.String()
+	for _, want := range []string{"Figure X", "demo", "a", "b", "10", "30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+	// Missing point renders as '-'.
+	if !strings.Contains(out, "-") {
+		t.Error("missing point not rendered as dash")
+	}
+}
+
+func TestSeriesByLabel(t *testing.T) {
+	fig := &Figure{Series: []Series{{Label: "x"}, {Label: "y"}}}
+	if fig.SeriesByLabel("y") == nil || fig.SeriesByLabel("zz") != nil {
+		t.Error("SeriesByLabel lookup broken")
+	}
+}
+
+func TestMachineSizeStudyTiny(t *testing.T) {
+	st, err := RunMachineSizeStudy(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []*Figure{
+		st.Figure2(), st.Figure3(), st.Figure4(), st.Figure5(), st.Figure6(), st.Figure7(),
+	} {
+		if len(fig.Series) == 0 {
+			t.Fatalf("%s: no series", fig.ID)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != 2 {
+				t.Fatalf("%s %s: %d points, want 2", fig.ID, s.Label, len(s.Points))
+			}
+		}
+	}
+	// Figures 2/3/6/7 have per-size series; figures 4/5 per-algorithm.
+	if n := len(st.Figure2().Series); n != 4 { // 2 algos x 2 sizes
+		t.Errorf("Figure 2 has %d series, want 4", n)
+	}
+	if n := len(st.Figure4().Series); n != 2 {
+		t.Errorf("Figure 4 has %d series, want 2", n)
+	}
+}
+
+func TestMachineSizeThroughputOrdering(t *testing.T) {
+	// At a scale long enough for steady state, 8 nodes outperform 1 node
+	// at think time 0.
+	o := Options{
+		TimeScale:    0.15,
+		ThinkTimesMs: []float64{0},
+		Algorithms:   []ddbm.Algorithm{ddbm.NoDC},
+	}
+	st, err := RunMachineSizeStudy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := st.Result(ddbm.NoDC, 1, 0)
+	r8 := st.Result(ddbm.NoDC, 8, 0)
+	if r1.Commits == 0 || r8.Commits == 0 {
+		t.Fatalf("no commits: 1n=%d 8n=%d", r1.Commits, r8.Commits)
+	}
+	if r8.ThroughputTPS <= r1.ThroughputTPS {
+		t.Errorf("8-node throughput %v not above 1-node %v", r8.ThroughputTPS, r1.ThroughputTPS)
+	}
+}
+
+func TestPartitioningStudyTiny(t *testing.T) {
+	o := tinyOpts()
+	st, err := RunPartitioningStudy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []*Figure{
+		st.Figure8(), st.Figure9(), st.Figure10(), st.Figure11(), st.Figure12(), st.Figure13(),
+	} {
+		if len(fig.Series) == 0 {
+			t.Fatalf("%s: no series", fig.ID)
+		}
+	}
+	// NO_DC is excluded from degradation/abort figures.
+	if st.Figure10().SeriesByLabel("NO_DC") != nil {
+		t.Error("Figure 10 contains NO_DC degradation (always zero)")
+	}
+	if st.Figure12().SeriesByLabel("NO_DC") != nil {
+		t.Error("Figure 12 contains NO_DC abort ratio")
+	}
+}
+
+func TestOverheadStudyTiny(t *testing.T) {
+	o := tinyOpts()
+	st, err := RunOverheadStudySettings(o, []OverheadSetting{NoOverheads}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := st.Figure14()
+	if len(fig.Series) != 2 {
+		t.Fatalf("Figure 14: %d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("Figure 14 %s: %d points, want 4 (ways 1/2/4/8)", s.Label, len(s.Points))
+		}
+		// Speedup at ways=1 is 1 by construction.
+		if s.Points[0].X != 1 || s.Points[0].Y != 1 {
+			t.Errorf("Figure 14 %s: baseline point %+v, want (1,1)", s.Label, s.Points[0])
+		}
+	}
+}
+
+func TestRunGridDedupes(t *testing.T) {
+	o := tinyOpts().withDefaults()
+	cfg := o.machineSizeConfig(ddbm.NoDC, 8, 0)
+	res, err := runGrid(o, []ddbm.Config{cfg, cfg, cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Errorf("grid kept %d entries for identical configs", len(res))
+	}
+}
+
+func TestRunGridReplicates(t *testing.T) {
+	o := tinyOpts().withDefaults()
+	o.Replicates = 3
+	cfg := o.machineSizeConfig(ddbm.NoDC, 8, 0)
+	res, err := runGrid(o, []ddbm.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("%d entries, want 1 averaged entry", len(res))
+	}
+	merged := res[cfgKey(cfg)]
+	// Commits are summed across 3 replicate runs; a single run of this
+	// config commits > 0, so the sum must exceed any single run's typical
+	// count — at minimum it must be positive and the config echo intact.
+	if merged.Commits == 0 {
+		t.Fatal("no commits across replicates")
+	}
+	single, err := runGrid(tinyOpts().withDefaults(), []ddbm.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Commits <= single[cfgKey(cfg)].Commits {
+		t.Errorf("replicated commits %d not above single-run %d",
+			merged.Commits, single[cfgKey(cfg)].Commits)
+	}
+}
+
+func TestAverageResults(t *testing.T) {
+	a := ddbm.Result{Commits: 10, ThroughputTPS: 2, MeanResponseMs: 100, MaxResponseMs: 300, AbortRatio: 0.2}
+	b := ddbm.Result{Commits: 20, ThroughputTPS: 4, MeanResponseMs: 200, MaxResponseMs: 250, AbortRatio: 0.4}
+	m := averageResults([]ddbm.Result{a, b})
+	if m.Commits != 30 {
+		t.Errorf("commits %d, want summed 30", m.Commits)
+	}
+	if m.ThroughputTPS != 3 || m.MeanResponseMs != 150 || m.AbortRatio != 0.30000000000000004 && m.AbortRatio != 0.3 {
+		t.Errorf("averages wrong: %+v", m)
+	}
+	if m.MaxResponseMs != 300 {
+		t.Errorf("max %v, want 300", m.MaxResponseMs)
+	}
+	if one := averageResults([]ddbm.Result{a}); one.Commits != 10 {
+		t.Error("single-result average must be identity")
+	}
+}
+
+func TestRunGridPropagatesErrors(t *testing.T) {
+	o := tinyOpts().withDefaults()
+	bad := o.machineSizeConfig(ddbm.NoDC, 8, 0)
+	bad.NumTerminals = 0
+	if _, err := runGrid(o, []ddbm.Config{bad}); err == nil {
+		t.Error("invalid config did not surface an error")
+	}
+}
+
+func TestExtensionSweepsTiny(t *testing.T) {
+	o := tinyOpts()
+	fig, err := TransactionSizeSweep(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("transaction-size sweep: %d series", len(fig.Series))
+	}
+	fig2, err := SnoopIntervalAblation(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig2.Series) != 2 {
+		t.Fatalf("snoop ablation: %d series", len(fig2.Series))
+	}
+	fig3, err := TimeoutVsDetection(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig3.Series) != 3 {
+		t.Fatalf("timeout-vs-detection: %d series", len(fig3.Series))
+	}
+	fig4, err := ReplicationStudy(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig4.Series) != 4 {
+		t.Fatalf("replication study: %d series", len(fig4.Series))
+	}
+	for _, s := range fig4.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("replication study %s: %d points", s.Label, len(s.Points))
+		}
+	}
+}
+
+func TestO2PLSweepTiny(t *testing.T) {
+	o := tinyOpts()
+	fig, err := O2PLSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("O2PL sweep: %d series", len(fig.Series))
+	}
+	if fig.SeriesByLabel("O2PL") == nil {
+		t.Fatal("missing O2PL series")
+	}
+}
+
+func TestMixedWorkloadSweepTiny(t *testing.T) {
+	o := tinyOpts()
+	fig, err := MixedWorkloadSweep(o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 5 {
+			t.Fatalf("mixed workload %s: %d points, want 5 fractions", s.Label, len(s.Points))
+		}
+	}
+}
+
+func TestOverheadSettingsNamed(t *testing.T) {
+	if NoOverheads.InstPerMsg != 0 || ExpensiveMessages.InstPerMsg != 4000 ||
+		ExpensiveStartup.InstPerStartup != 20000 || BaselineOverheads.InstPerMsg != 1000 {
+		t.Error("overhead settings do not match §4.4")
+	}
+	ws := PartitionWaysSweep()
+	if len(ws) != 4 || ws[0] != 1 || ws[3] != 8 {
+		t.Errorf("ways sweep %v", ws)
+	}
+}

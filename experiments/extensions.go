@@ -1,0 +1,424 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ddbm"
+)
+
+// The functions in this file go beyond the paper's published figures,
+// covering the variations its footnotes mention (16/32-node machines,
+// 32-read transactions) and ablations of design choices.
+
+// MachineSizeSweep reproduces the footnote-7 extension: throughput speedup
+// over the 1-node machine for sizes 1..32. Sizes above 8 require more
+// partitions per relation, so PartsPerRelation is raised to the machine
+// size (keeping the 8-pages-per-partition workload, i.e. transactions grow
+// with the machine, as the footnote's "larger update transactions" did).
+func MachineSizeSweep(opts Options, thinkMs float64) (*Figure, error) {
+	o := opts.withDefaults()
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	var cfgs []ddbm.Config
+	mk := func(alg ddbm.Algorithm, n int) ddbm.Config {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.NumProcNodes = n
+		cfg.PartitionWays = 0
+		cfg.ThinkTimeMs = thinkMs
+		if n > cfg.PartsPerRelation {
+			cfg.PartsPerRelation = n
+		}
+		o.apply(&cfg)
+		return cfg
+	}
+	for _, n := range sizes {
+		for _, a := range o.Algorithms {
+			cfgs = append(cfgs, mk(a, n))
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Ext A",
+		Title:  fmt.Sprintf("Throughput vs machine size (think %g s)", thinkMs/1000),
+		XLabel: "nodes",
+		YLabel: "throughput (txns/s)",
+	}
+	for _, a := range o.Algorithms {
+		s := Series{Label: algoLabel(a)}
+		for _, n := range sizes {
+			s.Points = append(s.Points, Point{X: float64(n), Y: results[cfgKey(mk(a, n))].ThroughputTPS})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// TransactionSizeSweep reproduces footnote 9: the same 8-node experiment
+// with transactions of 32, 64 and 128 reads (4, 8 and 16 pages per
+// partition), confirming the trends are size-independent.
+func TransactionSizeSweep(opts Options, thinkMs float64) (*Figure, error) {
+	o := opts.withDefaults()
+	sizes := []int{4, 8, 16}
+	mk := func(alg ddbm.Algorithm, pages int) ddbm.Config {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.ThinkTimeMs = thinkMs
+		cfg.AvgPagesPerPartition = pages
+		o.apply(&cfg)
+		return cfg
+	}
+	var cfgs []ddbm.Config
+	for _, pg := range sizes {
+		for _, a := range o.Algorithms {
+			cfgs = append(cfgs, mk(a, pg))
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Ext B",
+		Title:  fmt.Sprintf("Throughput vs transaction size (8 nodes, think %g s)", thinkMs/1000),
+		XLabel: "reads/txn",
+		YLabel: "throughput (txns/s)",
+	}
+	for _, a := range o.Algorithms {
+		s := Series{Label: algoLabel(a)}
+		for _, pg := range sizes {
+			s.Points = append(s.Points, Point{X: float64(pg * 8), Y: results[cfgKey(mk(a, pg))].ThroughputTPS})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ExecPatternSweep compares parallel (Gamma-style) and sequential
+// (Non-Stop-SQL RPC-style) cohort execution on the 8-node, 8-way machine:
+// response time vs think time for each algorithm under both patterns.
+func ExecPatternSweep(opts Options) (*Figure, error) {
+	o := opts.withDefaults()
+	mk := func(alg ddbm.Algorithm, pat ddbm.ExecPattern, thinkMs float64) ddbm.Config {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.PartitionWays = 8
+		cfg.ExecPattern = pat
+		cfg.ThinkTimeMs = thinkMs
+		o.apply(&cfg)
+		return cfg
+	}
+	var cfgs []ddbm.Config
+	for _, pat := range []ddbm.ExecPattern{ddbm.Parallel, ddbm.Sequential} {
+		for _, a := range o.Algorithms {
+			for _, tt := range o.ThinkTimesMs {
+				cfgs = append(cfgs, mk(a, pat, tt))
+			}
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Ext C",
+		Title:  "Parallel vs sequential cohort execution (8-way, small DB)",
+		XLabel: "think(s)",
+		YLabel: "response time (s)",
+	}
+	for _, pat := range []ddbm.ExecPattern{ddbm.Parallel, ddbm.Sequential} {
+		for _, a := range o.Algorithms {
+			s := Series{Label: fmt.Sprintf("%s/%.3s", algoLabel(a), pat.String())}
+			for _, tt := range o.ThinkTimesMs {
+				s.Points = append(s.Points, Point{X: tt / 1000, Y: results[cfgKey(mk(a, pat, tt))].MeanResponseMs / 1000})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// SnoopIntervalAblation measures 2PL's sensitivity to the global deadlock
+// detection interval (the paper fixes it at 1 s and cites [Jenq89] on the
+// timeout interval being critical for timeout-based schemes).
+func SnoopIntervalAblation(opts Options, thinkMs float64) (*Figure, error) {
+	o := opts.withDefaults()
+	intervals := []float64{250, 500, 1000, 2000, 4000, 8000}
+	mk := func(iv float64) ddbm.Config {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = ddbm.TwoPL
+		cfg.PartitionWays = 8
+		cfg.ThinkTimeMs = thinkMs
+		cfg.DetectionIntervalMs = iv
+		o.apply(&cfg)
+		return cfg
+	}
+	var cfgs []ddbm.Config
+	for _, iv := range intervals {
+		cfgs = append(cfgs, mk(iv))
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Ext D",
+		Title:  fmt.Sprintf("2PL sensitivity to Snoop detection interval (think %g s)", thinkMs/1000),
+		XLabel: "interval(s)",
+		YLabel: "throughput (txns/s)",
+	}
+	s := Series{Label: "2PL"}
+	r := Series{Label: "resp(s)"}
+	for _, iv := range intervals {
+		res := results[cfgKey(mk(iv))]
+		s.Points = append(s.Points, Point{X: iv / 1000, Y: res.ThroughputTPS})
+		r.Points = append(r.Points, Point{X: iv / 1000, Y: res.MeanResponseMs / 1000})
+	}
+	fig.Series = append(fig.Series, s, r)
+	return fig, nil
+}
+
+// O2PLSweep compares the unpresented fifth algorithm of the paper's
+// simulator — optimistic 2PL ([Care88]; Table 4's "2PL and O2PL" note) —
+// against 2PL and OPT across the load sweep: response time on the 8-way
+// machine. O2PL takes read locks immediately but defers write locks to the
+// first commit phase, trading shorter write-lock hold times for
+// conversion-style deadlocks at prepare.
+func O2PLSweep(opts Options) (*Figure, error) {
+	o := opts.withDefaults()
+	algos := []ddbm.Algorithm{ddbm.TwoPL, ddbm.O2PL, ddbm.OPT, ddbm.NoDC}
+	mk := func(alg ddbm.Algorithm, thinkMs float64) ddbm.Config {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.PartitionWays = 8
+		cfg.ThinkTimeMs = thinkMs
+		o.apply(&cfg)
+		return cfg
+	}
+	var cfgs []ddbm.Config
+	for _, a := range algos {
+		for _, tt := range o.ThinkTimesMs {
+			cfgs = append(cfgs, mk(a, tt))
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Ext I",
+		Title:  "O2PL vs 2PL vs OPT (8-way, small DB)",
+		XLabel: "think(s)",
+		YLabel: "response time (s)",
+	}
+	for _, a := range algos {
+		s := Series{Label: algoLabel(a)}
+		for _, tt := range o.ThinkTimesMs {
+			s.Points = append(s.Points, Point{X: tt / 1000, Y: results[cfgKey(mk(a, tt))].MeanResponseMs / 1000})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// MixedWorkloadSweep exercises the multi-class workload model of Table 2
+// (NumClasses > 1, which the paper's own experiments never use): a mix of
+// short single-partition updaters and relation-wide read-only queries,
+// sweeping the updater fraction and reporting each algorithm's throughput.
+func MixedWorkloadSweep(opts Options, thinkMs float64) (*Figure, error) {
+	o := opts.withDefaults()
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
+	mk := func(alg ddbm.Algorithm, frac float64) ddbm.Config {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.PartitionWays = 8
+		cfg.ThinkTimeMs = thinkMs
+		switch frac {
+		case 0:
+			cfg.Classes = []ddbm.TxnClass{readerClass(1)}
+		case 1:
+			cfg.Classes = []ddbm.TxnClass{updaterClass(1)}
+		default:
+			cfg.Classes = []ddbm.TxnClass{updaterClass(frac), readerClass(1 - frac)}
+		}
+		o.apply(&cfg)
+		return cfg
+	}
+	var cfgs []ddbm.Config
+	for _, a := range o.Algorithms {
+		for _, f := range fracs {
+			cfgs = append(cfgs, mk(a, f))
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Ext H",
+		Title:  fmt.Sprintf("Mixed workload: small updaters vs relation scans (think %g s)", thinkMs/1000),
+		XLabel: "updater frac",
+		YLabel: "throughput (txns/s)",
+	}
+	for _, a := range o.Algorithms {
+		s := Series{Label: algoLabel(a)}
+		for _, f := range fracs {
+			s.Points = append(s.Points, Point{X: f, Y: results[cfgKey(mk(a, f))].ThroughputTPS})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func updaterClass(frac float64) ddbm.TxnClass {
+	return ddbm.TxnClass{Frac: frac, FileCount: 1, AvgPagesPerPartition: 4, WriteProb: 0.5, InstPerPage: 4000}
+}
+
+func readerClass(frac float64) ddbm.TxnClass {
+	return ddbm.TxnClass{Frac: frac, FileCount: 0, AvgPagesPerPartition: 8, WriteProb: 0, InstPerPage: 8000}
+}
+
+// ReplicationStudy reproduces the scenario of the paper's footnote 13
+// (from [Care88]/[Care89]): replicated data with expensive (4K-instruction)
+// messages, comparing standard 2PL (immediate remote-copy write locks),
+// 2PL with remote write locks deferred to the first commit phase, and OPT.
+// [Care88] found OPT could beat immediate 2PL here; [Care89] showed the
+// deferred variant restores 2PL's dominance.
+func ReplicationStudy(opts Options, thinkMs float64) (*Figure, error) {
+	o := opts.withDefaults()
+	replicas := []int{1, 2, 3}
+	type variant struct {
+		label  string
+		alg    ddbm.Algorithm
+		defer_ bool
+	}
+	variants := []variant{
+		{"2PL", ddbm.TwoPL, false},
+		{"2PL-defer", ddbm.TwoPL, true},
+		{"OPT", ddbm.OPT, false},
+		{"NO_DC", ddbm.NoDC, false},
+	}
+	mk := func(v variant, rc int) ddbm.Config {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = v.alg
+		cfg.PartitionWays = 8
+		cfg.ThinkTimeMs = thinkMs
+		cfg.InstPerMsg = 4000
+		cfg.ReplicaCount = rc
+		cfg.DeferRemoteWriteLocks = v.defer_ && rc > 1
+		o.apply(&cfg)
+		return cfg
+	}
+	var cfgs []ddbm.Config
+	for _, v := range variants {
+		for _, rc := range replicas {
+			cfgs = append(cfgs, mk(v, rc))
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Ext G",
+		Title:  fmt.Sprintf("Replicated data with 4K-instruction messages (think %g s)", thinkMs/1000),
+		XLabel: "copies",
+		YLabel: "throughput (txns/s)",
+	}
+	for _, v := range variants {
+		s := Series{Label: v.label}
+		for _, rc := range replicas {
+			s.Points = append(s.Points, Point{X: float64(rc), Y: results[cfgKey(mk(v, rc))].ThroughputTPS})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// TimeoutVsDetection compares 2PL's deadlock-detection scheme (the paper's)
+// against the timeout scheme of footnote 2 across timeout settings —
+// reproducing [Jenq89]'s observation that the timeout interval is a
+// critical, sensitive parameter.
+func TimeoutVsDetection(opts Options, thinkMs float64) (*Figure, error) {
+	o := opts.withDefaults()
+	timeouts := []float64{250, 1000, 4000, 16000}
+	mk := func(timeoutMs float64) ddbm.Config {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = ddbm.TwoPL
+		cfg.PartitionWays = 8
+		cfg.ThinkTimeMs = thinkMs
+		cfg.LockWaitTimeoutMs = timeoutMs // 0 = detection
+		o.apply(&cfg)
+		return cfg
+	}
+	cfgs := []ddbm.Config{mk(0)}
+	for _, to := range timeouts {
+		cfgs = append(cfgs, mk(to))
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Ext F",
+		Title:  fmt.Sprintf("2PL deadlock handling: timeouts vs detection (think %g s)", thinkMs/1000),
+		XLabel: "timeout(s)",
+		YLabel: "throughput (txns/s)",
+	}
+	to := Series{Label: "timeout"}
+	ab := Series{Label: "aborts/cmt"}
+	for _, t := range timeouts {
+		r := results[cfgKey(mk(t))]
+		to.Points = append(to.Points, Point{X: t / 1000, Y: r.ThroughputTPS})
+		ab.Points = append(ab.Points, Point{X: t / 1000, Y: r.AbortRatio})
+	}
+	det := results[cfgKey(mk(0))]
+	detS := Series{Label: "detection"}
+	for _, t := range timeouts {
+		detS.Points = append(detS.Points, Point{X: t / 1000, Y: det.ThroughputTPS})
+	}
+	fig.Series = append(fig.Series, to, detS, ab)
+	return fig, nil
+}
+
+// MessageCostSweep isolates the §4.4 message-cost effect: 8-way response
+// time vs InstPerMsg for each algorithm at the given think time.
+func MessageCostSweep(opts Options, thinkMs float64) (*Figure, error) {
+	o := opts.withDefaults()
+	costs := []float64{0, 1000, 2000, 4000, 8000}
+	mk := func(alg ddbm.Algorithm, c float64) ddbm.Config {
+		cfg := ddbm.DefaultConfig()
+		cfg.Algorithm = alg
+		cfg.PartitionWays = 8
+		cfg.ThinkTimeMs = thinkMs
+		cfg.InstPerMsg = c
+		o.apply(&cfg)
+		return cfg
+	}
+	var cfgs []ddbm.Config
+	for _, c := range costs {
+		for _, a := range o.Algorithms {
+			cfgs = append(cfgs, mk(a, c))
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "Ext E",
+		Title:  fmt.Sprintf("Response time vs message cost (8-way, think %g s)", thinkMs/1000),
+		XLabel: "inst/msg(K)",
+		YLabel: "response time (s)",
+	}
+	for _, a := range o.Algorithms {
+		s := Series{Label: algoLabel(a)}
+		for _, c := range costs {
+			s.Points = append(s.Points, Point{X: c / 1000, Y: results[cfgKey(mk(a, c))].MeanResponseMs / 1000})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

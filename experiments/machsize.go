@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ddbm"
+)
+
+// MachineSizeStudy holds the grid behind Figures 2-7 (paper §4.2): the
+// small database, machine sizes 1 and 8 (plus any extras), all algorithms,
+// over the think-time sweep.
+type MachineSizeStudy struct {
+	opts    Options
+	sizes   []int
+	results map[string]ddbm.Result
+}
+
+// machineSizeConfig builds the §4.2 configuration for one point.
+func (o Options) machineSizeConfig(alg ddbm.Algorithm, nodes int, thinkMs float64) ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = alg
+	cfg.NumProcNodes = nodes
+	cfg.PartitionWays = 0 // scaled placement: relations spread over all nodes
+	cfg.PagesPerFile = 300
+	cfg.ThinkTimeMs = thinkMs
+	o.apply(&cfg)
+	return cfg
+}
+
+// RunMachineSizeStudy runs the §4.2 sweep for machine sizes 1 and 8.
+func RunMachineSizeStudy(opts Options) (*MachineSizeStudy, error) {
+	return RunMachineSizeStudySizes(opts, []int{1, 8})
+}
+
+// RunMachineSizeStudySizes runs the §4.2 sweep for arbitrary machine sizes
+// (the paper's footnote 7 also ran 16 and 32 nodes).
+func RunMachineSizeStudySizes(opts Options, sizes []int) (*MachineSizeStudy, error) {
+	o := opts.withDefaults()
+	var cfgs []ddbm.Config
+	for _, n := range sizes {
+		for _, a := range o.Algorithms {
+			for _, tt := range o.ThinkTimesMs {
+				cfgs = append(cfgs, o.machineSizeConfig(a, n, tt))
+			}
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &MachineSizeStudy{opts: o, sizes: sizes, results: results}, nil
+}
+
+// Result returns one grid point.
+func (st *MachineSizeStudy) Result(alg ddbm.Algorithm, nodes int, thinkMs float64) ddbm.Result {
+	return st.results[cfgKey(st.opts.machineSizeConfig(alg, nodes, thinkMs))]
+}
+
+// metric builds a figure with one series per (algorithm, machine size).
+func (st *MachineSizeStudy) metric(id, title, ylabel string, f func(ddbm.Result) float64) *Figure {
+	fig := &Figure{ID: id, Title: title, XLabel: "think(s)", YLabel: ylabel}
+	for _, n := range st.sizes {
+		for _, a := range st.opts.Algorithms {
+			s := Series{Label: fmt.Sprintf("%s/%dn", algoLabel(a), n)}
+			for _, tt := range st.opts.ThinkTimesMs {
+				s.Points = append(s.Points, Point{X: tt / 1000, Y: f(st.Result(a, n, tt))})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig
+}
+
+// speedup builds a figure of per-algorithm ratios between the largest and
+// the 1-node machine.
+func (st *MachineSizeStudy) speedup(id, title, ylabel string, big int, ratio func(one, eight ddbm.Result) float64) *Figure {
+	fig := &Figure{ID: id, Title: title, XLabel: "think(s)", YLabel: ylabel}
+	for _, a := range st.opts.Algorithms {
+		s := Series{Label: algoLabel(a)}
+		for _, tt := range st.opts.ThinkTimesMs {
+			one := st.Result(a, 1, tt)
+			eight := st.Result(a, big, tt)
+			s.Points = append(s.Points, Point{X: tt / 1000, Y: ratio(one, eight)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Figure2 returns throughput vs think time for the 1- and 8-node machines.
+func (st *MachineSizeStudy) Figure2() *Figure {
+	return st.metric("Figure 2", "Throughput, 1-node and 8-node machines (small DB)",
+		"throughput (txns/s)", func(r ddbm.Result) float64 { return r.ThroughputTPS })
+}
+
+// Figure3 returns response time vs think time for both machines.
+func (st *MachineSizeStudy) Figure3() *Figure {
+	return st.metric("Figure 3", "Response time, 1-node and 8-node machines (small DB)",
+		"response time (s)", func(r ddbm.Result) float64 { return r.MeanResponseMs / 1000 })
+}
+
+// Figure4 returns the 8-node/1-node throughput speedup per algorithm.
+func (st *MachineSizeStudy) Figure4() *Figure {
+	return st.speedup("Figure 4", "Throughput speedup (8-node / 1-node)", "speedup", st.largest(),
+		func(one, eight ddbm.Result) float64 {
+			if one.ThroughputTPS == 0 {
+				return 0
+			}
+			return eight.ThroughputTPS / one.ThroughputTPS
+		})
+}
+
+// Figure5 returns the 1-node/8-node response-time speedup per algorithm.
+func (st *MachineSizeStudy) Figure5() *Figure {
+	return st.speedup("Figure 5", "Response time speedup (1-node / 8-node)", "speedup", st.largest(),
+		func(one, eight ddbm.Result) float64 {
+			if eight.MeanResponseMs == 0 {
+				return 0
+			}
+			return one.MeanResponseMs / eight.MeanResponseMs
+		})
+}
+
+// Figure6 returns disk utilization for both machines.
+func (st *MachineSizeStudy) Figure6() *Figure {
+	return st.metric("Figure 6", "Disk utilization, 1-node and 8-node machines",
+		"disk utilization", func(r ddbm.Result) float64 { return r.ProcDiskUtil })
+}
+
+// Figure7 returns CPU utilization for both machines.
+func (st *MachineSizeStudy) Figure7() *Figure {
+	return st.metric("Figure 7", "CPU utilization, 1-node and 8-node machines",
+		"CPU utilization", func(r ddbm.Result) float64 { return r.ProcCPUUtil })
+}
+
+func (st *MachineSizeStudy) largest() int {
+	max := st.sizes[0]
+	for _, n := range st.sizes {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Figure2 runs the study and returns throughput vs think time (§4.2).
+func Figure2(opts Options) (*Figure, error) { return machFig(opts, (*MachineSizeStudy).Figure2) }
+
+// Figure3 runs the study and returns response time vs think time (§4.2).
+func Figure3(opts Options) (*Figure, error) { return machFig(opts, (*MachineSizeStudy).Figure3) }
+
+// Figure4 runs the study and returns throughput speedups (§4.2).
+func Figure4(opts Options) (*Figure, error) { return machFig(opts, (*MachineSizeStudy).Figure4) }
+
+// Figure5 runs the study and returns response-time speedups (§4.2).
+func Figure5(opts Options) (*Figure, error) { return machFig(opts, (*MachineSizeStudy).Figure5) }
+
+// Figure6 runs the study and returns disk utilizations (§4.2).
+func Figure6(opts Options) (*Figure, error) { return machFig(opts, (*MachineSizeStudy).Figure6) }
+
+// Figure7 runs the study and returns CPU utilizations (§4.2).
+func Figure7(opts Options) (*Figure, error) { return machFig(opts, (*MachineSizeStudy).Figure7) }
+
+func machFig(opts Options, f func(*MachineSizeStudy) *Figure) (*Figure, error) {
+	st, err := RunMachineSizeStudy(opts)
+	if err != nil {
+		return nil, err
+	}
+	return f(st), nil
+}

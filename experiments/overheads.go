@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ddbm"
+)
+
+// OverheadSetting is one (InstPerStartup, InstPerMsg) point of §4.4.
+type OverheadSetting struct {
+	InstPerStartup float64
+	InstPerMsg     float64
+}
+
+// The overhead settings studied in §4.4.
+var (
+	// NoOverheads: free messages and free process startup (Figs 14, 15).
+	NoOverheads = OverheadSetting{0, 0}
+	// ExpensiveMessages: 4K-instruction messages (Figs 16, 17).
+	ExpensiveMessages = OverheadSetting{0, 4000}
+	// ExpensiveStartup: 20K-instruction process initiation (the paper's
+	// "results very close to Figures 16 and 17" variant).
+	ExpensiveStartup = OverheadSetting{20000, 0}
+	// BaselineOverheads: the Table 4 values used in the other experiments.
+	BaselineOverheads = OverheadSetting{2000, 1000}
+)
+
+// PartitionWaysSweep is the x-axis of the §4.4 figures.
+func PartitionWaysSweep() []int { return []int{1, 2, 4, 8} }
+
+// OverheadStudy holds the grid behind Figures 14-17 (paper §4.4): the
+// 8-node machine, small database, partitioning degree 1/2/4/8, think times
+// 0 and 8 s, under the overhead settings of interest.
+type OverheadStudy struct {
+	opts     Options
+	settings []OverheadSetting
+	thinks   []float64
+	results  map[string]ddbm.Result
+}
+
+// overheadConfig builds the §4.4 configuration for one point.
+func (o Options) overheadConfig(alg ddbm.Algorithm, ways int, thinkMs float64, set OverheadSetting) ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = alg
+	cfg.NumProcNodes = 8
+	cfg.PartitionWays = ways
+	cfg.PagesPerFile = SmallDB
+	cfg.ThinkTimeMs = thinkMs
+	cfg.InstPerStartup = set.InstPerStartup
+	cfg.InstPerMsg = set.InstPerMsg
+	o.apply(&cfg)
+	return cfg
+}
+
+// RunOverheadStudy runs the §4.4 sweep for the no-overhead and
+// expensive-message settings at think times 0 and 8 s.
+func RunOverheadStudy(opts Options) (*OverheadStudy, error) {
+	return RunOverheadStudySettings(opts, []OverheadSetting{NoOverheads, ExpensiveMessages}, []float64{0, 8000})
+}
+
+// RunOverheadStudySettings runs the §4.4 sweep for arbitrary overhead
+// settings and think times.
+func RunOverheadStudySettings(opts Options, settings []OverheadSetting, thinksMs []float64) (*OverheadStudy, error) {
+	o := opts.withDefaults()
+	var cfgs []ddbm.Config
+	for _, set := range settings {
+		for _, tt := range thinksMs {
+			for _, ways := range PartitionWaysSweep() {
+				for _, a := range o.Algorithms {
+					cfgs = append(cfgs, o.overheadConfig(a, ways, tt, set))
+				}
+			}
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &OverheadStudy{opts: o, settings: settings, thinks: thinksMs, results: results}, nil
+}
+
+// Result returns one grid point.
+func (st *OverheadStudy) Result(alg ddbm.Algorithm, ways int, thinkMs float64, set OverheadSetting) ddbm.Result {
+	return st.results[cfgKey(st.opts.overheadConfig(alg, ways, thinkMs, set))]
+}
+
+// speedupVsWays builds the §4.4 figure shape: response-time speedup of
+// k-way partitioning relative to 1-way, per algorithm, vs k.
+func (st *OverheadStudy) speedupVsWays(id string, thinkMs float64, set OverheadSetting) *Figure {
+	fig := &Figure{
+		ID: id,
+		Title: fmt.Sprintf("Response speedup vs partitioning degree (think %g s, startup %gK, msg %gK)",
+			thinkMs/1000, set.InstPerStartup/1000, set.InstPerMsg/1000),
+		XLabel: "ways",
+		YLabel: "response speedup (vs 1-way)",
+	}
+	for _, a := range st.opts.Algorithms {
+		s := Series{Label: algoLabel(a)}
+		base := st.Result(a, 1, thinkMs, set)
+		for _, ways := range PartitionWaysSweep() {
+			r := st.Result(a, ways, thinkMs, set)
+			y := 0.0
+			if r.MeanResponseMs > 0 {
+				y = base.MeanResponseMs / r.MeanResponseMs
+			}
+			s.Points = append(s.Points, Point{X: float64(ways), Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Figure14 returns zero-overhead speedups at think time 0.
+func (st *OverheadStudy) Figure14() *Figure {
+	return st.speedupVsWays("Figure 14", 0, NoOverheads)
+}
+
+// Figure15 returns zero-overhead speedups at think time 8 s.
+func (st *OverheadStudy) Figure15() *Figure {
+	return st.speedupVsWays("Figure 15", 8000, NoOverheads)
+}
+
+// Figure16 returns expensive-message speedups at think time 0.
+func (st *OverheadStudy) Figure16() *Figure {
+	return st.speedupVsWays("Figure 16", 0, ExpensiveMessages)
+}
+
+// Figure17 returns expensive-message speedups at think time 8 s.
+func (st *OverheadStudy) Figure17() *Figure {
+	return st.speedupVsWays("Figure 17", 8000, ExpensiveMessages)
+}
+
+// Figure14 runs the overhead study and returns zero-overhead speedups at think 0 (§4.4).
+func Figure14(opts Options) (*Figure, error) { return ovFig(opts, (*OverheadStudy).Figure14) }
+
+// Figure15 runs the overhead study and returns zero-overhead speedups at think 8 s (§4.4).
+func Figure15(opts Options) (*Figure, error) { return ovFig(opts, (*OverheadStudy).Figure15) }
+
+// Figure16 runs the overhead study and returns 4K-message speedups at think 0 (§4.4).
+func Figure16(opts Options) (*Figure, error) { return ovFig(opts, (*OverheadStudy).Figure16) }
+
+// Figure17 runs the overhead study and returns 4K-message speedups at think 8 s (§4.4).
+func Figure17(opts Options) (*Figure, error) { return ovFig(opts, (*OverheadStudy).Figure17) }
+
+func ovFig(opts Options, f func(*OverheadStudy) *Figure) (*Figure, error) {
+	st, err := RunOverheadStudy(opts)
+	if err != nil {
+		return nil, err
+	}
+	return f(st), nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ddbm"
+)
+
+// PartitioningStudy holds the grid behind Figures 8-13 (paper §4.3): the
+// 8-node machine with 1-way vs 8-way partitioning, both database sizes,
+// all algorithms, over the think-time sweep.
+type PartitioningStudy struct {
+	opts    Options
+	results map[string]ddbm.Result
+}
+
+// SmallDB and LargeDB are the two partition sizes of the paper (§4.1).
+const (
+	SmallDB = 300  // pages per file -> 19,200-page database
+	LargeDB = 1200 // pages per file -> 76,800-page database
+)
+
+// partitionConfig builds the §4.3 configuration for one point.
+func (o Options) partitionConfig(alg ddbm.Algorithm, ways, pagesPerFile int, thinkMs float64) ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = alg
+	cfg.NumProcNodes = 8
+	cfg.PartitionWays = ways
+	cfg.PagesPerFile = pagesPerFile
+	cfg.ThinkTimeMs = thinkMs
+	o.apply(&cfg)
+	return cfg
+}
+
+// RunPartitioningStudy runs the §4.3 sweep.
+func RunPartitioningStudy(opts Options) (*PartitioningStudy, error) {
+	o := opts.withDefaults()
+	var cfgs []ddbm.Config
+	for _, size := range []int{SmallDB, LargeDB} {
+		for _, ways := range []int{1, 8} {
+			for _, a := range o.Algorithms {
+				for _, tt := range o.ThinkTimesMs {
+					cfgs = append(cfgs, o.partitionConfig(a, ways, size, tt))
+				}
+			}
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &PartitioningStudy{opts: o, results: results}, nil
+}
+
+// Result returns one grid point.
+func (st *PartitioningStudy) Result(alg ddbm.Algorithm, ways, pagesPerFile int, thinkMs float64) ddbm.Result {
+	return st.results[cfgKey(st.opts.partitionConfig(alg, ways, pagesPerFile, thinkMs))]
+}
+
+// improvement builds the Figure 8/9 shape: response time of the 1-way
+// (sequential) layout divided by the 8-way (parallel) layout, per
+// algorithm, vs think time.
+func (st *PartitioningStudy) improvement(id string, pagesPerFile int) *Figure {
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Response-time improvement of 8-way over 1-way partitioning (%d-page files)", pagesPerFile),
+		XLabel: "think(s)",
+		YLabel: "response speedup (1-way / 8-way)",
+	}
+	for _, a := range st.opts.Algorithms {
+		s := Series{Label: algoLabel(a)}
+		for _, tt := range st.opts.ThinkTimesMs {
+			seq := st.Result(a, 1, pagesPerFile, tt)
+			par := st.Result(a, 8, pagesPerFile, tt)
+			y := 0.0
+			if par.MeanResponseMs > 0 {
+				y = seq.MeanResponseMs / par.MeanResponseMs
+			}
+			s.Points = append(s.Points, Point{X: tt / 1000, Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// degradation builds the Figure 10/11 shape: percentage response-time loss
+// relative to NO_DC, per algorithm, vs think time.
+func (st *PartitioningStudy) degradation(id string, ways int) *Figure {
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Response-time degradation vs NO_DC, %d-way partitioning (small DB)", ways),
+		XLabel: "think(s)",
+		YLabel: "degradation (%)",
+	}
+	for _, a := range st.opts.Algorithms {
+		if a == ddbm.NoDC {
+			continue
+		}
+		s := Series{Label: algoLabel(a)}
+		for _, tt := range st.opts.ThinkTimesMs {
+			alg := st.Result(a, ways, SmallDB, tt)
+			base := st.Result(ddbm.NoDC, ways, SmallDB, tt)
+			y := 0.0
+			if base.MeanResponseMs > 0 {
+				y = 100 * (alg.MeanResponseMs - base.MeanResponseMs) / base.MeanResponseMs
+			}
+			s.Points = append(s.Points, Point{X: tt / 1000, Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// abortRatio builds the Figure 12/13 shape.
+func (st *PartitioningStudy) abortRatio(id string, ways int) *Figure {
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Abort ratio, %d-way partitioning (small DB)", ways),
+		XLabel: "think(s)",
+		YLabel: "aborts per commit",
+	}
+	for _, a := range st.opts.Algorithms {
+		if a == ddbm.NoDC {
+			continue
+		}
+		s := Series{Label: algoLabel(a)}
+		for _, tt := range st.opts.ThinkTimesMs {
+			s.Points = append(s.Points, Point{X: tt / 1000, Y: st.Result(a, ways, SmallDB, tt).AbortRatio})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Figure8 returns the large-DB partitioning improvement.
+func (st *PartitioningStudy) Figure8() *Figure { return st.improvement("Figure 8", LargeDB) }
+
+// Figure9 returns the small-DB partitioning improvement.
+func (st *PartitioningStudy) Figure9() *Figure { return st.improvement("Figure 9", SmallDB) }
+
+// Figure10 returns the 8-way degradation vs NO_DC.
+func (st *PartitioningStudy) Figure10() *Figure { return st.degradation("Figure 10", 8) }
+
+// Figure11 returns the 1-way degradation vs NO_DC.
+func (st *PartitioningStudy) Figure11() *Figure { return st.degradation("Figure 11", 1) }
+
+// Figure12 returns 8-way abort ratios.
+func (st *PartitioningStudy) Figure12() *Figure { return st.abortRatio("Figure 12", 8) }
+
+// Figure13 returns 1-way abort ratios.
+func (st *PartitioningStudy) Figure13() *Figure { return st.abortRatio("Figure 13", 1) }
+
+// Figure8 runs the partitioning study and returns the large-DB improvement (§4.3).
+func Figure8(opts Options) (*Figure, error) { return partFig(opts, (*PartitioningStudy).Figure8) }
+
+// Figure9 runs the partitioning study and returns the small-DB improvement (§4.3).
+func Figure9(opts Options) (*Figure, error) { return partFig(opts, (*PartitioningStudy).Figure9) }
+
+// Figure10 runs the partitioning study and returns 8-way degradations (§4.3).
+func Figure10(opts Options) (*Figure, error) { return partFig(opts, (*PartitioningStudy).Figure10) }
+
+// Figure11 runs the partitioning study and returns 1-way degradations (§4.3).
+func Figure11(opts Options) (*Figure, error) { return partFig(opts, (*PartitioningStudy).Figure11) }
+
+// Figure12 runs the partitioning study and returns 8-way abort ratios (§4.3).
+func Figure12(opts Options) (*Figure, error) { return partFig(opts, (*PartitioningStudy).Figure12) }
+
+// Figure13 runs the partitioning study and returns 1-way abort ratios (§4.3).
+func Figure13(opts Options) (*Figure, error) { return partFig(opts, (*PartitioningStudy).Figure13) }
+
+func partFig(opts Options, f func(*PartitioningStudy) *Figure) (*Figure, error) {
+	st, err := RunPartitioningStudy(opts)
+	if err != nil {
+		return nil, err
+	}
+	return f(st), nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CSV writes the figure as comma-separated values: a header row with the
+// x-label and series labels, then one row per x value. Missing points are
+// empty cells.
+func (f *Figure) CSV(w io.Writer) {
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for _, x := range f.xValues() {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if y, ok := lookup(s.Points, x); ok {
+				row = append(row, trimFloat(y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+func (f *Figure) xValues() []float64 {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	return sorted
+}
+
+// Chart renders a crude ASCII chart of the figure (y vs x, one letter per
+// series) — enough to eyeball curve shapes in a terminal. width and height
+// are the plot area in characters; sensible minimums are enforced.
+func (f *Figure) Chart(w io.Writer, width, height int) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	xs := f.xValues()
+	if len(xs) == 0 || len(f.Series) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", f.ID)
+		return
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "abcdefghijklmnopqrstuvwxyz"
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			cx := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - cy
+			if grid[row][cx] == ' ' {
+				grid[row][cx] = mark
+			} else {
+				grid[row][cx] = '*' // overlapping series
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "%10.3g +%s\n", maxY, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(w, "%10s |%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(w, "%10.3g +%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(w, "%10s  %-*g%*g\n", "", width/2, minX, width-width/2, maxX)
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Label))
+	}
+	fmt.Fprintf(w, "%10s  %s  (* = overlap)\n\n", "", strings.Join(legend, " "))
+}

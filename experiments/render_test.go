@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoFigure() *Figure {
+	return &Figure{
+		ID: "Figure T", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "up", Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 5}, {X: 2, Y: 10}}},
+			{Label: "down", Points: []Point{{X: 0, Y: 10}, {X: 2, Y: 0}}},
+		},
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	demoFigure().CSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3 rows:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "x,up,down" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "0,0,10" {
+		t.Errorf("row 0: %q", lines[1])
+	}
+	// Missing point (down at x=1) renders as an empty cell.
+	if lines[2] != "1,5," {
+		t.Errorf("row 1: %q", lines[2])
+	}
+	if lines[3] != "2,10,0" {
+		t.Errorf("row 2: %q", lines[3])
+	}
+}
+
+func TestCSVTrimsTrailingZeros(t *testing.T) {
+	if got := trimFloat(1.5); got != "1.5" {
+		t.Errorf("trimFloat(1.5) = %q", got)
+	}
+	if got := trimFloat(2.0); got != "2" {
+		t.Errorf("trimFloat(2) = %q", got)
+	}
+	if got := trimFloat(0.333333); got != "0.333333" {
+		t.Errorf("trimFloat = %q", got)
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	var sb strings.Builder
+	demoFigure().Chart(&sb, 40, 10)
+	out := sb.String()
+	for _, want := range []string{"Figure T", "a=up", "b=down", "a", "b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Extremes are labelled.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "0") {
+		t.Errorf("chart missing axis labels:\n%s", out)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	var sb strings.Builder
+	(&Figure{ID: "Figure E"}).Chart(&sb, 40, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty figure should say so")
+	}
+	// Flat series (minY == maxY) must not divide by zero.
+	flat := &Figure{ID: "F", Series: []Series{{Label: "c", Points: []Point{{X: 0, Y: 5}, {X: 1, Y: 5}}}}}
+	var sb2 strings.Builder
+	flat.Chart(&sb2, 5, 2) // also exercises the minimum-size clamps
+	if !strings.Contains(sb2.String(), "a=c") {
+		t.Error("flat chart missing legend")
+	}
+}
+
+func TestChartOverlapMarker(t *testing.T) {
+	f := &Figure{
+		ID: "O",
+		Series: []Series{
+			{Label: "one", Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 1}}},
+			{Label: "two", Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 0}}},
+		},
+	}
+	var sb strings.Builder
+	f.Chart(&sb, 30, 8)
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("overlapping points not marked")
+	}
+}

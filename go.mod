@@ -1,0 +1,3 @@
+module ddbm
+
+go 1.22

@@ -1,0 +1,131 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"ddbm/internal/db"
+)
+
+func page(n int) db.PageID { return db.PageID{File: 0, Page: n} }
+
+func TestCleanHistory(t *testing.T) {
+	recs := []TxnRecord{
+		{ID: 1, Stamp: 10, Writes: []db.PageID{page(1)}},
+		{ID: 2, Stamp: 20, Reads: []ReadObs{{Page: page(1), Saw: 10}}},
+		{ID: 3, Stamp: 30, Reads: []ReadObs{{Page: page(1), Saw: 10}}, Writes: []db.PageID{page(1)}},
+		{ID: 4, Stamp: 40, Reads: []ReadObs{{Page: page(1), Saw: 30}}},
+	}
+	if v := Check(recs); len(v) != 0 {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	recs := []TxnRecord{
+		{ID: 1, Stamp: 10, Writes: []db.PageID{page(1)}},
+		// Txn 2 serialized after the write but observed the initial version.
+		{ID: 2, Stamp: 20, Reads: []ReadObs{{Page: page(1), Saw: 0}}},
+	}
+	v := Check(recs)
+	if len(v) != 1 {
+		t.Fatalf("violations %v, want exactly one", v)
+	}
+	if v[0].Txn != 2 || v[0].Want != 10 || v[0].Saw != 0 {
+		t.Fatalf("violation detail %+v", v[0])
+	}
+	if !strings.Contains(v[0].String(), "txn 2") {
+		t.Errorf("violation string %q", v[0].String())
+	}
+}
+
+func TestFutureReadDetected(t *testing.T) {
+	// A transaction serialized BEFORE a write must not have seen it.
+	recs := []TxnRecord{
+		{ID: 1, Stamp: 20, Writes: []db.PageID{page(1)}},
+		{ID: 2, Stamp: 10, Reads: []ReadObs{{Page: page(1), Saw: 20}}},
+	}
+	if v := Check(recs); len(v) != 1 {
+		t.Fatalf("violations %v, want one (read from the future)", v)
+	}
+}
+
+func TestThomasRuleInReplay(t *testing.T) {
+	// An older blind write installed after a newer one does not regress the
+	// version; a later reader sees the newer one.
+	recs := []TxnRecord{
+		{ID: 1, Stamp: 30, Writes: []db.PageID{page(1)}},
+		{ID: 2, Stamp: 20, Writes: []db.PageID{page(1)}}, // Thomas-skipped
+		{ID: 3, Stamp: 40, Reads: []ReadObs{{Page: page(1), Saw: 30}}},
+	}
+	if v := Check(recs); len(v) != 0 {
+		t.Fatalf("Thomas-rule history flagged: %v", v)
+	}
+}
+
+func TestUnsortedInputHandled(t *testing.T) {
+	// Records arrive in commit order, not stamp order; Check must sort.
+	recs := []TxnRecord{
+		{ID: 2, Stamp: 20, Reads: []ReadObs{{Page: page(1), Saw: 10}}},
+		{ID: 1, Stamp: 10, Writes: []db.PageID{page(1)}},
+	}
+	if v := Check(recs); len(v) != 0 {
+		t.Fatalf("sorted replay failed: %v", v)
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if v := Check(nil); len(v) != 0 {
+		t.Fatal("empty history flagged")
+	}
+}
+
+func TestRecorderFlow(t *testing.T) {
+	r := NewRecorder()
+	if r.ObserveRead(page(1), 0) != 0 {
+		t.Fatal("initial version not 0")
+	}
+	r.Install(page(1), 0, 10)
+	if r.ObserveRead(page(1), 0) != 10 {
+		t.Fatal("install not visible")
+	}
+	r.Install(page(1), 0, 5) // Thomas: no regress
+	if r.ObserveRead(page(1), 0) != 10 {
+		t.Fatal("older install regressed the version")
+	}
+	// Copies are tracked independently: node 1 hasn't installed yet.
+	if r.ObserveRead(page(1), 1) != 0 {
+		t.Fatal("install leaked across copies")
+	}
+	r.Install(page(1), 1, 10)
+	if r.ObserveRead(page(1), 1) != 10 {
+		t.Fatal("copy install not visible")
+	}
+	r.Commit(TxnRecord{ID: 1, Stamp: 10, Writes: []db.PageID{page(1)}})
+	r.Commit(TxnRecord{ID: 2, Stamp: 20, Reads: []ReadObs{{Page: page(1), Saw: 10}}})
+	if len(r.Records()) != 2 {
+		t.Fatalf("%d records", len(r.Records()))
+	}
+	if v := r.Check(); len(v) != 0 {
+		t.Fatalf("recorder check flagged clean history: %v", v)
+	}
+}
+
+func TestMultiPageInterleaving(t *testing.T) {
+	recs := []TxnRecord{
+		{ID: 1, Stamp: 10, Writes: []db.PageID{page(1), page(2)}},
+		{ID: 2, Stamp: 20,
+			Reads:  []ReadObs{{Page: page(1), Saw: 10}, {Page: page(2), Saw: 10}},
+			Writes: []db.PageID{page(2)}},
+		{ID: 3, Stamp: 30,
+			Reads: []ReadObs{{Page: page(1), Saw: 10}, {Page: page(2), Saw: 20}}},
+	}
+	if v := Check(recs); len(v) != 0 {
+		t.Fatalf("multi-page history flagged: %v", v)
+	}
+	// Corrupt one observation.
+	recs[2].Reads[1].Saw = 10
+	if v := Check(recs); len(v) != 1 {
+		t.Fatalf("corrupted observation not flagged: %v", v)
+	}
+}

@@ -1,0 +1,183 @@
+package cc
+
+import (
+	"testing"
+
+	"ddbm/internal/sim"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		TwoPL: "2PL", WoundWait: "WW", BTO: "BTO", OPT: "OPT", NoDC: "NO_DC",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+		parsed, err := ParseKind(want)
+		if err != nil || parsed != k {
+			t.Errorf("ParseKind(%q) = %v, %v", want, parsed, err)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+}
+
+func TestKindsOrder(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != 5 {
+		t.Fatalf("Kinds() has %d entries", len(ks))
+	}
+	// Paper presentation order: 2PL, BTO, WW, OPT, then the baseline.
+	want := []Kind{TwoPL, BTO, WoundWait, OPT, NoDC}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("Kinds() = %v", ks)
+		}
+	}
+}
+
+func TestRequestAbortIdempotent(t *testing.T) {
+	calls := 0
+	m := &TxnMeta{ID: 1, TS: 1}
+	m.OnAbort = func(fromNode int, reason string) { calls++ }
+	if !m.RequestAbort(3, "first") {
+		t.Error("first abort request refused")
+	}
+	if !m.RequestAbort(4, "second") {
+		t.Error("repeat abort request should report accepted")
+	}
+	if calls != 1 {
+		t.Errorf("OnAbort called %d times, want 1", calls)
+	}
+	if m.AbortReason != "first" {
+		t.Errorf("reason %q, want the first one", m.AbortReason)
+	}
+}
+
+func TestRequestAbortRefusedAfterCommitDecision(t *testing.T) {
+	m := &TxnMeta{ID: 1, TS: 1, State: Committing}
+	called := false
+	m.OnAbort = func(int, string) { called = true }
+	if m.RequestAbort(0, "wound") {
+		t.Error("wound in commit phase two must be refused (not fatal)")
+	}
+	if called || m.AbortRequested {
+		t.Error("refused abort mutated the transaction")
+	}
+}
+
+func TestRequestAbortAllowedWhilePreparing(t *testing.T) {
+	m := &TxnMeta{ID: 1, TS: 1, State: Preparing}
+	if !m.RequestAbort(0, "wound") {
+		t.Error("abort during phase one must be accepted")
+	}
+}
+
+func TestAbortable(t *testing.T) {
+	m := &TxnMeta{}
+	if !m.Abortable() {
+		t.Error("fresh txn should be abortable")
+	}
+	m.State = Committing
+	if m.Abortable() {
+		t.Error("committing txn should not be abortable")
+	}
+	m2 := &TxnMeta{AbortRequested: true}
+	if m2.Abortable() {
+		t.Error("already-aborting txn should not be abortable")
+	}
+}
+
+func TestCohortBlockGrant(t *testing.T) {
+	s := sim.New(1)
+	var co *CohortMeta
+	var out Outcome
+	var blockedFor sim.Time
+	s.Spawn("cohort", func(p *sim.Proc) {
+		co = &CohortMeta{Txn: &TxnMeta{ID: 1}, Proc: p,
+			OnBlocked: func(d sim.Time) { blockedFor = d }}
+		out = co.Block()
+	})
+	s.Spawn("granter", func(p *sim.Proc) {
+		p.Delay(15)
+		if !co.Waiting() {
+			t.Error("cohort not marked waiting")
+		}
+		co.Grant()
+	})
+	s.Run(100)
+	if out != Granted {
+		t.Errorf("outcome %v, want granted", out)
+	}
+	if blockedFor != 15 {
+		t.Errorf("blocking episode %v ms, want 15", blockedFor)
+	}
+	if co.Waiting() {
+		t.Error("cohort still waiting after grant")
+	}
+}
+
+func TestCohortBlockDeny(t *testing.T) {
+	s := sim.New(1)
+	var co *CohortMeta
+	var out Outcome
+	s.Spawn("cohort", func(p *sim.Proc) {
+		co = &CohortMeta{Txn: &TxnMeta{ID: 1}, Proc: p}
+		out = co.Block()
+	})
+	s.Spawn("denier", func(p *sim.Proc) {
+		p.Delay(5)
+		co.Deny()
+	})
+	s.Run(100)
+	if out != Aborted {
+		t.Errorf("outcome %v, want aborted", out)
+	}
+}
+
+func TestGrantBeforeBlockPreResolves(t *testing.T) {
+	// A queued request can be granted synchronously (its blocker releases
+	// before the requester parks); Block must then return immediately.
+	s := sim.New(1)
+	var out Outcome
+	var tookTime bool
+	s.Spawn("cohort", func(p *sim.Proc) {
+		co := &CohortMeta{Txn: &TxnMeta{ID: 1}, Proc: p}
+		co.Grant() // verdict arrives before Block
+		start := s.Now()
+		out = co.Block()
+		tookTime = s.Now() != start
+	})
+	s.Run(10)
+	if out != Granted {
+		t.Errorf("outcome %v, want granted", out)
+	}
+	if tookTime {
+		t.Error("pre-resolved Block consumed simulated time")
+	}
+}
+
+func TestDenyBeforeBlockPreResolves(t *testing.T) {
+	s := sim.New(1)
+	var out Outcome
+	s.Spawn("cohort", func(p *sim.Proc) {
+		co := &CohortMeta{Txn: &TxnMeta{ID: 1}, Proc: p}
+		co.Deny()
+		out = co.Block()
+	})
+	s.Run(10)
+	if out != Aborted {
+		t.Errorf("outcome %v, want aborted", out)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Granted.String() != "granted" || Aborted.String() != "aborted" {
+		t.Error("outcome strings wrong")
+	}
+}

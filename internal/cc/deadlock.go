@@ -1,0 +1,166 @@
+package cc
+
+import "sort"
+
+// WaitsForProvider is implemented by managers that can report their node's
+// waits-for graph (the locking algorithms); the Snoop gathers these.
+type WaitsForProvider interface {
+	WaitsForEdges() []Edge
+}
+
+// Edge is one waits-for relationship: Waiter is blocked by Blocker at Node.
+type Edge struct {
+	Waiter  *TxnMeta
+	Blocker *TxnMeta
+	Node    int
+}
+
+// FindVictims detects every cycle in the waits-for graph described by edges
+// and selects, per cycle, the member with the most recent initial startup
+// time (largest TS) that is still abortable — the paper's deadlock
+// resolution policy for 2PL. Victims are removed from the graph and
+// detection repeats until the graph is acyclic. Cycles whose members are all
+// unabortable (already aborting or already past the commit decision) resolve
+// themselves and yield no victim.
+//
+// The result is deterministic: nodes are visited in transaction-ID order.
+func FindVictims(edges []Edge) []*TxnMeta {
+	adj := make(map[*TxnMeta][]*TxnMeta)
+	var txns []*TxnMeta
+	seen := make(map[*TxnMeta]bool)
+	note := func(t *TxnMeta) {
+		if !seen[t] {
+			seen[t] = true
+			txns = append(txns, t)
+		}
+	}
+	for _, e := range edges {
+		if e.Waiter == e.Blocker {
+			continue
+		}
+		note(e.Waiter)
+		note(e.Blocker)
+		adj[e.Waiter] = append(adj[e.Waiter], e.Blocker)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i].ID < txns[j].ID })
+	for _, succ := range adj {
+		sort.Slice(succ, func(i, j int) bool { return succ[i].ID < succ[j].ID })
+	}
+
+	removed := make(map[*TxnMeta]bool)
+	var victims []*TxnMeta
+	for {
+		cycle := findCycle(txns, adj, removed)
+		if cycle == nil {
+			return victims
+		}
+		victim := pickVictim(cycle)
+		if victim == nil {
+			// Every member is already dying or committing; the cycle will
+			// break on its own. Drop one member so detection terminates.
+			removed[cycle[0]] = true
+			continue
+		}
+		removed[victim] = true
+		victims = append(victims, victim)
+	}
+}
+
+// pickVictim chooses the abortable cycle member with the largest startup
+// timestamp (most recently started transaction).
+func pickVictim(cycle []*TxnMeta) *TxnMeta {
+	var victim *TxnMeta
+	for _, t := range cycle {
+		if !t.Abortable() {
+			continue
+		}
+		if victim == nil || t.TS > victim.TS || (t.TS == victim.TS && t.ID > victim.ID) {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// findCycle returns the transactions on some cycle of the graph, or nil if
+// the graph (minus removed nodes) is acyclic. Iterative DFS with the
+// classic white/grey/black colouring.
+func findCycle(txns []*TxnMeta, adj map[*TxnMeta][]*TxnMeta, removed map[*TxnMeta]bool) []*TxnMeta {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*TxnMeta]int, len(txns))
+	type frame struct {
+		t    *TxnMeta
+		next int
+	}
+	for _, start := range txns {
+		if removed[start] || color[start] != white {
+			continue
+		}
+		stack := []frame{{t: start}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			succ := adj[f.t]
+			advanced := false
+			for f.next < len(succ) {
+				n := succ[f.next]
+				f.next++
+				if removed[n] {
+					continue
+				}
+				switch color[n] {
+				case white:
+					color[n] = grey
+					stack = append(stack, frame{t: n})
+					advanced = true
+				case grey:
+					// Found a back edge: the cycle is n ... f.t on the stack.
+					var cycle []*TxnMeta
+					i := len(stack) - 1
+					for ; i >= 0; i-- {
+						cycle = append(cycle, stack[i].t)
+						if stack[i].t == n {
+							break
+						}
+					}
+					return cycle
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced {
+				color[f.t] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// HasCycle reports whether the waits-for graph contains any cycle,
+// ignoring no nodes. Exposed for tests and invariant checks.
+func HasCycle(edges []Edge) bool {
+	adj := make(map[*TxnMeta][]*TxnMeta)
+	var txns []*TxnMeta
+	seen := make(map[*TxnMeta]bool)
+	for _, e := range edges {
+		if e.Waiter == e.Blocker {
+			continue
+		}
+		if !seen[e.Waiter] {
+			seen[e.Waiter] = true
+			txns = append(txns, e.Waiter)
+		}
+		if !seen[e.Blocker] {
+			seen[e.Blocker] = true
+			txns = append(txns, e.Blocker)
+		}
+		adj[e.Waiter] = append(adj[e.Waiter], e.Blocker)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i].ID < txns[j].ID })
+	return findCycle(txns, adj, map[*TxnMeta]bool{}) != nil
+}

@@ -1,0 +1,314 @@
+package cc
+
+import (
+	"sort"
+
+	"ddbm/internal/db"
+)
+
+// LockMode is a page lock mode.
+type LockMode int
+
+const (
+	// LockS is a shared (read) lock.
+	LockS LockMode = iota
+	// LockX is an exclusive (write) lock.
+	LockX
+)
+
+func (m LockMode) String() string {
+	if m == LockS {
+		return "S"
+	}
+	return "X"
+}
+
+// Compatible reports whether two lock modes held by different transactions
+// can coexist.
+func Compatible(a, b LockMode) bool { return a == LockS && b == LockS }
+
+type lockHolder struct {
+	co   *CohortMeta
+	mode LockMode
+}
+
+type lockReq struct {
+	co      *CohortMeta
+	mode    LockMode
+	upgrade bool
+}
+
+type lockEntry struct {
+	page    db.PageID
+	holders []lockHolder
+	queue   []*lockReq
+}
+
+func (e *lockEntry) holderMode(co *CohortMeta) (LockMode, bool) {
+	for _, h := range e.holders {
+		if h.co == co {
+			return h.mode, true
+		}
+	}
+	return 0, false
+}
+
+// LockTable is the per-node lock manager shared by the 2PL and wound-wait
+// algorithms: shared/exclusive page locks, FIFO wait queues, and
+// read-to-write upgrades that jump to the head of the queue.
+type LockTable struct {
+	entries map[db.PageID]*lockEntry
+	held    map[*CohortMeta]map[db.PageID]LockMode
+	waiting map[*CohortMeta]db.PageID
+}
+
+// NewLockTable creates an empty lock table.
+func NewLockTable() *LockTable {
+	return &LockTable{
+		entries: make(map[db.PageID]*lockEntry),
+		held:    make(map[*CohortMeta]map[db.PageID]LockMode),
+		waiting: make(map[*CohortMeta]db.PageID),
+	}
+}
+
+// Lock requests a lock on page in the given mode for co. If the lock is
+// granted immediately it returns (true, nil). Otherwise the request has
+// been queued (upgrades at the front, new requests at the back) and the
+// cohorts currently standing in the way — conflicting holders plus
+// conflicting queued requests ahead of ours — are returned so the caller
+// can apply its conflict policy (wait, wound, detect deadlock). The caller
+// must then call co.Block().
+func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (granted bool, conflicts []*CohortMeta) {
+	e := lt.entries[page]
+	if e == nil {
+		e = &lockEntry{page: page}
+		lt.entries[page] = e
+	}
+
+	if cur, ok := e.holderMode(co); ok {
+		if cur == LockX || mode == LockS {
+			return true, nil // already strong enough
+		}
+		// Upgrade S -> X: grantable only as sole holder.
+		if len(e.holders) == 1 {
+			lt.setHolder(e, co, LockX)
+			return true, nil
+		}
+		req := &lockReq{co: co, mode: LockX, upgrade: true}
+		// Upgrades queue ahead of ordinary requests, behind earlier upgrades.
+		pos := 0
+		for pos < len(e.queue) && e.queue[pos].upgrade {
+			pos++
+		}
+		e.queue = append(e.queue, nil)
+		copy(e.queue[pos+1:], e.queue[pos:])
+		e.queue[pos] = req
+		lt.waiting[co] = page
+		for _, h := range e.holders {
+			if h.co != co {
+				conflicts = append(conflicts, h.co)
+			}
+		}
+		// Conflicting upgrades queued ahead of ours also stand in the way.
+		for i := 0; i < pos; i++ {
+			conflicts = append(conflicts, e.queue[i].co)
+		}
+		return false, conflicts
+	}
+
+	// New request: FIFO — grantable only with an empty queue and no
+	// conflicting holder (compatible requests may not overtake waiters,
+	// which would starve queued upgrades and X requests).
+	if len(e.queue) == 0 {
+		ok := true
+		for _, h := range e.holders {
+			if !Compatible(mode, h.mode) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			lt.setHolder(e, co, mode)
+			return true, nil
+		}
+	}
+	req := &lockReq{co: co, mode: mode}
+	e.queue = append(e.queue, req)
+	lt.waiting[co] = page
+	for _, h := range e.holders {
+		if !Compatible(mode, h.mode) {
+			conflicts = append(conflicts, h.co)
+		}
+	}
+	for _, q := range e.queue {
+		if q == req {
+			break
+		}
+		if q.co != co && (!Compatible(mode, q.mode) || q.upgrade) {
+			conflicts = append(conflicts, q.co)
+		}
+	}
+	return false, conflicts
+}
+
+func (lt *LockTable) setHolder(e *lockEntry, co *CohortMeta, mode LockMode) {
+	for i, h := range e.holders {
+		if h.co == co {
+			e.holders[i].mode = mode
+			lt.held[co][e.page] = mode
+			return
+		}
+	}
+	e.holders = append(e.holders, lockHolder{co: co, mode: mode})
+	m := lt.held[co]
+	if m == nil {
+		m = make(map[db.PageID]LockMode)
+		lt.held[co] = m
+	}
+	m[e.page] = mode
+}
+
+// ReleaseAll drops every lock co holds and removes any queued request,
+// promoting newly grantable waiters. It is idempotent.
+func (lt *LockTable) ReleaseAll(co *CohortMeta) {
+	lt.RemoveWaiter(co)
+	pages := lt.held[co]
+	if pages == nil {
+		return
+	}
+	delete(lt.held, co)
+	// Release in a deterministic order: promotions resume waiters, and the
+	// order those resume events are scheduled must not depend on map
+	// iteration order or runs with identical seeds would diverge.
+	sorted := make([]db.PageID, 0, len(pages))
+	for page := range pages {
+		sorted = append(sorted, page)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].File != sorted[j].File {
+			return sorted[i].File < sorted[j].File
+		}
+		return sorted[i].Page < sorted[j].Page
+	})
+	for _, page := range sorted {
+		e := lt.entries[page]
+		for i, h := range e.holders {
+			if h.co == co {
+				e.holders = append(e.holders[:i], e.holders[i+1:]...)
+				break
+			}
+		}
+		lt.promote(page, e)
+	}
+}
+
+// RemoveWaiter cancels co's queued request (if any) without resuming it;
+// the caller is responsible for Deny()ing the cohort if it is blocked.
+func (lt *LockTable) RemoveWaiter(co *CohortMeta) {
+	page, ok := lt.waiting[co]
+	if !ok {
+		return
+	}
+	delete(lt.waiting, co)
+	e := lt.entries[page]
+	for i, q := range e.queue {
+		if q.co == co {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	lt.promote(page, e)
+}
+
+// promote grants queued requests that have become compatible, in FIFO order
+// (with upgrades at the front), resuming each granted cohort.
+func (lt *LockTable) promote(page db.PageID, e *lockEntry) {
+	for len(e.queue) > 0 {
+		head := e.queue[0]
+		if head.upgrade {
+			if len(e.holders) != 1 || e.holders[0].co != head.co {
+				return
+			}
+			e.holders[0].mode = LockX
+			lt.held[head.co][page] = LockX
+		} else {
+			ok := true
+			for _, h := range e.holders {
+				if !Compatible(head.mode, h.mode) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				return
+			}
+			e.holders = append(e.holders, lockHolder{co: head.co, mode: head.mode})
+			m := lt.held[head.co]
+			if m == nil {
+				m = make(map[db.PageID]LockMode)
+				lt.held[head.co] = m
+			}
+			m[page] = head.mode
+		}
+		e.queue = e.queue[1:]
+		delete(lt.waiting, head.co)
+		head.co.Grant()
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(lt.entries, page)
+	}
+}
+
+// Holds reports the mode co holds on page.
+func (lt *LockTable) Holds(co *CohortMeta, page db.PageID) (LockMode, bool) {
+	m, ok := lt.held[co][page]
+	return m, ok
+}
+
+// HeldCount returns the number of locks co holds.
+func (lt *LockTable) HeldCount(co *CohortMeta) int { return len(lt.held[co]) }
+
+// Empty reports whether the table holds no locks and no waiters — the
+// quiescence invariant checked at the end of simulations.
+func (lt *LockTable) Empty() bool {
+	return len(lt.held) == 0 && len(lt.waiting) == 0
+}
+
+// WaitsForEdges returns this node's waits-for graph: one edge per
+// (waiter, blocker) pair where the blocker is a conflicting holder or a
+// conflicting request queued ahead of the waiter.
+func (lt *LockTable) WaitsForEdges(node int) []Edge {
+	var edges []Edge
+	for _, e := range lt.entries {
+		for qi, q := range e.queue {
+			add := func(other *CohortMeta) {
+				if other.Txn != q.co.Txn {
+					edges = append(edges, Edge{Waiter: q.co.Txn, Blocker: other.Txn, Node: node})
+				}
+			}
+			if q.upgrade {
+				for _, h := range e.holders {
+					if h.co != q.co {
+						add(h.co)
+					}
+				}
+				for i := 0; i < qi; i++ {
+					add(e.queue[i].co)
+				}
+				continue
+			}
+			for _, h := range e.holders {
+				if !Compatible(q.mode, h.mode) {
+					add(h.co)
+				}
+			}
+			for i := 0; i < qi; i++ {
+				prev := e.queue[i]
+				if prev.upgrade || !Compatible(q.mode, prev.mode) {
+					add(prev.co)
+				}
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,41 @@
+// Package nodc implements the NO_DC ("no data contention") baseline of
+// paper §4.2: every access is granted immediately and transactions never
+// abort, as if the database were infinitely large under 2PL. All message
+// and commit-protocol behaviour is unchanged, so the gap between NO_DC and
+// a real algorithm isolates the cost of data contention.
+package nodc
+
+import (
+	"ddbm/internal/cc"
+	"ddbm/internal/db"
+)
+
+// Algorithm builds NO_DC managers.
+type Algorithm struct{}
+
+// New creates the algorithm.
+func New() *Algorithm { return &Algorithm{} }
+
+// Kind reports cc.NoDC.
+func (a *Algorithm) Kind() cc.Kind { return cc.NoDC }
+
+// NewManager creates the per-node manager.
+func (a *Algorithm) NewManager(env cc.Env) cc.Manager { return manager{} }
+
+// StartGlobal is a no-op.
+func (a *Algorithm) StartGlobal(g cc.GlobalEnv) {}
+
+type manager struct{}
+
+func (manager) Kind() cc.Kind { return cc.NoDC }
+
+func (manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outcome {
+	if co.Txn.AbortRequested {
+		return cc.Aborted
+	}
+	return cc.Granted
+}
+
+func (manager) Prepare(co *cc.CohortMeta) bool { return true }
+func (manager) Commit(co *cc.CohortMeta)       {}
+func (manager) Abort(co *cc.CohortMeta)        {}

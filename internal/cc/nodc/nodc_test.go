@@ -1,0 +1,41 @@
+package nodc
+
+import (
+	"testing"
+
+	"ddbm/internal/cc"
+	"ddbm/internal/db"
+	"ddbm/internal/sim"
+)
+
+func TestNoDCGrantsEverything(t *testing.T) {
+	a := New()
+	if a.Kind() != cc.NoDC {
+		t.Fatal("wrong kind")
+	}
+	a.StartGlobal(nil)
+	m := a.NewManager(cc.Env{Sim: sim.New(1), Node: 0})
+	if m.Kind() != cc.NoDC {
+		t.Fatal("manager wrong kind")
+	}
+	page := db.PageID{File: 0, Page: 0}
+	for i := 0; i < 10; i++ {
+		co := &cc.CohortMeta{Txn: &cc.TxnMeta{ID: int64(i)}, Node: 0}
+		if m.Access(co, page, true) != cc.Granted {
+			t.Fatal("NO_DC denied an access")
+		}
+		if !m.Prepare(co) {
+			t.Fatal("NO_DC voted no")
+		}
+		m.Commit(co)
+		m.Abort(co)
+	}
+}
+
+func TestNoDCRespectsAbortFlag(t *testing.T) {
+	m := New().NewManager(cc.Env{Sim: sim.New(1), Node: 0})
+	co := &cc.CohortMeta{Txn: &cc.TxnMeta{ID: 1, AbortRequested: true}, Node: 0}
+	if m.Access(co, db.PageID{}, false) != cc.Aborted {
+		t.Fatal("NO_DC must still honour an in-flight abort")
+	}
+}

@@ -1,0 +1,224 @@
+// Package opt implements the distributed, timestamp-based optimistic
+// concurrency control algorithm of Sinha et al. (paper §2.5, first
+// algorithm). Cohorts read and write freely, buffering updates in a private
+// workspace and remembering the version identifier (write timestamp) of
+// every item read. When all cohorts finish, the coordinator assigns the
+// transaction a globally unique timestamp, carried to each cohort in the
+// "prepare to commit" message; each cohort then certifies its reads and
+// writes locally, in a critical section:
+//
+//   - a read is certified if (i) the version read is still the current
+//     version and (ii) no write with a newer timestamp has been locally
+//     certified;
+//   - a write is certified if (i) no later read has been certified and
+//     subsequently committed and (ii) no later read is locally certified.
+//
+// "Later" is with respect to the certification timestamps. The optional
+// Strict mode additionally fails a read when *any* uncommitted certified
+// write by another transaction exists on the item (closing the window in
+// which an earlier certified writer and a later reader both pass).
+package opt
+
+import (
+	"ddbm/internal/cc"
+	"ddbm/internal/db"
+)
+
+// Algorithm builds OPT managers.
+type Algorithm struct {
+	// Strict enables the conservative read-certification guard described in
+	// the package comment. The paper's configuration leaves it off.
+	Strict bool
+}
+
+// New creates the algorithm in paper-faithful (non-strict) mode.
+func New() *Algorithm { return &Algorithm{} }
+
+// Kind reports cc.OPT.
+func (a *Algorithm) Kind() cc.Kind { return cc.OPT }
+
+// NewManager creates the per-node manager.
+func (a *Algorithm) NewManager(env cc.Env) cc.Manager {
+	return &manager{
+		strict:  a.Strict,
+		env:     env,
+		pages:   make(map[db.PageID]*pageState),
+		cohorts: make(map[*cc.CohortMeta]*cohortState),
+	}
+}
+
+// StartGlobal is a no-op: certification is purely local.
+func (a *Algorithm) StartGlobal(g cc.GlobalEnv) {}
+
+type certEntry struct {
+	ts int64
+	co *cc.CohortMeta
+}
+
+type pageState struct {
+	wts        int64 // current committed version identifier
+	rts        int64 // largest committed read timestamp
+	certReads  []certEntry
+	certWrites []certEntry
+}
+
+type cohortState struct {
+	reads     map[db.PageID]int64 // page -> version read
+	writes    []db.PageID
+	certified bool
+}
+
+type manager struct {
+	strict  bool
+	env     cc.Env
+	pages   map[db.PageID]*pageState
+	cohorts map[*cc.CohortMeta]*cohortState
+}
+
+func (m *manager) Kind() cc.Kind { return cc.OPT }
+
+func (m *manager) page(p db.PageID) *pageState {
+	ps := m.pages[p]
+	if ps == nil {
+		ps = &pageState{}
+		m.pages[p] = ps
+	}
+	return ps
+}
+
+func (m *manager) cohort(co *cc.CohortMeta) *cohortState {
+	cs := m.cohorts[co]
+	if cs == nil {
+		cs = &cohortState{reads: make(map[db.PageID]int64)}
+		m.cohorts[co] = cs
+	}
+	return cs
+}
+
+// Access is always granted: OPT detects conflicts only at certification.
+func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outcome {
+	if co.Txn.AbortRequested {
+		return cc.Aborted
+	}
+	cs := m.cohort(co)
+	if write {
+		cs.writes = append(cs.writes, page)
+		return cc.Granted
+	}
+	if _, seen := cs.reads[page]; !seen {
+		cs.reads[page] = m.page(page).wts
+	}
+	return cc.Granted
+}
+
+// Prepare performs local certification against co.Txn.CommitTS. All checks
+// run before any entry is recorded so the verdict is order-independent.
+func (m *manager) Prepare(co *cc.CohortMeta) bool {
+	cs := m.cohorts[co]
+	if cs == nil {
+		// A cohort with no accesses certifies trivially.
+		return true
+	}
+	ts := co.Txn.CommitTS
+	for page, ver := range cs.reads {
+		ps := m.page(page)
+		if ps.wts != ver {
+			return false // the version read is no longer current
+		}
+		for _, w := range ps.certWrites {
+			if w.co.Txn == co.Txn {
+				continue
+			}
+			if w.ts > ts || m.strict {
+				return false
+			}
+		}
+	}
+	for _, page := range cs.writes {
+		ps := m.page(page)
+		if ps.rts > ts {
+			return false // a later read has been certified and committed
+		}
+		for _, r := range ps.certReads {
+			if r.co.Txn != co.Txn && r.ts > ts {
+				return false // a later read is locally certified
+			}
+		}
+	}
+	// Certification succeeded: record our entries.
+	for page := range cs.reads {
+		ps := m.page(page)
+		ps.certReads = append(ps.certReads, certEntry{ts: ts, co: co})
+	}
+	for _, page := range cs.writes {
+		ps := m.page(page)
+		ps.certWrites = append(ps.certWrites, certEntry{ts: ts, co: co})
+	}
+	cs.certified = true
+	return true
+}
+
+// Commit installs the cohort's writes (bumping version identifiers under
+// the Thomas rule), publishes its read timestamps, and clears certification
+// entries.
+func (m *manager) Commit(co *cc.CohortMeta) {
+	cs := m.cohorts[co]
+	if cs == nil {
+		return
+	}
+	delete(m.cohorts, co)
+	ts := co.Txn.CommitTS
+	for page := range cs.reads {
+		ps := m.page(page)
+		if ts > ps.rts {
+			ps.rts = ts
+		}
+		removeCert(&ps.certReads, co)
+	}
+	for _, page := range cs.writes {
+		ps := m.page(page)
+		if ts > ps.wts {
+			ps.wts = ts
+		}
+		removeCert(&ps.certWrites, co)
+	}
+}
+
+// Abort drops the cohort's workspace and certification entries. Idempotent.
+func (m *manager) Abort(co *cc.CohortMeta) {
+	cs := m.cohorts[co]
+	if cs == nil {
+		return
+	}
+	delete(m.cohorts, co)
+	if cs.certified {
+		for page := range cs.reads {
+			removeCert(&m.page(page).certReads, co)
+		}
+		for _, page := range cs.writes {
+			removeCert(&m.page(page).certWrites, co)
+		}
+	}
+}
+
+func removeCert(entries *[]certEntry, co *cc.CohortMeta) {
+	for i, e := range *entries {
+		if e.co == co {
+			*entries = append((*entries)[:i], (*entries)[i+1:]...)
+			return
+		}
+	}
+}
+
+// Quiesced reports whether no cohort state or certification entries remain.
+func (m *manager) Quiesced() bool {
+	if len(m.cohorts) != 0 {
+		return false
+	}
+	for _, ps := range m.pages {
+		if len(ps.certReads) != 0 || len(ps.certWrites) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package opt
+
+import (
+	"testing"
+
+	"ddbm/internal/cc"
+)
+
+func TestTwoDisjointTransactionsBothCommit(t *testing.T) {
+	m := newMgr(false)
+	a, b := newCo(1), newCo(2)
+	m.Access(a, pg(1), false)
+	m.Access(a, pg(1), true)
+	m.Access(b, pg(2), false)
+	m.Access(b, pg(2), true)
+	if !commit(t, m, a, 10) || !commit(t, m, b, 20) {
+		t.Fatal("disjoint transactions conflicted")
+	}
+}
+
+func TestReadOnlyTransactionsNeverConflictWithEachOther(t *testing.T) {
+	m := newMgr(false)
+	var cos []*cc.CohortMeta
+	for i := 0; i < 5; i++ {
+		co := newCo(int64(i + 1))
+		m.Access(co, pg(1), false)
+		cos = append(cos, co)
+	}
+	for i, co := range cos {
+		if !commit(t, m, co, int64(10*(i+1))) {
+			t.Fatalf("read-only txn %d failed certification", i)
+		}
+	}
+}
+
+func TestWriterInvalidatesManyReaders(t *testing.T) {
+	// Readers that started before the writer commits all fail afterwards —
+	// the OPT starvation pattern that drives its high abort ratio.
+	m := newMgr(false)
+	var readers []*cc.CohortMeta
+	for i := 0; i < 4; i++ {
+		co := newCo(int64(i + 10))
+		m.Access(co, pg(1), false)
+		readers = append(readers, co)
+	}
+	w := newCo(1)
+	m.Access(w, pg(1), false)
+	m.Access(w, pg(1), true)
+	if !commit(t, m, w, 100) {
+		t.Fatal("writer failed")
+	}
+	for i, rd := range readers {
+		if commit(t, m, rd, int64(200+i)) {
+			t.Fatalf("stale reader %d certified", i)
+		}
+	}
+}
+
+func TestSequentialCertifyCommitChain(t *testing.T) {
+	// T1 writes, commits; T2 reads the new version, writes, commits; T3
+	// reads T2's version: the version chain must thread through wts.
+	m := newMgr(false)
+	t1 := newCo(1)
+	m.Access(t1, pg(1), true)
+	if !commit(t, m, t1, 10) {
+		t.Fatal("t1")
+	}
+	t2 := newCo(2)
+	m.Access(t2, pg(1), false)
+	m.Access(t2, pg(1), true)
+	if got := m.cohorts[t2].reads[pg(1)]; got != 10 {
+		t.Fatalf("t2 read version %d, want 10", got)
+	}
+	if !commit(t, m, t2, 20) {
+		t.Fatal("t2")
+	}
+	t3 := newCo(3)
+	m.Access(t3, pg(1), false)
+	if got := m.cohorts[t3].reads[pg(1)]; got != 20 {
+		t.Fatalf("t3 read version %d, want 20", got)
+	}
+	if !commit(t, m, t3, 30) {
+		t.Fatal("t3")
+	}
+}
+
+func TestCertifiedReadBlocksOlderWriterThenClears(t *testing.T) {
+	m := newMgr(false)
+	rd := newCo(1)
+	m.Access(rd, pg(1), false)
+	rd.Txn.State = cc.Preparing
+	rd.Txn.CommitTS = 50
+	if !m.Prepare(rd) {
+		t.Fatal("reader cert failed")
+	}
+	w := newCo(2)
+	m.Access(w, pg(1), true)
+	w.Txn.State = cc.Preparing
+	w.Txn.CommitTS = 40
+	if m.Prepare(w) {
+		t.Fatal("older writer certified against later certified read")
+	}
+	m.Abort(w)
+	// Reader commits; a NEWER writer is fine.
+	rd.Txn.State = cc.Committing
+	m.Commit(rd)
+	w2 := newCo(3)
+	m.Access(w2, pg(1), true)
+	if !commit(t, m, w2, 60) {
+		t.Fatal("newer writer failed after reader committed")
+	}
+}
+
+func TestVoteNoLeavesNoResidue(t *testing.T) {
+	m := newMgr(false)
+	w := newCo(1)
+	m.Access(w, pg(1), false)
+	m.Access(w, pg(1), true)
+	// Another txn commits a write first, invalidating w's read.
+	other := newCo(2)
+	m.Access(other, pg(1), true)
+	if !commit(t, m, other, 5) {
+		t.Fatal("other failed")
+	}
+	if commit(t, m, w, 10) {
+		t.Fatal("stale read certified")
+	}
+	if !m.Quiesced() {
+		t.Fatal("failed certification left residue")
+	}
+}

@@ -1,0 +1,284 @@
+package opt
+
+import (
+	"testing"
+
+	"ddbm/internal/cc"
+	"ddbm/internal/db"
+	"ddbm/internal/sim"
+)
+
+func pg(n int) db.PageID { return db.PageID{File: 0, Page: n} }
+
+func newCo(id int64) *cc.CohortMeta {
+	return &cc.CohortMeta{Txn: &cc.TxnMeta{ID: id, TS: id}, Node: 0}
+}
+
+func newMgr(strict bool) *manager {
+	return (&Algorithm{Strict: strict}).NewManager(cc.Env{Sim: sim.New(1), Node: 0}).(*manager)
+}
+
+// commit drives the full local protocol for a cohort.
+func commit(t *testing.T, m *manager, co *cc.CohortMeta, ts int64) bool {
+	t.Helper()
+	co.Txn.State = cc.Preparing
+	co.Txn.CommitTS = ts
+	if !m.Prepare(co) {
+		co.Txn.State = cc.Active
+		m.Abort(co)
+		return false
+	}
+	co.Txn.State = cc.Committing
+	m.Commit(co)
+	return true
+}
+
+func TestKind(t *testing.T) {
+	a := New()
+	if a.Kind() != cc.OPT {
+		t.Fatal("wrong kind")
+	}
+	a.StartGlobal(nil)
+	if newMgr(false).Kind() != cc.OPT {
+		t.Fatal("manager wrong kind")
+	}
+}
+
+func TestAccessAlwaysGranted(t *testing.T) {
+	m := newMgr(false)
+	co := newCo(1)
+	other := newCo(2)
+	if m.Access(co, pg(1), false) != cc.Granted ||
+		m.Access(other, pg(1), true) != cc.Granted ||
+		m.Access(co, pg(1), true) != cc.Granted {
+		t.Fatal("OPT must grant every access")
+	}
+}
+
+func TestCleanCommit(t *testing.T) {
+	m := newMgr(false)
+	co := newCo(1)
+	m.Access(co, pg(1), false)
+	m.Access(co, pg(2), false)
+	m.Access(co, pg(2), true)
+	if !commit(t, m, co, 10) {
+		t.Fatal("uncontested transaction failed certification")
+	}
+	if m.page(pg(2)).wts != 10 {
+		t.Fatalf("wts %d, want 10", m.page(pg(2)).wts)
+	}
+	if m.page(pg(1)).rts != 10 || m.page(pg(2)).rts != 10 {
+		t.Fatal("rts not published at commit")
+	}
+	if !m.Quiesced() {
+		t.Fatal("certification entries leaked")
+	}
+}
+
+func TestReadFailsWhenVersionChanged(t *testing.T) {
+	m := newMgr(false)
+	reader := newCo(1)
+	writer := newCo(2)
+	m.Access(reader, pg(1), false) // reads version 0
+	m.Access(writer, pg(1), false)
+	m.Access(writer, pg(1), true)
+	if !commit(t, m, writer, 5) {
+		t.Fatal("writer failed")
+	}
+	// Reader's version is stale now.
+	if commit(t, m, reader, 10) {
+		t.Fatal("reader certified against a changed version")
+	}
+}
+
+func TestWriteFailsAgainstLaterCommittedRead(t *testing.T) {
+	m := newMgr(false)
+	reader := newCo(1)
+	writer := newCo(2)
+	m.Access(reader, pg(1), false)
+	m.Access(writer, pg(1), false)
+	m.Access(writer, pg(1), true)
+	if !commit(t, m, reader, 20) { // rts = 20
+		t.Fatal("reader failed")
+	}
+	// Writer certifies at 10 < 20: "a later read has been certified and
+	// subsequently committed" -> fail.
+	if commit(t, m, writer, 10) {
+		t.Fatal("write certified despite later committed read")
+	}
+}
+
+func TestWriteFailsAgainstLaterCertifiedRead(t *testing.T) {
+	m := newMgr(false)
+	reader := newCo(1)
+	writer := newCo(2)
+	m.Access(reader, pg(1), false)
+	m.Access(writer, pg(1), true)
+	// Reader certifies at 20 but has NOT committed yet.
+	reader.Txn.State = cc.Preparing
+	reader.Txn.CommitTS = 20
+	if !m.Prepare(reader) {
+		t.Fatal("reader certification failed")
+	}
+	// Writer at 10: a later read is locally certified -> fail.
+	writer.Txn.State = cc.Preparing
+	writer.Txn.CommitTS = 10
+	if m.Prepare(writer) {
+		t.Fatal("write certified despite later certified read")
+	}
+}
+
+func TestReadFailsAgainstNewerCertifiedWrite(t *testing.T) {
+	m := newMgr(false)
+	writer := newCo(1)
+	reader := newCo(2)
+	m.Access(writer, pg(1), true)
+	m.Access(reader, pg(1), false)
+	// Writer certifies at 30, not yet committed.
+	writer.Txn.State = cc.Preparing
+	writer.Txn.CommitTS = 30
+	if !m.Prepare(writer) {
+		t.Fatal("writer certification failed")
+	}
+	// Reader at 10 < 30: a write with a newer timestamp is locally
+	// certified -> fail.
+	reader.Txn.State = cc.Preparing
+	reader.Txn.CommitTS = 10
+	if m.Prepare(reader) {
+		t.Fatal("read certified despite newer certified write")
+	}
+}
+
+func TestReadPassesOlderCertifiedWriteInPaperMode(t *testing.T) {
+	// Paper-faithful (non-strict) mode: an OLDER certified write does not
+	// fail the read.
+	m := newMgr(false)
+	writer := newCo(1)
+	reader := newCo(2)
+	m.Access(writer, pg(1), true)
+	m.Access(reader, pg(1), false)
+	writer.Txn.State = cc.Preparing
+	writer.Txn.CommitTS = 5
+	if !m.Prepare(writer) {
+		t.Fatal("writer certification failed")
+	}
+	reader.Txn.State = cc.Preparing
+	reader.Txn.CommitTS = 10
+	if !m.Prepare(reader) {
+		t.Fatal("paper-mode read failed against an older certified write")
+	}
+}
+
+func TestStrictModeFailsReadOnAnyCertifiedWrite(t *testing.T) {
+	m := newMgr(true)
+	writer := newCo(1)
+	reader := newCo(2)
+	m.Access(writer, pg(1), true)
+	m.Access(reader, pg(1), false)
+	writer.Txn.State = cc.Preparing
+	writer.Txn.CommitTS = 5
+	if !m.Prepare(writer) {
+		t.Fatal("writer certification failed")
+	}
+	reader.Txn.State = cc.Preparing
+	reader.Txn.CommitTS = 10
+	if m.Prepare(reader) {
+		t.Fatal("strict mode certified a read against an uncommitted certified write")
+	}
+}
+
+func TestAbortClearsCertification(t *testing.T) {
+	m := newMgr(false)
+	writer := newCo(1)
+	m.Access(writer, pg(1), true)
+	writer.Txn.State = cc.Preparing
+	writer.Txn.CommitTS = 30
+	if !m.Prepare(writer) {
+		t.Fatal("certification failed")
+	}
+	m.Abort(writer) // global abort after a local yes vote
+	// A reader at 10 must now pass (no certified writes remain).
+	reader := newCo(2)
+	m.Access(reader, pg(1), false)
+	if !commit(t, m, reader, 10) {
+		t.Fatal("aborted certification still blocks readers")
+	}
+	if !m.Quiesced() {
+		t.Fatal("abort leaked state")
+	}
+}
+
+func TestThomasRuleAtInstall(t *testing.T) {
+	// Two writers with no read overlap: both certify (write-write conflicts
+	// are resolved at install time); the final version is the larger ts.
+	m := newMgr(false)
+	w1, w2 := newCo(1), newCo(2)
+	m.Access(w1, pg(1), true)
+	m.Access(w2, pg(1), true)
+	if !commit(t, m, w1, 20) {
+		t.Fatal("w1 failed")
+	}
+	if !commit(t, m, w2, 10) {
+		t.Fatal("w2 (older, blind write) failed")
+	}
+	if m.page(pg(1)).wts != 20 {
+		t.Fatalf("wts %d after out-of-order installs, want 20 (Thomas rule)", m.page(pg(1)).wts)
+	}
+}
+
+func TestEmptyCohortCertifies(t *testing.T) {
+	m := newMgr(false)
+	co := newCo(1)
+	if !m.Prepare(co) {
+		t.Fatal("cohort with no accesses failed certification")
+	}
+	m.Commit(co)
+	m.Abort(co)
+}
+
+func TestOwnWritesDontFailOwnReads(t *testing.T) {
+	m := newMgr(false)
+	co := newCo(1)
+	m.Access(co, pg(1), false)
+	m.Access(co, pg(1), true)
+	if !commit(t, m, co, 10) {
+		t.Fatal("transaction's own write failed its own read certification")
+	}
+}
+
+func TestAccessAfterAbortRequestedRejected(t *testing.T) {
+	m := newMgr(false)
+	co := newCo(1)
+	co.Txn.AbortRequested = true
+	if m.Access(co, pg(1), false) != cc.Aborted {
+		t.Fatal("aborting transaction's access granted")
+	}
+}
+
+func TestRereadKeepsOriginalVersion(t *testing.T) {
+	// If a cohort reads the same page twice, the remembered version is the
+	// first one (certification must check what was actually read).
+	m := newMgr(false)
+	co := newCo(1)
+	m.Access(co, pg(1), false)
+	// Another transaction commits a write in between.
+	w := newCo(2)
+	m.Access(w, pg(1), true)
+	if !commit(t, m, w, 5) {
+		t.Fatal("writer failed")
+	}
+	m.Access(co, pg(1), false) // re-read: version must stay the original
+	if commit(t, m, co, 10) {
+		t.Fatal("re-read laundered a stale version through certification")
+	}
+}
+
+func TestCommitUnknownCohortNoOp(t *testing.T) {
+	m := newMgr(false)
+	co := newCo(1)
+	m.Commit(co)
+	m.Abort(co)
+	if !m.Quiesced() {
+		t.Fatal("no-op commit left state")
+	}
+}

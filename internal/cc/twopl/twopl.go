@@ -1,0 +1,198 @@
+// Package twopl implements distributed two-phase locking (paper §2.2):
+// dynamic S/X page locks with read-to-write upgrades, blocking on conflict,
+// local deadlock detection whenever a cohort blocks, and a rotating "Snoop"
+// process that periodically gathers the waits-for graphs of every node to
+// resolve global deadlocks. Deadlocks are broken by aborting the most
+// recently started transaction in the cycle.
+package twopl
+
+import (
+	"ddbm/internal/cc"
+	"ddbm/internal/db"
+	"ddbm/internal/sim"
+)
+
+// Algorithm builds 2PL managers and the global Snoop detector.
+type Algorithm struct {
+	// DetectionIntervalMs is how long each node holds the Snoop role before
+	// gathering waits-for information (paper Table 4: 1 second).
+	DetectionIntervalMs float64
+	// WaitTimeoutMs, when positive, switches deadlock handling to the
+	// timeout scheme discussed in the paper's footnote 2 ([Jenq89]): no
+	// detection runs at all; a cohort whose lock wait exceeds the timeout
+	// aborts its transaction. The paper's configuration uses detection
+	// (timeout 0).
+	WaitTimeoutMs float64
+	// Optimistic makes this O2PL ([Care88]): managers report cc.O2PL and
+	// the transaction manager defers all write-lock requests to the first
+	// phase of commit (via PrepareDeferred). Locking mechanics, deadlock
+	// detection and the Snoop are identical to 2PL.
+	Optimistic bool
+}
+
+// NewO2PL creates the O2PL variant: read locks at access time, write locks
+// deferred to the first phase of the commit protocol.
+func NewO2PL(detectionIntervalMs float64) *Algorithm {
+	return &Algorithm{DetectionIntervalMs: detectionIntervalMs, Optimistic: true}
+}
+
+// New creates the algorithm with the given global detection interval and
+// detection-based deadlock handling.
+func New(detectionIntervalMs float64) *Algorithm {
+	return &Algorithm{DetectionIntervalMs: detectionIntervalMs}
+}
+
+// NewWithTimeout creates the timeout-based variant: waits longer than
+// waitTimeoutMs abort the waiter instead of running deadlock detection.
+func NewWithTimeout(waitTimeoutMs float64) *Algorithm {
+	return &Algorithm{WaitTimeoutMs: waitTimeoutMs}
+}
+
+// Kind reports cc.TwoPL, or cc.O2PL for the optimistic variant.
+func (a *Algorithm) Kind() cc.Kind {
+	if a.Optimistic {
+		return cc.O2PL
+	}
+	return cc.TwoPL
+}
+
+// NewManager creates the per-node lock manager.
+func (a *Algorithm) NewManager(env cc.Env) cc.Manager {
+	return &manager{env: env, kind: a.Kind(), lt: cc.NewLockTable(), timeout: a.WaitTimeoutMs,
+		waitSeq: make(map[*cc.CohortMeta]int64)}
+}
+
+type manager struct {
+	env      cc.Env
+	kind     cc.Kind
+	lt       *cc.LockTable
+	timeout  float64 // 0: detection; >0: timeout scheme
+	waitSeq  map[*cc.CohortMeta]int64
+	timeouts int64
+}
+
+// Timeouts returns how many lock-wait timeouts this node fired (only in
+// timeout mode).
+func (m *manager) Timeouts() int64 { return m.timeouts }
+
+func (m *manager) Kind() cc.Kind { return m.kind }
+
+// WaitsForEdges exposes the node's waits-for graph to the Snoop.
+func (m *manager) WaitsForEdges() []cc.Edge { return m.lt.WaitsForEdges(m.env.Node) }
+
+// LockTable exposes the underlying table for invariant checks in tests.
+func (m *manager) LockTable() *cc.LockTable { return m.lt }
+
+func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outcome {
+	if co.Txn.AbortRequested {
+		return cc.Aborted
+	}
+	mode := cc.LockS
+	if write {
+		mode = cc.LockX
+	}
+	granted, _ := m.lt.Lock(co, page, mode)
+	if granted {
+		return cc.Granted
+	}
+	if m.timeout > 0 {
+		// Timeout scheme: no detection; if this wait outlives the timeout,
+		// abort the waiter. The sequence number guards against a stale
+		// timer firing during a later, different wait.
+		m.waitSeq[co]++
+		seq := m.waitSeq[co]
+		m.env.Sim.After(m.timeout, func() {
+			if co.Waiting() && m.waitSeq[co] == seq {
+				if co.Txn.RequestAbort(m.env.Node, "lock timeout") {
+					m.timeouts++
+				}
+			}
+		})
+		return co.Block()
+	}
+	// Local deadlock detection occurs whenever a cohort blocks.
+	for _, v := range cc.FindVictims(m.lt.WaitsForEdges(m.env.Node)) {
+		v.RequestAbort(m.env.Node, "local deadlock")
+	}
+	if co.Txn.AbortRequested {
+		// We were chosen as the victim (or were already dying): don't park —
+		// withdraw the queued request and fail the access immediately.
+		m.lt.RemoveWaiter(co)
+		return cc.Aborted
+	}
+	return co.Block()
+}
+
+func (m *manager) Prepare(co *cc.CohortMeta) bool { return true }
+
+func (m *manager) Commit(co *cc.CohortMeta) {
+	m.lt.ReleaseAll(co)
+	delete(m.waitSeq, co)
+}
+
+func (m *manager) Abort(co *cc.CohortMeta) {
+	m.lt.ReleaseAll(co)
+	if co.Waiting() {
+		co.Deny()
+	}
+	delete(m.waitSeq, co)
+}
+
+// PrepareDeferred acquires the deferred remote-copy write locks during the
+// first phase of commit ([Care89], paper footnote 13). It runs in a fresh
+// process at this node (the cohort's work-phase process has finished) and
+// may block on each lock like any other request — including becoming a
+// deadlock victim, in which case it reports a no vote.
+func (m *manager) PrepareDeferred(co *cc.CohortMeta, pages []db.PageID, done func(ok bool)) {
+	m.env.Sim.Spawn("deferred-locks", func(p *sim.Proc) {
+		co.Proc = p
+		for _, page := range pages {
+			if m.Access(co, page, true) == cc.Aborted {
+				done(false)
+				return
+			}
+		}
+		done(true)
+	})
+}
+
+// StartGlobal launches the Snoop process: each node in turn waits
+// DetectionIntervalMs, gathers waits-for edges from all other nodes via
+// real (CPU-costed) messages, resolves global cycles, and passes the role
+// to the next node round-robin.
+func (a *Algorithm) StartGlobal(g cc.GlobalEnv) {
+	if a.WaitTimeoutMs > 0 {
+		return // timeout scheme: no Snoop
+	}
+	if g.NumProcNodes() < 2 {
+		return // local detection already sees the whole graph
+	}
+	g.Sim().Spawn("snoop", func(p *sim.Proc) {
+		mail := g.Sim().NewMailbox()
+		node := 0
+		for {
+			p.Delay(a.DetectionIntervalMs)
+			snoopAt := node
+			expect := 0
+			for o := 0; o < g.NumProcNodes(); o++ {
+				if o == snoopAt {
+					continue
+				}
+				o := o
+				expect++
+				g.SendControl(snoopAt, o, func() {
+					edges := g.ManagerAt(o).(cc.WaitsForProvider).WaitsForEdges()
+					g.SendControl(o, snoopAt, func() { mail.Send(edges) })
+				})
+			}
+			all := g.ManagerAt(snoopAt).(cc.WaitsForProvider).WaitsForEdges()
+			for i := 0; i < expect; i++ {
+				all = append(all, mail.Recv(p).([]cc.Edge)...)
+			}
+			for _, v := range cc.FindVictims(all) {
+				v.RequestAbort(snoopAt, "global deadlock")
+			}
+			node = (node + 1) % g.NumProcNodes()
+		}
+	})
+}

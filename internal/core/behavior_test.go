@@ -1,0 +1,343 @@
+package core
+
+import (
+	"testing"
+
+	"ddbm/internal/cc"
+)
+
+func TestCCRequestCPUCharged(t *testing.T) {
+	// InstPerCCReq is 0 in the paper, but the knob must work: a huge CC
+	// request cost visibly inflates response time.
+	cheap := testConfig(cc.NoDC)
+	cheap.NumTerminals = 1
+	expensive := cheap
+	expensive.InstPerCCReq = 20000 // 20 ms per request at 1 MIPS
+	rc, err := Run(cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Run(expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.MeanResponseMs < rc.MeanResponseMs*1.5 {
+		t.Errorf("CC request cost not charged: %v vs %v ms", rc.MeanResponseMs, re.MeanResponseMs)
+	}
+}
+
+func TestMessageCostSlowsDistributedTxns(t *testing.T) {
+	free := testConfig(cc.NoDC)
+	free.NumTerminals = 1
+	free.InstPerMsg = 0
+	costly := free
+	costly.InstPerMsg = 50000 // 50 ms per message end at 1 MIPS
+	rf, err := Run(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Run(costly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.MeanResponseMs <= rf.MeanResponseMs {
+		t.Errorf("message cost had no effect: %v vs %v ms", rf.MeanResponseMs, rc.MeanResponseMs)
+	}
+}
+
+func TestStartupCostSlowsTxns(t *testing.T) {
+	free := testConfig(cc.NoDC)
+	free.NumTerminals = 1
+	free.InstPerStartup = 0
+	costly := free
+	costly.InstPerStartup = 100000 // 100 ms per cohort startup at 1 MIPS
+	rf, err := Run(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Run(costly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.MeanResponseMs <= rf.MeanResponseMs+50 {
+		t.Errorf("startup cost had no effect: %v vs %v ms", rf.MeanResponseMs, rc.MeanResponseMs)
+	}
+}
+
+func TestSpreadVariantRuns(t *testing.T) {
+	cfg := testConfig(cc.TwoPL)
+	cfg.SpreadHalfToTwice = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("half-to-twice spread produced no commits")
+	}
+}
+
+func TestSequentialPatternAllAlgorithms(t *testing.T) {
+	for _, alg := range cc.Kinds() {
+		cfg := testConfig(alg)
+		cfg.ExecPattern = Sequential
+		cfg.PagesPerFile = 40 // force aborts mid-chain too
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits == 0 {
+			t.Errorf("%v sequential: no commits", alg)
+		}
+	}
+}
+
+func TestEightWayHeavyContentionNoWedge(t *testing.T) {
+	// Cross-node deadlocks under 2PL 8-way must be broken by the Snoop;
+	// the run may thrash but can never wedge. We check that commits keep
+	// happening in the second half of the run.
+	cfg := DefaultConfig()
+	cfg.Algorithm = cc.TwoPL
+	cfg.PartitionWays = 8
+	cfg.NumTerminals = 48
+	cfg.PagesPerFile = 30
+	cfg.ThinkTimeMs = 0
+	cfg.SimTimeMs = 120_000
+	cfg.WarmupMs = 60_000 // "second half"
+	cfg.Seed = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits in the second half: deadlocked machine")
+	}
+	if res.Aborts == 0 {
+		t.Error("expected deadlock/contention aborts in this regime")
+	}
+}
+
+func TestWoundWaitHeavyContentionNoWedge(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = cc.WoundWait
+	cfg.PartitionWays = 8
+	cfg.NumTerminals = 48
+	cfg.PagesPerFile = 30
+	cfg.ThinkTimeMs = 0
+	cfg.SimTimeMs = 120_000
+	cfg.WarmupMs = 60_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("wound-wait wedged")
+	}
+}
+
+func TestSnoopIntervalAffectsDeadlockLatency(t *testing.T) {
+	// With a very long detection interval, global deadlocks persist longer:
+	// mean blocking time should not shrink when detection is 16x slower.
+	fast := DefaultConfig()
+	fast.Algorithm = cc.TwoPL
+	fast.PartitionWays = 8
+	fast.NumTerminals = 48
+	fast.PagesPerFile = 30
+	fast.ThinkTimeMs = 0
+	fast.SimTimeMs = 90_000
+	fast.WarmupMs = 15_000
+	fast.DetectionIntervalMs = 250
+	slow := fast
+	slow.DetectionIntervalMs = 8000
+	rf, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Commits == 0 || rs.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if rs.ThroughputTPS > rf.ThroughputTPS*1.3 {
+		t.Errorf("16x slower detection markedly increased throughput (%v vs %v tps)",
+			rf.ThroughputTPS, rs.ThroughputTPS)
+	}
+}
+
+func TestUpgradeWriteLockModeRunsAndSerializes(t *testing.T) {
+	// The literal read-then-convert mode (§2.2) admits conversion
+	// deadlocks; it must still make progress and stay serializable for
+	// both locking algorithms.
+	for _, alg := range []cc.Kind{cc.TwoPL, cc.WoundWait} {
+		cfg := testConfig(alg)
+		cfg.UpgradeWriteLocks = true
+		cfg.PagesPerFile = 40
+		cfg.ThinkTimeMs = 0
+		cfg.Audit = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits < 50 {
+			t.Fatalf("%v upgrade mode: %d commits", alg, res.Commits)
+		}
+		if len(res.AuditViolations) != 0 {
+			t.Fatalf("%v upgrade mode anomalies: %s", alg, res.AuditViolations[0])
+		}
+	}
+}
+
+func TestHostNotBottleneck(t *testing.T) {
+	// Table 4 makes the host 10x faster so it never limits the system; its
+	// utilization should stay well below the processing nodes'.
+	cfg := testConfig(cc.NoDC)
+	cfg.ThinkTimeMs = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostCPUUtil > res.ProcCPUUtil {
+		t.Errorf("host CPU (%v) busier than processing nodes (%v)",
+			res.HostCPUUtil, res.ProcCPUUtil)
+	}
+	if res.HostCPUUtil > 0.5 {
+		t.Errorf("host CPU utilization %v; the host should not approach saturation", res.HostCPUUtil)
+	}
+}
+
+func TestMoreTerminalsMoreThroughputUntilSaturation(t *testing.T) {
+	few := testConfig(cc.NoDC)
+	few.NumTerminals = 4
+	few.ThinkTimeMs = 2000
+	many := few
+	many.NumTerminals = 16
+	rf, err := Run(few)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Run(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.ThroughputTPS <= rf.ThroughputTPS {
+		t.Errorf("4x terminals did not raise throughput below saturation: %v vs %v",
+			rf.ThroughputTPS, rm.ThroughputTPS)
+	}
+}
+
+func TestLargerDatabaseLessContention(t *testing.T) {
+	small := testConfig(cc.OPT)
+	small.PagesPerFile = 40
+	small.ThinkTimeMs = 0
+	large := small
+	large.PagesPerFile = 1200
+	rs, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.AbortRatio >= rs.AbortRatio {
+		t.Errorf("abort ratio did not fall with database size: %v vs %v",
+			rs.AbortRatio, rl.AbortRatio)
+	}
+}
+
+func TestMultiClassWorkloadRuns(t *testing.T) {
+	// A classic mix: 75% small updaters, 25% relation-wide readers running
+	// sequentially. Every algorithm must handle it; the auditor must stay
+	// clean for the safe algorithms.
+	for _, alg := range []cc.Kind{cc.TwoPL, cc.BTO} {
+		cfg := testConfig(alg)
+		cfg.Audit = true
+		cfg.Classes = []TxnClass{
+			{Frac: 0.75, FileCount: 1, AvgPagesPerPartition: 4, WriteProb: 0.5, InstPerPage: 4000},
+			{Frac: 0.25, FileCount: 0, AvgPagesPerPartition: 8, WriteProb: 0, InstPerPage: 8000, Sequential: true},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits < 100 {
+			t.Fatalf("%v multi-class: %d commits", alg, res.Commits)
+		}
+		if len(res.AuditViolations) != 0 {
+			t.Fatalf("%v multi-class anomalies: %s", alg, res.AuditViolations[0])
+		}
+	}
+}
+
+func TestMultiClassValidationSurfaces(t *testing.T) {
+	cfg := testConfig(cc.TwoPL)
+	cfg.Classes = []TxnClass{{Frac: 0.4, AvgPagesPerPartition: 4, InstPerPage: 1}}
+	if _, err := NewMachine(cfg); err == nil {
+		t.Fatal("class fractions not summing to 1 accepted")
+	}
+}
+
+func TestSmallClassFasterThanBigClass(t *testing.T) {
+	// With a FileCount=1 class the transactions touch one partition: mean
+	// response must be far below the full-relation default workload's.
+	small := testConfig(cc.NoDC)
+	small.Classes = []TxnClass{{Frac: 1, FileCount: 1, AvgPagesPerPartition: 8, WriteProb: 0.25, InstPerPage: 8000}}
+	big := testConfig(cc.NoDC)
+	rs, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.MeanResponseMs*2 > rb.MeanResponseMs {
+		t.Errorf("single-partition class (%v ms) not much faster than full-relation (%v ms)",
+			rs.MeanResponseMs, rb.MeanResponseMs)
+	}
+}
+
+func TestResponsePercentilesOrdered(t *testing.T) {
+	res, err := Run(testConfig(cc.TwoPL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RespP50Ms <= 0 {
+		t.Fatal("no P50")
+	}
+	if !(res.RespP50Ms <= res.RespP90Ms && res.RespP90Ms <= res.RespP99Ms &&
+		res.RespP99Ms <= res.MaxResponseMs) {
+		t.Errorf("percentiles out of order: P50=%v P90=%v P99=%v max=%v",
+			res.RespP50Ms, res.RespP90Ms, res.RespP99Ms, res.MaxResponseMs)
+	}
+	if res.RespP50Ms > res.MeanResponseMs*2 {
+		t.Errorf("median %v wildly above mean %v", res.RespP50Ms, res.MeanResponseMs)
+	}
+}
+
+func TestMessagesScaleWithCohorts(t *testing.T) {
+	// 8 cohorts need substantially more messages per commit than 1 cohort.
+	oneWay := DefaultConfig()
+	oneWay.Algorithm = cc.NoDC
+	oneWay.PartitionWays = 1
+	oneWay.NumTerminals = 8
+	oneWay.ThinkTimeMs = 2000
+	oneWay.SimTimeMs = 60_000
+	oneWay.WarmupMs = 6_000
+	eightWay := oneWay
+	eightWay.PartitionWays = 8
+	r1, err := Run(oneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(eightWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := float64(r1.MessagesSent) / float64(r1.Commits)
+	m8 := float64(r8.MessagesSent) / float64(r8.Commits)
+	if m8 < 4*m1 {
+		t.Errorf("messages per commit: 1-way %v, 8-way %v; expected ~8x", m1, m8)
+	}
+}

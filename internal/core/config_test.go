@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ddbm/internal/cc"
+)
+
+func TestDefaultConfigMatchesTable4(t *testing.T) {
+	c := DefaultConfig()
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"NumProcNodes", float64(c.NumProcNodes), 8},
+		{"NumRelations", float64(c.NumRelations), 8},
+		{"PartsPerRelation", float64(c.PartsPerRelation), 8},
+		{"PagesPerFile", float64(c.PagesPerFile), 300},
+		{"NumTerminals", float64(c.NumTerminals), 128},
+		{"AvgPagesPerPartition", float64(c.AvgPagesPerPartition), 8},
+		{"WriteProb", c.WriteProb, 0.25},
+		{"InstPerPage", c.InstPerPage, 8000},
+		{"HostMIPS", c.HostMIPS, 10},
+		{"ProcMIPS", c.ProcMIPS, 1},
+		{"NumDisks", float64(c.NumDisks), 2},
+		{"MinDiskMs", c.MinDiskMs, 10},
+		{"MaxDiskMs", c.MaxDiskMs, 30},
+		{"InstPerUpdate", c.InstPerUpdate, 2000},
+		{"InstPerStartup", c.InstPerStartup, 2000},
+		{"InstPerMsg", c.InstPerMsg, 1000},
+		{"InstPerCCReq", c.InstPerCCReq, 0},
+		{"DetectionIntervalMs", c.DetectionIntervalMs, 1000},
+	}
+	for _, tc := range checks {
+		if tc.got != tc.want {
+			t.Errorf("%s = %v, want %v (paper Table 4)", tc.name, tc.got, tc.want)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	// Database size check: 64 files x 300 pages = 19,200 pages (small DB).
+	if c.NumRelations*c.PartsPerRelation*c.PagesPerFile != 19200 {
+		t.Error("default database is not the paper's 19,200-page small DB")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero nodes", func(c *Config) { c.NumProcNodes = 0 }, "NumProcNodes"},
+		{"zero relations", func(c *Config) { c.NumRelations = 0 }, "database dimensions"},
+		{"zero terminals", func(c *Config) { c.NumTerminals = 0 }, "NumTerminals"},
+		{"negative think", func(c *Config) { c.ThinkTimeMs = -1 }, "ThinkTimeMs"},
+		{"zero pages per partition", func(c *Config) { c.AvgPagesPerPartition = 0 }, "AvgPagesPerPartition"},
+		{"bad write prob", func(c *Config) { c.WriteProb = 1.5 }, "WriteProb"},
+		{"zero MIPS", func(c *Config) { c.ProcMIPS = 0 }, "CPU speeds"},
+		{"zero disks", func(c *Config) { c.NumDisks = 0 }, "NumDisks"},
+		{"bad disk range", func(c *Config) { c.MaxDiskMs = 5 }, "disk time range"},
+		{"negative overhead", func(c *Config) { c.InstPerMsg = -1 }, "overheads"},
+		{"zero sim time", func(c *Config) { c.SimTimeMs = 0 }, "SimTimeMs"},
+		{"warmup too long", func(c *Config) { c.WarmupMs = c.SimTimeMs }, "WarmupMs"},
+		{"2PL zero detect", func(c *Config) { c.DetectionIntervalMs = 0 }, "DetectionInterval"},
+		{"scaled indivisible", func(c *Config) { c.NumProcNodes = 3 }, "scaled placement"},
+		{"ways too big", func(c *Config) { c.PartitionWays = 9 }, "PartitionWays"},
+		{"ways indivisible", func(c *Config) { c.PartitionWays = 3 }, "PartitionWays"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateAcceptsVariants(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Algorithm = cc.BTO; c.DetectionIntervalMs = 0 },
+		func(c *Config) { c.PartitionWays = 1 },
+		func(c *Config) { c.PartitionWays = 8 },
+		func(c *Config) { c.NumProcNodes = 1 },
+		func(c *Config) { c.ExecPattern = Sequential },
+		func(c *Config) { c.WarmupMs = 0 },
+	} {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("valid variant rejected: %v", err)
+		}
+	}
+}
+
+func TestExecPatternString(t *testing.T) {
+	if Parallel.String() != "parallel" || Sequential.String() != "sequential" {
+		t.Error("exec pattern strings wrong")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"ddbm/internal/cc"
+)
+
+func TestLoggingAddsForceLatency(t *testing.T) {
+	// An isolated transaction pays one prepare force (~20 ms, overlapped
+	// across cohorts) plus one commit-record force (~20 ms) — response
+	// must rise by roughly that much and never fall.
+	base := testConfig(cc.NoDC)
+	base.NumTerminals = 1
+	base.ThinkTimeMs = 200
+	off, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged := base
+	logged.ModelLogging = true
+	on, err := Run(logged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := on.MeanResponseMs - off.MeanResponseMs
+	if diff < 25 || diff > 120 {
+		t.Errorf("logging added %.1f ms to an idle transaction, want ~40 (two forces)", diff)
+	}
+}
+
+func TestLoggingAllAlgorithmsStillCorrect(t *testing.T) {
+	for _, alg := range []cc.Kind{cc.TwoPL, cc.WoundWait, cc.BTO, cc.OPT} {
+		cfg := testConfig(alg)
+		cfg.PagesPerFile = 40
+		cfg.ThinkTimeMs = 0
+		cfg.ModelLogging = true
+		cfg.Audit = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits < 50 {
+			t.Fatalf("%v with logging: %d commits", alg, res.Commits)
+		}
+		if alg != cc.OPT && len(res.AuditViolations) != 0 {
+			t.Fatalf("%v with logging anomalies: %s", alg, res.AuditViolations[0])
+		}
+	}
+}
+
+func TestLoggingRaisesDiskLoad(t *testing.T) {
+	// Use a lightly loaded system: at saturation the closed loop clamps
+	// utilization and the extra force disappears into the queue.
+	base := testConfig(cc.NoDC)
+	base.ThinkTimeMs = 20000
+	off, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged := base
+	logged.ModelLogging = true
+	on, err := Run(logged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.ProcDiskUtil <= off.ProcDiskUtil {
+		t.Errorf("prepare forces did not raise disk utilization: %v vs %v",
+			off.ProcDiskUtil, on.ProcDiskUtil)
+	}
+}

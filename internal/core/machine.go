@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ddbm/internal/audit"
+	"ddbm/internal/cc"
+	"ddbm/internal/cc/bto"
+	"ddbm/internal/cc/nodc"
+	"ddbm/internal/cc/opt"
+	"ddbm/internal/cc/twopl"
+	"ddbm/internal/cc/ww"
+	"ddbm/internal/db"
+	"ddbm/internal/network"
+	"ddbm/internal/resource"
+	"ddbm/internal/sim"
+	"ddbm/internal/workload"
+)
+
+// Machine is one assembled database machine: the host node, the processing
+// nodes with their resources and concurrency control managers, the network,
+// the workload source, and the metrics collector.
+type Machine struct {
+	cfg       Config
+	sim       *sim.Sim
+	cat       *db.Catalog
+	cpus      []*resource.CPU       // index 0..P-1: processing nodes; index P: host
+	disks     []*resource.DiskArray // processing nodes only
+	hostDisks *resource.DiskArray   // host node (commit-record forces)
+	net       *network.Network
+	mgrs      []cc.Manager
+	algo      cc.Algorithm
+	gen       *workload.Generator
+	stats     *statsCollector
+	rec       *audit.Recorder // non-nil when cfg.Audit
+	observer  func(TxnEvent)
+
+	hostID     int
+	tsCounter  int64
+	txnCounter int64
+}
+
+// NewMachine builds (but does not run) a machine from the configuration.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var cat *db.Catalog
+	var err error
+	if cfg.PartitionWays == 0 {
+		cat, err = db.PlaceScaled(cfg.NumRelations, cfg.PartsPerRelation, cfg.PagesPerFile, cfg.NumProcNodes)
+	} else {
+		cat, err = db.PlacePartitioned(cfg.NumRelations, cfg.PartsPerRelation, cfg.PagesPerFile,
+			cfg.NumProcNodes, cfg.PartitionWays)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ReplicaCount > 1 {
+		if err := cat.Replicate(cfg.ReplicaCount, cfg.NumProcNodes); err != nil {
+			return nil, err
+		}
+	}
+	if err := cat.Validate(cfg.NumProcNodes); err != nil {
+		return nil, err
+	}
+
+	s := sim.New(cfg.Seed)
+	m := &Machine{
+		cfg:    cfg,
+		sim:    s,
+		cat:    cat,
+		hostID: cfg.NumProcNodes,
+		stats:  newStatsCollector(),
+	}
+	if cfg.Audit {
+		m.rec = audit.NewRecorder()
+	}
+	for i := 0; i < cfg.NumProcNodes; i++ {
+		m.cpus = append(m.cpus, resource.NewCPU(s, cfg.ProcMIPS))
+		m.disks = append(m.disks, resource.NewDiskArray(s, cfg.NumDisks, cfg.MinDiskMs, cfg.MaxDiskMs))
+	}
+	m.cpus = append(m.cpus, resource.NewCPU(s, cfg.HostMIPS)) // host
+	m.hostDisks = resource.NewDiskArray(s, cfg.NumDisks, cfg.MinDiskMs, cfg.MaxDiskMs)
+	m.net = network.New(s, m.cpus, cfg.InstPerMsg)
+
+	switch cfg.Algorithm {
+	case cc.TwoPL:
+		if cfg.LockWaitTimeoutMs > 0 {
+			m.algo = twopl.NewWithTimeout(cfg.LockWaitTimeoutMs)
+		} else {
+			m.algo = twopl.New(cfg.DetectionIntervalMs)
+		}
+	case cc.O2PL:
+		if cfg.LockWaitTimeoutMs > 0 {
+			a := twopl.NewWithTimeout(cfg.LockWaitTimeoutMs)
+			a.Optimistic = true
+			m.algo = a
+		} else {
+			m.algo = twopl.NewO2PL(cfg.DetectionIntervalMs)
+		}
+	case cc.WoundWait:
+		m.algo = ww.New()
+	case cc.BTO:
+		m.algo = bto.New()
+	case cc.OPT:
+		m.algo = &opt.Algorithm{Strict: cfg.StrictOPT}
+	case cc.NoDC:
+		m.algo = nodc.New()
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
+	}
+	for i := 0; i < cfg.NumProcNodes; i++ {
+		m.mgrs = append(m.mgrs, m.algo.NewManager(cc.Env{Sim: s, Node: i}))
+	}
+
+	spread := workload.SpreadHalfToThreeHalves
+	if cfg.SpreadHalfToTwice {
+		spread = workload.SpreadHalfToTwice
+	}
+	m.gen = &workload.Generator{
+		Catalog:     cat,
+		AvgPages:    cfg.AvgPagesPerPartition,
+		WriteProb:   cfg.WriteProb,
+		InstPerPage: cfg.InstPerPage,
+		Spread:      spread,
+	}
+	for _, cl := range cfg.Classes {
+		m.gen.Classes = append(m.gen.Classes, workload.Class{
+			Frac:        cl.Frac,
+			Sequential:  cl.Sequential,
+			FileCount:   cl.FileCount,
+			AvgPages:    cl.AvgPagesPerPartition,
+			WriteProb:   cl.WriteProb,
+			InstPerPage: cl.InstPerPage,
+		})
+	}
+	if err := m.gen.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Sim exposes the simulator (tests and extensions).
+func (m *Machine) Sim() *sim.Sim { return m.sim }
+
+// Catalog exposes the database catalog.
+func (m *Machine) Catalog() *db.Catalog { return m.cat }
+
+// Manager returns the concurrency control manager of a processing node.
+func (m *Machine) Manager(node int) cc.Manager { return m.mgrs[node] }
+
+// nextTS returns the next globally unique, monotone timestamp.
+func (m *Machine) nextTS() int64 {
+	m.tsCounter++
+	return m.tsCounter
+}
+
+func (m *Machine) nextTxnID() int64 {
+	m.txnCounter++
+	return m.txnCounter
+}
+
+// globalEnv adapts the machine to cc.GlobalEnv for algorithm-global
+// machinery (the 2PL Snoop).
+type globalEnv struct{ m *Machine }
+
+func (g globalEnv) Sim() *sim.Sim                            { return g.m.sim }
+func (g globalEnv) NumProcNodes() int                        { return g.m.cfg.NumProcNodes }
+func (g globalEnv) ManagerAt(node int) cc.Manager            { return g.m.mgrs[node] }
+func (g globalEnv) SendControl(from, to int, deliver func()) { g.m.net.Send(from, to, deliver) }
+
+// Start launches the workload (terminals) and algorithm-global processes,
+// and schedules the warmup boundary. Exposed separately from Run for tests
+// that drive the simulator manually.
+func (m *Machine) Start() {
+	m.algo.StartGlobal(globalEnv{m})
+	for t := 0; t < m.cfg.NumTerminals; t++ {
+		t := t
+		m.sim.Spawn(fmt.Sprintf("terminal-%d", t), func(p *sim.Proc) {
+			m.terminal(p, t)
+		})
+	}
+	m.sim.Schedule(m.cfg.WarmupMs, func() {
+		m.stats.startMeasuring(m.sim.Now())
+		for _, c := range m.cpus {
+			c.MarkWarmup()
+		}
+		for _, d := range m.disks {
+			d.MarkWarmup()
+		}
+	})
+}
+
+// Run executes the configured simulation and returns its metrics.
+func (m *Machine) Run() Result {
+	m.Start()
+	m.sim.Run(m.cfg.SimTimeMs)
+	return m.result()
+}
+
+// Run builds a machine from cfg, runs it, and returns the result.
+func Run(cfg Config) (Result, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(), nil
+}
+
+// result gathers the metrics after the run.
+func (m *Machine) result() Result {
+	cfg := m.cfg
+	measured := m.sim.Now() - cfg.WarmupMs
+	r := Result{
+		Config:     cfg,
+		MeasuredMs: measured,
+		Commits:    m.stats.commits,
+		Aborts:     m.stats.aborts,
+	}
+	if measured > 0 {
+		r.ThroughputTPS = float64(m.stats.commits) / (measured / 1000)
+	}
+	r.MeanResponseMs = m.stats.resp.Mean()
+	r.RespHalfWidth95 = m.stats.respBatch.HalfWidth95()
+	r.RespStdDev = m.stats.resp.StdDev()
+	r.MaxResponseMs = m.stats.resp.Max()
+	if n := len(m.stats.respAll); n > 0 {
+		sorted := make([]float64, n)
+		copy(sorted, m.stats.respAll)
+		sort.Float64s(sorted)
+		pct := func(p float64) float64 {
+			i := int(p * float64(n-1))
+			return sorted[i]
+		}
+		r.RespP50Ms = pct(0.50)
+		r.RespP90Ms = pct(0.90)
+		r.RespP99Ms = pct(0.99)
+	}
+	if m.stats.commits > 0 {
+		r.AbortRatio = float64(m.stats.aborts) / float64(m.stats.commits)
+	} else if m.stats.aborts > 0 {
+		r.AbortRatio = float64(m.stats.aborts)
+	}
+	r.MeanRestarts = m.stats.restarts.Mean()
+	r.MeanBlockMs = m.stats.block.Mean()
+	r.BlockCount = m.stats.block.Count()
+	for i := 0; i < cfg.NumProcNodes; i++ {
+		cu := m.cpus[i].Utilization()
+		du := m.disks[i].Utilization()
+		r.PerNodeCPUUtil = append(r.PerNodeCPUUtil, cu)
+		r.PerNodeDiskUtil = append(r.PerNodeDiskUtil, du)
+		r.ProcCPUUtil += cu
+		r.ProcDiskUtil += du
+	}
+	r.ProcCPUUtil /= float64(cfg.NumProcNodes)
+	r.ProcDiskUtil /= float64(cfg.NumProcNodes)
+	r.HostCPUUtil = m.cpus[m.hostID].Utilization()
+	r.MessagesSent = m.net.Sent()
+	r.AvgActiveTxns = m.stats.active.Mean(m.sim.Now())
+	if m.rec != nil {
+		r.AuditedTxns = int64(len(m.rec.Records()))
+		for _, v := range m.rec.Check() {
+			r.AuditViolations = append(r.AuditViolations, v.String())
+		}
+	}
+	return r
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"ddbm/internal/sim"
+	"ddbm/internal/stats"
+)
+
+// statsCollector accumulates the paper's performance metrics. Counting
+// starts only after the warmup boundary; the running average response time
+// (used for restart delays) covers the whole run.
+type statsCollector struct {
+	measuring  bool
+	measureAt  sim.Time
+	commits    int64
+	aborts     int64
+	resp       stats.Welford
+	respAll    []float64 // every post-warmup response, for percentiles
+	respBatch  *stats.BatchMeans
+	restarts   stats.Welford
+	block      stats.Welford
+	active     stats.TimeWeighted
+	runningAvg stats.Welford // all commits, incl. warmup (restart delay)
+}
+
+func newStatsCollector() *statsCollector {
+	return &statsCollector{respBatch: stats.NewBatchMeans(50)}
+}
+
+// startMeasuring marks the warmup boundary.
+func (s *statsCollector) startMeasuring(now sim.Time) {
+	s.measuring = true
+	s.measureAt = now
+	s.active.ResetAt(now)
+}
+
+func (s *statsCollector) txnStarted(now sim.Time) {
+	s.active.Set(now, s.active.Value()+1)
+}
+
+func (s *statsCollector) txnCommitted(now sim.Time, responseMs float64, restarts int) {
+	s.active.Set(now, s.active.Value()-1)
+	s.runningAvg.Add(responseMs)
+	if !s.measuring {
+		return
+	}
+	s.commits++
+	s.resp.Add(responseMs)
+	s.respAll = append(s.respAll, responseMs)
+	s.respBatch.Add(responseMs)
+	s.restarts.Add(float64(restarts))
+}
+
+func (s *statsCollector) txnAborted() {
+	if s.measuring {
+		s.aborts++
+	}
+}
+
+func (s *statsCollector) blocked(d sim.Time) {
+	if s.measuring && d > 0 {
+		s.block.Add(d)
+	}
+}
+
+// avgResponse is the restart delay: the running average response time
+// observed at the coordinator node, or def before the first commit.
+func (s *statsCollector) avgResponse(def float64) float64 {
+	if s.runningAvg.Count() == 0 {
+		return def
+	}
+	return s.runningAvg.Mean()
+}
+
+// Result reports the outcome of one simulation run.
+type Result struct {
+	// Config echoes the run's configuration.
+	Config Config
+
+	// MeasuredMs is the length of the measurement window (after warmup).
+	MeasuredMs float64
+	// Commits and Aborts count transaction commits and aborted execution
+	// attempts inside the measurement window.
+	Commits int64
+	Aborts  int64
+	// ThroughputTPS is commits per second of simulated time.
+	ThroughputTPS float64
+	// MeanResponseMs is the mean transaction response time (origination to
+	// successful completion, including restarts); RespHalfWidth95 is the
+	// batch-means 95% confidence half-width, RespStdDev and MaxResponseMs
+	// describe the distribution.
+	MeanResponseMs  float64
+	RespHalfWidth95 float64
+	RespStdDev      float64
+	MaxResponseMs   float64
+	// RespP50Ms, RespP90Ms and RespP99Ms are response-time percentiles
+	// (0 when nothing committed in the measurement window).
+	RespP50Ms float64
+	RespP90Ms float64
+	RespP99Ms float64
+	// AbortRatio is aborts per commit (the paper's abort ratio).
+	AbortRatio float64
+	// MeanRestarts is the average number of restarts per committed
+	// transaction.
+	MeanRestarts float64
+	// MeanBlockMs is the average duration of one blocking episode in the
+	// concurrency control manager (the paper's 2PL blocking-time metric);
+	// BlockCount is how many episodes occurred.
+	MeanBlockMs float64
+	BlockCount  int64
+	// ProcCPUUtil / ProcDiskUtil average utilization across processing
+	// nodes; HostCPUUtil is the host's CPU utilization.
+	ProcCPUUtil  float64
+	ProcDiskUtil float64
+	HostCPUUtil  float64
+	// PerNodeCPUUtil and PerNodeDiskUtil give the per-processing-node
+	// detail.
+	PerNodeCPUUtil  []float64
+	PerNodeDiskUtil []float64
+	// MessagesSent counts inter-node messages over the whole run.
+	MessagesSent int64
+	// AvgActiveTxns is the time-average number of in-flight transactions.
+	AvgActiveTxns float64
+
+	// AuditedTxns counts the committed transactions checked by the
+	// serializability auditor (0 when Config.Audit is off) and
+	// AuditViolations lists any anomalies it found, rendered as strings.
+	// For the strict locking algorithms and BTO this must be empty; the
+	// paper-faithful OPT certification has a known certify/commit window
+	// that the auditor can expose (closed by Config.StrictOPT).
+	AuditedTxns     int64
+	AuditViolations []string
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"ddbm/internal/cc"
+)
+
+func TestO2PLEndToEnd(t *testing.T) {
+	cfg := testConfig(cc.O2PL)
+	cfg.PagesPerFile = 40
+	cfg.ThinkTimeMs = 0
+	cfg.Audit = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits < 50 {
+		t.Fatalf("O2PL made no progress: %d commits", res.Commits)
+	}
+	if res.Aborts == 0 {
+		t.Error("O2PL under contention should abort sometimes (deadlocks at prepare)")
+	}
+	if len(res.AuditViolations) != 0 {
+		t.Fatalf("O2PL anomalies: %s", res.AuditViolations[0])
+	}
+}
+
+func TestO2PLWithReplication(t *testing.T) {
+	cfg := replConfig(cc.O2PL, 2)
+	cfg.PagesPerFile = 40
+	cfg.ThinkTimeMs = 0
+	cfg.Audit = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits < 50 {
+		t.Fatalf("O2PL+replication: %d commits", res.Commits)
+	}
+	if len(res.AuditViolations) != 0 {
+		t.Fatalf("O2PL+replication anomalies: %s", res.AuditViolations[0])
+	}
+}
+
+func TestO2PLHoldsWriteLocksShorter(t *testing.T) {
+	// O2PL's point: write locks exist only between prepare and commit, so
+	// under write contention readers block far less than under 2PL with
+	// immediate exclusive locks. Compare blocking totals.
+	base := testConfig(cc.TwoPL)
+	base.PagesPerFile = 40
+	base.ThinkTimeMs = 0
+	base.WriteProb = 0.5
+	r2pl, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := base
+	o.Algorithm = cc.O2PL
+	ro2, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total2pl := r2pl.MeanBlockMs * float64(r2pl.BlockCount) / float64(r2pl.Commits)
+	totalO2 := ro2.MeanBlockMs * float64(ro2.BlockCount) / float64(ro2.Commits)
+	if totalO2 >= total2pl {
+		t.Errorf("O2PL blocking per commit (%.0f ms) not below 2PL's (%.0f ms)", totalO2, total2pl)
+	}
+	t.Logf("2PL: %.2f tps, %.0f ms blocked/commit, %.3f aborts; O2PL: %.2f tps, %.0f ms blocked/commit, %.3f aborts",
+		r2pl.ThroughputTPS, total2pl, r2pl.AbortRatio, ro2.ThroughputTPS, totalO2, ro2.AbortRatio)
+}
+
+func TestO2PLTimeoutModeRuns(t *testing.T) {
+	cfg := testConfig(cc.O2PL)
+	cfg.DetectionIntervalMs = 0
+	cfg.LockWaitTimeoutMs = 2000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("O2PL timeout mode wedged")
+	}
+}
+
+func TestO2PLValidation(t *testing.T) {
+	cfg := testConfig(cc.O2PL)
+	cfg.DetectionIntervalMs = 0
+	if _, err := NewMachine(cfg); err == nil {
+		t.Fatal("O2PL without detection interval or timeout accepted")
+	}
+}
+
+func TestO2PLKindWiring(t *testing.T) {
+	m, err := NewMachine(testConfig(cc.O2PL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Manager(0).Kind() != cc.O2PL {
+		t.Fatalf("manager kind %v, want O2PL", m.Manager(0).Kind())
+	}
+}

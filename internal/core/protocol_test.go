@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"ddbm/internal/cc"
+)
+
+// TestMessageCountPerCommit pins the exact message complexity of the
+// transaction protocol: an uncontested parallel transaction with cohorts
+// on N nodes exchanges 6N messages — N loads, N done reports, N prepares,
+// N votes, N commits and N acks (paper §2.1's coordinator/cohort structure
+// with centralized 2PC).
+func TestMessageCountPerCommit(t *testing.T) {
+	for _, pattern := range []ExecPattern{Parallel, Sequential} {
+		for _, ways := range []int{1, 2, 4, 8} {
+			cfg := DefaultConfig()
+			cfg.Algorithm = cc.NoDC
+			cfg.PartitionWays = ways
+			cfg.NumTerminals = 1
+			cfg.ThinkTimeMs = 100
+			cfg.ExecPattern = pattern
+			cfg.SimTimeMs = 120_000
+			cfg.WarmupMs = 0
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Commits < 20 {
+				t.Fatalf("ways=%d: only %d commits", ways, res.Commits)
+			}
+			perCommit := float64(res.MessagesSent) / float64(res.Commits)
+			want := float64(6 * ways)
+			// The transaction in flight at the cutoff contributes partial
+			// messages; allow a fraction of one transaction's worth.
+			if perCommit < want || perCommit > want+want/float64(res.Commits)+0.5 {
+				t.Errorf("%v ways=%d: %.3f messages/commit, want %v", pattern, ways, perCommit, want)
+			}
+		}
+	}
+}
+
+// TestSequentialAbortMidChain forces an abort while later cohorts of a
+// sequential transaction have not been loaded: the machine must stay
+// consistent and keep committing afterwards.
+func TestSequentialAbortMidChain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = cc.BTO // access-time rejections abort mid-chain
+	cfg.ExecPattern = Sequential
+	cfg.PartitionWays = 8
+	cfg.NumProcNodes = 8
+	cfg.NumTerminals = 32
+	cfg.PagesPerFile = 40
+	cfg.ThinkTimeMs = 0
+	cfg.SimTimeMs = 90_000
+	cfg.WarmupMs = 15_000
+	cfg.Audit = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborts == 0 {
+		t.Fatal("no aborts: the mid-chain path was not exercised")
+	}
+	if res.Commits == 0 {
+		t.Fatal("sequential machine wedged after aborts")
+	}
+	if len(res.AuditViolations) != 0 {
+		t.Fatalf("anomalies: %s", res.AuditViolations[0])
+	}
+}
+
+// TestBlockingMeasuredViaCCRequests verifies the blocking-time metric
+// reflects only concurrency control waits, not CPU or disk queueing: the
+// NO_DC baseline must record zero blocking even under heavy load.
+func TestBlockingMeasuredViaCCRequests(t *testing.T) {
+	cfg := testConfig(cc.NoDC)
+	cfg.ThinkTimeMs = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockCount != 0 {
+		t.Errorf("NO_DC recorded %d blocking episodes", res.BlockCount)
+	}
+}
+
+// TestActiveTxnsTracksTerminals checks the time-average active-transaction
+// count: at think 0 every terminal always has a transaction in flight.
+func TestActiveTxnsTracksTerminals(t *testing.T) {
+	cfg := testConfig(cc.NoDC)
+	cfg.ThinkTimeMs = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgActiveTxns < float64(cfg.NumTerminals)-1 {
+		t.Errorf("active transactions %.2f, want ~%d at think 0", res.AvgActiveTxns, cfg.NumTerminals)
+	}
+}
+
+// TestRestartDelayAdapts confirms the restart delay follows the running
+// average response time: with a tiny initial delay and substantial real
+// response times, aborted transactions must not retry in a tight loop.
+func TestRestartDelayAdapts(t *testing.T) {
+	cfg := testConfig(cc.OPT)
+	cfg.PagesPerFile = 30
+	cfg.ThinkTimeMs = 0
+	cfg.InitialRestartDelayMs = 1 // pathological initial value
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	// If the delay never adapted, the abort count would explode (every
+	// abort retried within ~1 ms against the same conflicts).
+	if res.AbortRatio > 50 {
+		t.Errorf("abort ratio %.1f suggests restart delay never adapted", res.AbortRatio)
+	}
+}
+
+// TestMeasuredStatsOnlyAfterWarmup verifies warmup exclusion: with the
+// warmup covering the whole interesting period, measured commits must be
+// far fewer than in an unwarmed run.
+func TestMeasuredStatsOnlyAfterWarmup(t *testing.T) {
+	base := testConfig(cc.NoDC)
+	base.SimTimeMs = 40_000
+	base.WarmupMs = 0
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := base
+	late.WarmupMs = 36_000
+	tail, err := Run(late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.Commits >= full.Commits {
+		t.Errorf("warmup did not exclude commits: %d vs %d", tail.Commits, full.Commits)
+	}
+	if tail.MeasuredMs >= full.MeasuredMs {
+		t.Error("measured window not shortened by warmup")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"ddbm/internal/cc"
+)
+
+func replConfig(alg cc.Kind, replicas int) Config {
+	cfg := DefaultConfig()
+	cfg.Algorithm = alg
+	cfg.NumProcNodes = 4
+	cfg.ReplicaCount = replicas
+	cfg.NumTerminals = 24
+	cfg.PagesPerFile = 60
+	cfg.ThinkTimeMs = 1000
+	cfg.SimTimeMs = 60_000
+	cfg.WarmupMs = 10_000
+	cfg.Seed = 13
+	return cfg
+}
+
+func TestReplicationRunsAllAlgorithms(t *testing.T) {
+	for _, alg := range cc.Kinds() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			res, err := Run(replConfig(alg, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Commits < 50 {
+				t.Fatalf("only %d commits with replication", res.Commits)
+			}
+		})
+	}
+}
+
+func TestReplicationCostsMoreThanNone(t *testing.T) {
+	// Write-all makes updates more expensive: more disk writes, more
+	// cohorts, more messages — response must rise with the replica count.
+	r1, err := Run(replConfig(cc.TwoPL, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Run(replConfig(cc.TwoPL, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.MeanResponseMs <= r1.MeanResponseMs {
+		t.Errorf("3 copies (%v ms) not slower than 1 copy (%v ms)",
+			r3.MeanResponseMs, r1.MeanResponseMs)
+	}
+	m1 := float64(r1.MessagesSent) / float64(r1.Commits)
+	m3 := float64(r3.MessagesSent) / float64(r3.Commits)
+	if m3 <= m1 {
+		t.Errorf("messages per commit did not rise with replication: %v vs %v", m1, m3)
+	}
+}
+
+func TestReplicationSerializable(t *testing.T) {
+	// Read-one/write-all with each algorithm stays serializable under the
+	// auditor (per-copy version tracking).
+	for _, alg := range []cc.Kind{cc.TwoPL, cc.WoundWait, cc.BTO} {
+		cfg := replConfig(alg, 2)
+		cfg.PagesPerFile = 40
+		cfg.ThinkTimeMs = 0
+		cfg.Audit = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Aborts == 0 {
+			t.Errorf("%v: no conflicts; audit is vacuous", alg)
+		}
+		if len(res.AuditViolations) != 0 {
+			t.Errorf("%v with replication: %d anomalies, e.g. %s",
+				alg, len(res.AuditViolations), res.AuditViolations[0])
+		}
+	}
+}
+
+func TestDeferredWriteLocksRun(t *testing.T) {
+	cfg := replConfig(cc.TwoPL, 2)
+	cfg.DeferRemoteWriteLocks = true
+	cfg.PagesPerFile = 40
+	cfg.ThinkTimeMs = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits < 50 {
+		t.Fatalf("deferred-lock 2PL made no progress: %d commits", res.Commits)
+	}
+}
+
+func TestDeferredWriteLocksSerializable(t *testing.T) {
+	cfg := replConfig(cc.TwoPL, 2)
+	cfg.DeferRemoteWriteLocks = true
+	cfg.PagesPerFile = 40
+	cfg.ThinkTimeMs = 0
+	cfg.Audit = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AuditViolations) != 0 {
+		t.Fatalf("deferred-lock 2PL anomalies: %s", res.AuditViolations[0])
+	}
+}
+
+func TestDeferredWriteLocksShortenBlocking(t *testing.T) {
+	// The whole point of [Care89]: remote-copy write locks held only from
+	// prepare to commit instead of from access to commit. Hold times drop,
+	// so blocking (and with it response time under write contention)
+	// should not be worse than the immediate scheme.
+	base := replConfig(cc.TwoPL, 3)
+	base.PagesPerFile = 40
+	base.ThinkTimeMs = 0
+	base.WriteProb = 0.5 // make remote-copy write locks the contention source
+	imm := base
+	def := base
+	def.DeferRemoteWriteLocks = true
+	ri, err := Run(imm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Run(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.ThroughputTPS < ri.ThroughputTPS*0.9 {
+		t.Errorf("deferred locks markedly hurt throughput: %v vs %v tps",
+			rd.ThroughputTPS, ri.ThroughputTPS)
+	}
+	t.Logf("immediate: %.2f tps, block %.0f ms; deferred: %.2f tps, block %.0f ms",
+		ri.ThroughputTPS, ri.MeanBlockMs, rd.ThroughputTPS, rd.MeanBlockMs)
+}
+
+func TestDeferValidation(t *testing.T) {
+	cfg := replConfig(cc.OPT, 2)
+	cfg.DeferRemoteWriteLocks = true
+	if _, err := NewMachine(cfg); err == nil {
+		t.Error("deferred locks accepted for non-2PL algorithm")
+	}
+	cfg2 := replConfig(cc.TwoPL, 1)
+	cfg2.DeferRemoteWriteLocks = true
+	if _, err := NewMachine(cfg2); err == nil {
+		t.Error("deferred locks accepted without replication")
+	}
+	cfg3 := replConfig(cc.TwoPL, 9)
+	if _, err := NewMachine(cfg3); err == nil {
+		t.Error("replica count above node count accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"ddbm/internal/sim"
+)
+
+// TxnEventKind labels a transaction life-cycle event.
+type TxnEventKind int
+
+const (
+	// TxnSubmitted: a terminal submitted a new transaction.
+	TxnSubmitted TxnEventKind = iota
+	// TxnAttemptStarted: an execution attempt began (first or restart).
+	TxnAttemptStarted
+	// TxnAttemptAborted: the attempt aborted; Detail holds the reason.
+	TxnAttemptAborted
+	// TxnCommitted: the commit decision was made (response complete).
+	TxnCommitted
+)
+
+func (k TxnEventKind) String() string {
+	switch k {
+	case TxnSubmitted:
+		return "submitted"
+	case TxnAttemptStarted:
+		return "attempt"
+	case TxnAttemptAborted:
+		return "aborted"
+	case TxnCommitted:
+		return "committed"
+	default:
+		return fmt.Sprintf("TxnEventKind(%d)", int(k))
+	}
+}
+
+// TxnEvent is one observation of a transaction's life cycle.
+type TxnEvent struct {
+	// Time is the simulated time in milliseconds.
+	Time sim.Time
+	// Txn is the transaction identifier; Attempt counts executions (1 =
+	// first run).
+	Txn     int64
+	Attempt int
+	Kind    TxnEventKind
+	// Detail carries the abort reason for TxnAttemptAborted.
+	Detail string
+}
+
+func (e TxnEvent) String() string {
+	s := fmt.Sprintf("%10.1fms txn %-6d #%d %s", e.Time, e.Txn, e.Attempt, e.Kind)
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// ObserveTxns registers a transaction life-cycle observer. It must be
+// called before Start/Run; passing nil removes the observer. Observation
+// has no effect on simulated behaviour.
+func (m *Machine) ObserveTxns(fn func(TxnEvent)) { m.observer = fn }
+
+// TraceTxns writes every transaction event to w (a convenience wrapper
+// around ObserveTxns).
+func (m *Machine) TraceTxns(w io.Writer) {
+	m.ObserveTxns(func(e TxnEvent) { fmt.Fprintln(w, e) })
+}
+
+func (m *Machine) emit(e TxnEvent) {
+	if m.observer != nil {
+		e.Time = m.sim.Now()
+		m.observer(e)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ddbm/internal/cc"
+)
+
+func TestTxnObserverLifecycle(t *testing.T) {
+	cfg := testConfig(cc.TwoPL)
+	cfg.PagesPerFile = 40
+	cfg.ThinkTimeMs = 0
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TxnEvent
+	m.ObserveTxns(func(e TxnEvent) { events = append(events, e) })
+	res := m.Run()
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+
+	// Per transaction: submitted first, attempts numbered from 1,
+	// aborts precede the next attempt, committed last (when present).
+	perTxn := map[int64][]TxnEvent{}
+	for _, e := range events {
+		if e.Time < 0 {
+			t.Fatal("negative event time")
+		}
+		perTxn[e.Txn] = append(perTxn[e.Txn], e)
+	}
+	committed := 0
+	aborted := 0
+	for id, evs := range perTxn {
+		if evs[0].Kind != TxnSubmitted {
+			t.Fatalf("txn %d first event %v, want submitted", id, evs[0].Kind)
+		}
+		attempt := 0
+		for _, e := range evs[1:] {
+			switch e.Kind {
+			case TxnAttemptStarted:
+				attempt++
+				if e.Attempt != attempt {
+					t.Fatalf("txn %d attempt numbering %d, want %d", id, e.Attempt, attempt)
+				}
+			case TxnAttemptAborted:
+				aborted++
+				if e.Detail == "" {
+					t.Fatalf("txn %d abort without a reason", id)
+				}
+			case TxnCommitted:
+				committed++
+			case TxnSubmitted:
+				t.Fatalf("txn %d submitted twice", id)
+			}
+		}
+	}
+	if committed == 0 {
+		t.Fatal("observer saw no commits")
+	}
+	if aborted == 0 {
+		t.Fatal("observer saw no aborts under heavy contention")
+	}
+}
+
+func TestTraceTxnsWrites(t *testing.T) {
+	cfg := testConfig(cc.NoDC)
+	cfg.NumTerminals = 1
+	cfg.SimTimeMs = 5000
+	cfg.WarmupMs = 500
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	m.TraceTxns(&sb)
+	m.Run()
+	out := sb.String()
+	for _, want := range []string{"submitted", "attempt", "committed", "txn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%.300s", want, out)
+		}
+	}
+}
+
+func TestObserverNilSafe(t *testing.T) {
+	cfg := testConfig(cc.NoDC)
+	cfg.NumTerminals = 1
+	cfg.SimTimeMs = 3000
+	cfg.WarmupMs = 300
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveTxns(func(TxnEvent) {})
+	m.ObserveTxns(nil) // removal
+	m.Run()
+}
+
+func TestTxnEventStrings(t *testing.T) {
+	e := TxnEvent{Time: 1234.5, Txn: 7, Attempt: 2, Kind: TxnAttemptAborted, Detail: "wounded"}
+	s := e.String()
+	for _, want := range []string{"txn 7", "#2", "aborted", "wounded"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+	if TxnEventKind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+
+	"ddbm/internal/audit"
+	"ddbm/internal/cc"
+	"ddbm/internal/db"
+	"ddbm/internal/sim"
+	"ddbm/internal/workload"
+)
+
+// Coordinator mailbox messages. Every message a cohort node sends to the
+// coordinator travels through the network with full CPU costs.
+type (
+	msgCohortDone struct{ idx int }
+	msgSelfAbort  struct {
+		idx    int
+		reason string
+	}
+	msgAbortNotice struct{ reason string }
+	msgVote        struct {
+		idx int
+		yes bool
+	}
+	msgAbortAck struct{ idx int }
+)
+
+// cohortRun is the coordinator's handle on one cohort of one attempt.
+type cohortRun struct {
+	idx  int
+	plan *workload.CohortPlan
+	meta *cc.CohortMeta
+	// reads records audit observations (only when auditing is enabled).
+	reads []audit.ReadObs
+}
+
+// serializationStamp is the stamp the algorithm promises equivalence to:
+// the attempt timestamp for BTO, the certification timestamp for OPT, and
+// the commit-decision order for the strict locking algorithms (whose
+// prepare phase may block under deferred write locks, reordering decisions
+// relative to CommitTS).
+func (m *Machine) serializationStamp(meta *cc.TxnMeta) int64 {
+	switch m.cfg.Algorithm {
+	case cc.BTO:
+		return meta.AttemptTS
+	case cc.OPT:
+		return meta.CommitTS
+	default:
+		return meta.DecisionTS
+	}
+}
+
+// terminal models one terminal: think, submit a transaction, wait for it to
+// complete successfully, repeat (paper §3.2).
+func (m *Machine) terminal(p *sim.Proc, termID int) {
+	rel := termID % m.cfg.NumRelations
+	class := m.gen.ClassOfTerminal(termID, m.cfg.NumTerminals)
+	rng := m.sim.Rand()
+	for {
+		p.Delay(sim.Exponential(rng, m.cfg.ThinkTimeMs))
+		plan := m.gen.NewClassPlan(rng, rel, class)
+		m.runTransaction(p, &plan)
+	}
+}
+
+// runTransaction drives a transaction to successful commit, rerunning after
+// each abort with a delay of one average response time (paper §3.3,
+// [Agra87a]). The terminal process acts as the coordinator, which runs at
+// the host node.
+func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
+	id := m.nextTxnID()
+	origTS := m.nextTS() // original startup timestamp, kept across restarts
+	origin := m.sim.Now()
+	m.stats.txnStarted(origin)
+	m.emit(TxnEvent{Txn: id, Attempt: 1, Kind: TxnSubmitted})
+	restarts := 0
+	for {
+		m.emit(TxnEvent{Txn: id, Attempt: restarts + 1, Kind: TxnAttemptStarted})
+		committed, reason := m.attempt(p, id, origTS, plan)
+		if committed {
+			break
+		}
+		m.emit(TxnEvent{Txn: id, Attempt: restarts + 1, Kind: TxnAttemptAborted, Detail: reason})
+		m.stats.txnAborted()
+		restarts++
+		p.Delay(m.stats.avgResponse(m.cfg.InitialRestartDelayMs))
+	}
+	m.emit(TxnEvent{Txn: id, Attempt: restarts + 1, Kind: TxnCommitted})
+	m.stats.txnCommitted(m.sim.Now(), m.sim.Now()-origin, restarts)
+}
+
+// attempt executes one try of the transaction: load cohorts (sequentially
+// or in parallel), wait for their work phases, then run centralized
+// two-phase commit. It reports whether the attempt committed and, if not,
+// why it aborted.
+func (m *Machine) attempt(p *sim.Proc, id, origTS int64, plan *workload.TxnPlan) (bool, string) {
+	cfg := &m.cfg
+	meta := &cc.TxnMeta{ID: id, TS: origTS, AttemptTS: m.nextTS()}
+	mail := m.sim.NewMailbox()
+	meta.OnAbort = func(fromNode int, reason string) {
+		m.net.Send(fromNode, m.hostID, func() { mail.Send(msgAbortNotice{reason: reason}) })
+	}
+
+	// Coordinator process startup at the host.
+	m.cpus[m.hostID].Use(p, cfg.InstPerStartup)
+
+	cohorts := make([]*cohortRun, len(plan.Cohorts))
+	for i := range plan.Cohorts {
+		cohorts[i] = &cohortRun{
+			idx:  i,
+			plan: &plan.Cohorts[i],
+			meta: &cc.CohortMeta{
+				Txn:       meta,
+				Node:      plan.Cohorts[i].Node,
+				OnBlocked: m.stats.blocked,
+			},
+		}
+	}
+
+	loaded := 0
+	if cfg.ExecPattern == Sequential || plan.Sequential {
+		for _, c := range cohorts {
+			m.loadCohort(c, mail)
+			loaded++
+			if !m.awaitDone(p, mail, 1) {
+				m.abortProtocol(p, meta, cohorts[:loaded], mail)
+				return false, meta.AbortReason
+			}
+		}
+	} else {
+		for _, c := range cohorts {
+			m.loadCohort(c, mail)
+			loaded++
+		}
+		if !m.awaitDone(p, mail, loaded) {
+			m.abortProtocol(p, meta, cohorts[:loaded], mail)
+			return false, meta.AbortReason
+		}
+	}
+	if meta.AbortRequested {
+		m.abortProtocol(p, meta, cohorts, mail)
+		return false, meta.AbortReason
+	}
+
+	// Two-phase commit, phase one: the commit timestamp travels to every
+	// cohort in the "prepare to commit" message (OPT certifies against it).
+	meta.State = cc.Preparing
+	meta.CommitTS = m.nextTS()
+	for _, c := range cohorts {
+		c := c
+		var deferred []db.PageID
+		for i := range c.plan.Accesses {
+			a := &c.plan.Accesses[i]
+			// O2PL defers every write lock to the prepare phase; the
+			// [Care89] 2PL variant defers only the remote-copy ones.
+			if (cfg.Algorithm == cc.O2PL && a.Write) ||
+				(cfg.DeferRemoteWriteLocks && a.Remote) {
+				deferred = append(deferred, a.Page)
+			}
+		}
+		m.net.Send(m.hostID, c.meta.Node, func() {
+			mgr := m.mgrs[c.meta.Node]
+			reply := func(yes bool) {
+				if yes && cfg.ModelLogging {
+					// Force the cohort's prepare record before voting yes
+					// (footnote 5: only log pages are forced pre-commit).
+					m.disks[c.meta.Node].WriteAsync(func() {
+						m.net.Send(c.meta.Node, m.hostID, func() { mail.Send(msgVote{idx: c.idx, yes: true}) })
+					})
+					return
+				}
+				m.net.Send(c.meta.Node, m.hostID, func() { mail.Send(msgVote{idx: c.idx, yes: yes}) })
+			}
+			if len(deferred) > 0 {
+				// [Care89]: remote-copy write locks are requested only now,
+				// in the first phase of the commit protocol; the node may
+				// block before it can vote.
+				mgr.(cc.DeferredWriter).PrepareDeferred(c.meta, deferred, func(ok bool) {
+					reply(ok && mgr.Prepare(c.meta))
+				})
+				return
+			}
+			reply(mgr.Prepare(c.meta))
+		})
+	}
+	for votes := 0; votes < len(cohorts); {
+		switch v := mail.Recv(p).(type) {
+		case msgVote:
+			if !v.yes {
+				m.abortProtocol(p, meta, cohorts, mail)
+				return false, meta.AbortReason
+			}
+			votes++
+		case msgAbortNotice, msgSelfAbort:
+			m.abortProtocol(p, meta, cohorts, mail)
+			return false, meta.AbortReason
+		}
+	}
+	if meta.AbortRequested {
+		// A wound or deadlock abort raced in behind the last vote: the
+		// coordinator learns of it before deciding, so the abort wins.
+		m.abortProtocol(p, meta, cohorts, mail)
+		return false, meta.AbortReason
+	}
+
+	if cfg.ModelLogging {
+		// Force the commit record at the coordinator's node before the
+		// decision becomes durable (and before the response completes).
+		m.hostDisks.Write(p)
+		if meta.AbortRequested {
+			// An abort raced in while the force was on disk.
+			m.abortProtocol(p, meta, cohorts, mail)
+			return false, meta.AbortReason
+		}
+	}
+
+	// Commit decision: from here the transaction can no longer abort and
+	// the response is complete. Phase two runs asynchronously: COMMIT
+	// messages release locks and install updates at each node, deferred
+	// disk writes are initiated (InstPerUpdate CPU each), and cohorts
+	// acknowledge (CPU load only).
+	meta.State = cc.Committing
+	meta.DecisionTS = m.nextTS()
+	if m.rec != nil {
+		stamp := m.serializationStamp(meta)
+		rec := audit.TxnRecord{ID: meta.ID, Stamp: stamp}
+		for _, c := range cohorts {
+			rec.Reads = append(rec.Reads, c.reads...)
+			for i := range c.plan.Accesses {
+				if c.plan.Accesses[i].Write {
+					rec.Writes = append(rec.Writes, c.plan.Accesses[i].Page)
+				}
+			}
+		}
+		m.rec.Commit(rec)
+	}
+	for _, c := range cohorts {
+		c := c
+		writes := c.plan.NumWrites()
+		m.net.Send(m.hostID, c.meta.Node, func() {
+			node := c.meta.Node
+			m.mgrs[node].Commit(c.meta)
+			if m.rec != nil {
+				stamp := m.serializationStamp(c.meta.Txn)
+				for i := range c.plan.Accesses {
+					if c.plan.Accesses[i].Write {
+						m.rec.Install(c.plan.Accesses[i].Page, node, stamp)
+					}
+				}
+			}
+			for w := 0; w < writes; w++ {
+				m.cpus[node].UseAsync(cfg.InstPerUpdate, func() {
+					m.disks[node].WriteAsync(nil)
+				})
+			}
+			m.net.Send(node, m.hostID, func() {})
+		})
+	}
+	return true, ""
+}
+
+// awaitDone consumes coordinator mail until n cohorts report work-phase
+// completion; it returns false as soon as any abort signal arrives.
+func (m *Machine) awaitDone(p *sim.Proc, mail *sim.Mailbox, n int) bool {
+	for done := 0; done < n; {
+		switch mail.Recv(p).(type) {
+		case msgCohortDone:
+			done++
+		case msgAbortNotice, msgSelfAbort:
+			return false
+		}
+	}
+	return true
+}
+
+// abortProtocol tells every loaded cohort node to abort and waits for all
+// acknowledgements ("once the transaction manager has finished aborting the
+// transaction", §3.3). Stale messages from the doomed attempt are drained
+// and ignored.
+func (m *Machine) abortProtocol(p *sim.Proc, meta *cc.TxnMeta, cohorts []*cohortRun, mail *sim.Mailbox) {
+	meta.AbortRequested = true
+	if meta.AbortReason == "" {
+		meta.AbortReason = "aborted by coordinator"
+	}
+	for _, c := range cohorts {
+		c := c
+		m.net.Send(m.hostID, c.meta.Node, func() {
+			m.mgrs[c.meta.Node].Abort(c.meta)
+			m.net.Send(c.meta.Node, m.hostID, func() { mail.Send(msgAbortAck{idx: c.idx}) })
+		})
+	}
+	for acks := 0; acks < len(cohorts); {
+		if _, ok := mail.Recv(p).(msgAbortAck); ok {
+			acks++
+		}
+	}
+	meta.State = cc.Finished
+}
+
+// loadCohort sends the "load cohort" message; at the destination the
+// process-startup CPU cost is paid and the cohort process begins.
+func (m *Machine) loadCohort(c *cohortRun, mail *sim.Mailbox) {
+	node := c.meta.Node
+	m.net.Send(m.hostID, node, func() {
+		m.cpus[node].UseAsync(m.cfg.InstPerStartup, func() {
+			m.sim.Spawn(fmt.Sprintf("cohort-%d@%d", c.meta.Txn.ID, node), func(cp *sim.Proc) {
+				c.meta.Proc = cp
+				m.runCohort(cp, c, mail)
+			})
+		})
+	})
+}
+
+// runCohort executes a cohort's work phase: for each access, a concurrency
+// control request, a synchronous disk read, and page-processing CPU; for
+// updates, a second (write) concurrency control request — the update itself
+// is buffered until commit. The cohort stops silently if its transaction is
+// already being aborted (the abort protocol handles cleanup), and reports
+// conflicts it loses to the coordinator.
+func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
+	cfg := &m.cfg
+	node := c.meta.Node
+	mgr := m.mgrs[node]
+	cpu := m.cpus[node]
+	disks := m.disks[node]
+	deferAllWrites := cfg.Algorithm == cc.O2PL
+	for i := range c.plan.Accesses {
+		a := &c.plan.Accesses[i]
+		if c.meta.Txn.AbortRequested {
+			return
+		}
+		if a.Remote {
+			// Write to a non-primary copy: a write permission request only
+			// (read-one/write-all); the copy is installed at commit. In
+			// deferred mode the lock request moves to the prepare phase.
+			if cfg.DeferRemoteWriteLocks || deferAllWrites {
+				continue
+			}
+			cpu.Use(cp, cfg.InstPerCCReq)
+			if mgr.Access(c.meta, a.Page, true) == cc.Aborted {
+				m.reportSelfAbort(c, mail)
+				return
+			}
+			continue
+		}
+		// For pages the transaction will update, the locking algorithms can
+		// claim write permission up front (the update set is known) or
+		// read-then-convert (§2.2 literally); timestamp algorithms always
+		// see the read first so their read rules apply.
+		firstAccessIsWrite := a.Write && !cfg.UpgradeWriteLocks && locksUpFront(cfg.Algorithm)
+		cpu.Use(cp, cfg.InstPerCCReq)
+		if mgr.Access(c.meta, a.Page, firstAccessIsWrite) == cc.Aborted {
+			m.reportSelfAbort(c, mail)
+			return
+		}
+		if m.rec != nil {
+			c.reads = append(c.reads, audit.ReadObs{Page: a.Page, Saw: m.rec.ObserveRead(a.Page, node)})
+		}
+		disks.Read(cp)
+		cpu.Use(cp, a.Inst)
+		if a.Write {
+			if c.meta.Txn.AbortRequested {
+				return
+			}
+			if !firstAccessIsWrite && !deferAllWrites {
+				cpu.Use(cp, cfg.InstPerCCReq)
+				if mgr.Access(c.meta, a.Page, true) == cc.Aborted {
+					m.reportSelfAbort(c, mail)
+					return
+				}
+			}
+			// Processing the page "when writing it" (Table 2); the update
+			// itself stays buffered until commit.
+			cpu.Use(cp, a.WriteInst)
+		}
+	}
+	m.net.Send(node, m.hostID, func() { mail.Send(msgCohortDone{idx: c.idx}) })
+}
+
+// locksUpFront reports whether the algorithm can usefully claim write
+// permission at first access: only the locking algorithms distinguish the
+// request modes before commit. BTO must see the read first (its read rule
+// orders the read against pending writes), and OPT/NO_DC grant everything
+// anyway, so they always use the read-then-write sequence.
+func locksUpFront(k cc.Kind) bool { return k == cc.TwoPL || k == cc.WoundWait }
+
+// reportSelfAbort tells the coordinator this cohort's access was rejected
+// by concurrency control. If the attempt is already being aborted the
+// coordinator knows, so nothing is sent.
+func (m *Machine) reportSelfAbort(c *cohortRun, mail *sim.Mailbox) {
+	if c.meta.Txn.AbortRequested {
+		return
+	}
+	node := c.meta.Node
+	idx := c.idx
+	m.net.Send(node, m.hostID, func() { mail.Send(msgSelfAbort{idx: idx, reason: "access rejected"}) })
+}

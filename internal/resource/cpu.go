@@ -1,0 +1,219 @@
+// Package resource models the physical resources of a database machine
+// node: a CPU whose service discipline is first-come-first-served for
+// message processing (at higher, preemptive priority) and processor sharing
+// for all other work, plus an array of disks with FIFO queues and
+// write-over-read priority (paper §3.4, Table 3).
+package resource
+
+import (
+	"ddbm/internal/sim"
+)
+
+// instruction bookkeeping tolerance: completions within this many
+// instructions of zero are treated as finished to absorb float drift.
+const instEpsilon = 1e-6
+
+type cpuJob struct {
+	remaining float64 // instructions left
+	done      func()
+}
+
+// CPU models a single processor. Message-class requests are served one at a
+// time in FIFO order and preempt processor-sharing work entirely;
+// processor-sharing requests divide the CPU equally among themselves
+// whenever no message is being processed.
+type CPU struct {
+	sim  *sim.Sim
+	rate float64 // instructions per millisecond
+
+	ps   []*cpuJob
+	msgs []*cpuJob
+
+	lastT sim.Time
+	next  *sim.Event
+
+	busyPS  float64 // ms spent on processor-sharing work
+	busyMsg float64 // ms spent on message processing
+	markPS  float64 // snapshots taken at warmup
+	markMsg float64
+	markT   sim.Time
+}
+
+// NewCPU creates a CPU executing at the given MIPS rating.
+func NewCPU(s *sim.Sim, mips float64) *CPU {
+	if mips <= 0 {
+		panic("resource: CPU MIPS must be positive")
+	}
+	return &CPU{sim: s, rate: mips * 1000, lastT: s.Now()}
+}
+
+// Rate returns the CPU speed in instructions per millisecond.
+func (c *CPU) Rate() float64 { return c.rate }
+
+// Use consumes inst instructions of processor-sharing service, blocking the
+// calling process until the work completes. Zero or negative cost returns
+// immediately (the paper sets several overheads to zero).
+func (c *CPU) Use(p *sim.Proc, inst float64) {
+	if inst <= 0 {
+		return
+	}
+	c.UseAsync(inst, func() { p.Resume() })
+	p.Suspend()
+}
+
+// UseAsync submits processor-sharing work and invokes done on completion
+// without blocking the caller. A zero cost invokes done immediately.
+func (c *CPU) UseAsync(inst float64, done func()) {
+	if inst <= 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	c.advance()
+	c.ps = append(c.ps, &cpuJob{remaining: inst, done: done})
+	c.reschedule()
+}
+
+// UseMsg submits message-processing work: FIFO order, one at a time, at a
+// priority that preempts all processor-sharing work. done runs on
+// completion; a zero cost invokes it immediately.
+func (c *CPU) UseMsg(inst float64, done func()) {
+	if inst <= 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	c.advance()
+	c.msgs = append(c.msgs, &cpuJob{remaining: inst, done: done})
+	c.reschedule()
+}
+
+// UseMsgBlocking is UseMsg for callers running inside a process.
+func (c *CPU) UseMsgBlocking(p *sim.Proc, inst float64) {
+	if inst <= 0 {
+		return
+	}
+	c.UseMsg(inst, func() { p.Resume() })
+	p.Suspend()
+}
+
+// advance charges elapsed time since the last state change to the active
+// jobs: the head message exclusively, or the PS jobs in equal shares.
+func (c *CPU) advance() {
+	now := c.sim.Now()
+	dt := now - c.lastT
+	c.lastT = now
+	if dt <= 0 {
+		return
+	}
+	if len(c.msgs) > 0 {
+		c.msgs[0].remaining -= dt * c.rate
+		c.busyMsg += dt
+		return
+	}
+	if n := len(c.ps); n > 0 {
+		share := dt * c.rate / float64(n)
+		for _, j := range c.ps {
+			j.remaining -= share
+		}
+		c.busyPS += dt
+	}
+}
+
+// reschedule recomputes the next completion event.
+func (c *CPU) reschedule() {
+	if c.next != nil {
+		c.sim.Cancel(c.next)
+		c.next = nil
+	}
+	var dt float64
+	switch {
+	case len(c.msgs) > 0:
+		dt = c.msgs[0].remaining / c.rate
+	case len(c.ps) > 0:
+		min := c.ps[0].remaining
+		for _, j := range c.ps[1:] {
+			if j.remaining < min {
+				min = j.remaining
+			}
+		}
+		dt = min * float64(len(c.ps)) / c.rate
+	default:
+		return
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	c.next = c.sim.After(dt, c.complete)
+}
+
+// complete fires when the earliest job should have finished.
+func (c *CPU) complete() {
+	c.next = nil
+	c.advance()
+	var finished []func()
+	if len(c.msgs) > 0 {
+		// Messages complete strictly one at a time.
+		if c.msgs[0].remaining <= instEpsilon {
+			j := c.msgs[0]
+			c.msgs[0] = nil
+			c.msgs = c.msgs[1:]
+			finished = append(finished, j.done)
+		}
+	} else {
+		kept := c.ps[:0]
+		for _, j := range c.ps {
+			if j.remaining <= instEpsilon {
+				finished = append(finished, j.done)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		for i := len(kept); i < len(c.ps); i++ {
+			c.ps[i] = nil
+		}
+		c.ps = kept
+	}
+	c.reschedule()
+	for _, f := range finished {
+		if f != nil {
+			f()
+		}
+	}
+}
+
+// QueueLen returns the number of in-progress jobs (messages + PS).
+func (c *CPU) QueueLen() int { return len(c.msgs) + len(c.ps) }
+
+// MarkWarmup snapshots busy-time counters so Utilization measures only the
+// post-warmup window.
+func (c *CPU) MarkWarmup() {
+	c.advance()
+	c.markPS = c.busyPS
+	c.markMsg = c.busyMsg
+	c.markT = c.sim.Now()
+}
+
+// Utilization returns the fraction of time the CPU was busy (messages plus
+// PS work) since the warmup mark.
+func (c *CPU) Utilization() float64 {
+	c.advance()
+	elapsed := c.sim.Now() - c.markT
+	if elapsed <= 0 {
+		return 0
+	}
+	return ((c.busyPS - c.markPS) + (c.busyMsg - c.markMsg)) / elapsed
+}
+
+// MsgUtilization returns the fraction of time spent on message processing
+// since the warmup mark.
+func (c *CPU) MsgUtilization() float64 {
+	c.advance()
+	elapsed := c.sim.Now() - c.markT
+	if elapsed <= 0 {
+		return 0
+	}
+	return (c.busyMsg - c.markMsg) / elapsed
+}

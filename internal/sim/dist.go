@@ -1,0 +1,39 @@
+package sim
+
+import "math/rand"
+
+// Exponential draws from an exponential distribution with the given mean.
+// A non-positive mean yields 0, which lets callers express "no think time"
+// or "no cost" without special cases.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}
+
+// Uniform draws uniformly from [lo, hi].
+func Uniform(r *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Float64()*(hi-lo)
+}
+
+// UniformInt draws a uniform integer in [lo, hi] inclusive.
+func UniformInt(r *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// SampleWithoutReplacement returns k distinct integers from [0, n) in random
+// order. If k >= n it returns a permutation of all n values.
+func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := r.Perm(n)
+	return perm[:k]
+}

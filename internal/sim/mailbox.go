@@ -1,0 +1,55 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue with at most one process
+// blocked on receive. It is the basic inter-process communication primitive
+// (coordinator/cohort signalling, terminal completion notices).
+type Mailbox struct {
+	sim    *Sim
+	queue  []any
+	waiter *Proc
+}
+
+// NewMailbox creates a mailbox bound to the simulator.
+func (s *Sim) NewMailbox() *Mailbox { return &Mailbox{sim: s} }
+
+// Send enqueues a message and wakes the receiver if one is blocked. It never
+// blocks and may be called from event callbacks as well as processes.
+func (m *Mailbox) Send(msg any) {
+	m.queue = append(m.queue, msg)
+	if m.waiter != nil {
+		w := m.waiter
+		m.waiter = nil
+		w.Resume()
+	}
+}
+
+// Recv returns the next message, blocking the calling process until one is
+// available. Only one process may block on a mailbox at a time.
+func (m *Mailbox) Recv(p *Proc) any {
+	for len(m.queue) == 0 {
+		if m.waiter != nil && m.waiter != p {
+			panic("sim: multiple receivers on one mailbox")
+		}
+		m.waiter = p
+		p.Suspend()
+	}
+	msg := m.queue[0]
+	// Avoid retaining delivered messages.
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return msg
+}
+
+// TryRecv returns the next message without blocking; ok is false if empty.
+func (m *Mailbox) TryRecv() (msg any, ok bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	msg = m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// Len returns the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.queue) }

@@ -1,0 +1,116 @@
+package sim
+
+import "testing"
+
+func TestMailboxSendBeforeRecv(t *testing.T) {
+	s := New(1)
+	var got []int
+	m := s.NewMailbox()
+	m.Send(1)
+	m.Send(2)
+	s.Spawn("rx", func(p *Proc) {
+		got = append(got, m.Recv(p).(int))
+		got = append(got, m.Recv(p).(int))
+	})
+	s.Run(10)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestMailboxRecvBlocksUntilSend(t *testing.T) {
+	s := New(1)
+	var recvAt Time
+	m := s.NewMailbox()
+	s.Spawn("rx", func(p *Proc) {
+		if m.Recv(p).(string) != "hello" {
+			t.Error("wrong message")
+		}
+		recvAt = s.Now()
+	})
+	s.Spawn("tx", func(p *Proc) {
+		p.Delay(25)
+		m.Send("hello")
+	})
+	s.Run(100)
+	if recvAt != 25 {
+		t.Errorf("received at %v, want 25", recvAt)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	s := New(1)
+	m := s.NewMailbox()
+	var got []int
+	s.Spawn("rx", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, m.Recv(p).(int))
+		}
+	})
+	s.Spawn("tx", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Delay(1)
+			m.Send(i)
+		}
+	})
+	s.Run(100)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("not FIFO: %v", got)
+		}
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	s := New(1)
+	m := s.NewMailbox()
+	if _, ok := m.TryRecv(); ok {
+		t.Error("TryRecv on empty mailbox succeeded")
+	}
+	m.Send(7)
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+	v, ok := m.TryRecv()
+	if !ok || v.(int) != 7 {
+		t.Errorf("TryRecv = %v, %v", v, ok)
+	}
+	if m.Len() != 0 {
+		t.Errorf("Len after drain = %d, want 0", m.Len())
+	}
+}
+
+func TestMailboxBurstWakesOnce(t *testing.T) {
+	// Several sends while the receiver is parked must all be delivered.
+	s := New(1)
+	m := s.NewMailbox()
+	var got []int
+	s.Spawn("rx", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, m.Recv(p).(int))
+		}
+	})
+	s.Spawn("tx", func(p *Proc) {
+		p.Delay(5)
+		m.Send(1)
+		m.Send(2)
+		m.Send(3)
+	})
+	s.Run(100)
+	if len(got) != 3 {
+		t.Fatalf("got %v, want 3 messages", got)
+	}
+}
+
+func TestMailboxMultipleReceiversPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("two receivers on one mailbox did not panic")
+		}
+	}()
+	s := New(1)
+	m := s.NewMailbox()
+	s.Spawn("rx1", func(p *Proc) { m.Recv(p) })
+	s.Spawn("rx2", func(p *Proc) { m.Recv(p) })
+	s.Run(10)
+}

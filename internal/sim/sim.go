@@ -1,0 +1,309 @@
+// Package sim implements a process-oriented discrete-event simulation
+// kernel, the Go substitute for the DeNet simulation language in which the
+// original Carey/Livny simulator was written.
+//
+// A Sim owns a virtual clock and an event queue. Simulation "processes" are
+// goroutines that run strictly one at a time: the scheduler hands control to
+// a process and blocks until the process either finishes or blocks itself
+// (Delay, Suspend, mailbox receive). Events scheduled for the same instant
+// fire in FIFO order, and all randomness flows through a single seeded
+// source, so every run is fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is simulated time in milliseconds.
+type Time = float64
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once popped or canceled
+	canceled bool
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// At returns the simulated time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	yield   chan struct{}
+	cur     *Proc
+	procs   map[*Proc]struct{}
+	stopped bool
+	nprocs  uint64 // total processes ever spawned (for naming/debug)
+	failure any    // panic value escaped from a process body
+}
+
+// New creates a simulator with the given random seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time in milliseconds.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. It must only
+// be used from simulation processes and event callbacks.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Sim) Schedule(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After registers fn to run d milliseconds from now.
+func (s *Sim) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.Schedule(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.events, e.index)
+	e.index = -1
+}
+
+// Run executes events until the clock reaches end (exclusive) or the event
+// queue drains, then terminates all live processes. It returns the final
+// simulated time.
+func (s *Sim) Run(end Time) Time {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if e.at >= end {
+			break
+		}
+		heap.Pop(&s.events)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < end {
+		s.now = end
+	}
+	s.Shutdown()
+	return s.now
+}
+
+// Step executes the single next event if one exists before end; it reports
+// whether an event fired. Useful for tests that need fine-grained control.
+func (s *Sim) Step(end Time) bool {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if e.at >= end {
+			return false
+		}
+		heap.Pop(&s.events)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Shutdown kills every live process so their goroutines exit. It is called
+// automatically at the end of Run and is idempotent.
+func (s *Sim) Shutdown() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for p := range s.procs {
+		if p.parked {
+			p.kill()
+		}
+	}
+}
+
+// LiveProcs returns the number of processes that have started but not yet
+// finished. After Shutdown it reports the processes that leaked (should be 0).
+func (s *Sim) LiveProcs() int { return len(s.procs) }
+
+// killed is the sentinel panic value used to unwind terminated processes.
+type killed struct{}
+
+type wakeSignal struct {
+	kill bool
+}
+
+// Proc is a simulation process: a goroutine interleaved with the scheduler
+// so that exactly one process runs at any moment.
+type Proc struct {
+	sim    *Sim
+	name   string
+	wake   chan wakeSignal
+	parked bool // true while blocked waiting for a wake signal
+	done   bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Spawn creates a process that starts running at the current simulated time
+// (after the current event completes).
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.SpawnAt(s.now, name, fn)
+}
+
+// SpawnAt creates a process that starts running at time at.
+func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	s.nprocs++
+	p := &Proc{sim: s, name: name, wake: make(chan wakeSignal)}
+	s.procs[p] = struct{}{}
+	p.parked = true
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); !ok {
+					// A real bug in the process body: hand the panic to the
+					// scheduler so it surfaces in the Run caller.
+					s.failure = r
+				}
+			}
+			p.done = true
+			delete(s.procs, p)
+			s.yield <- struct{}{}
+		}()
+		sig := <-p.wake
+		p.parked = false
+		if sig.kill {
+			panic(killed{})
+		}
+		fn(p)
+	}()
+	s.Schedule(at, func() { s.resume(p) })
+	return p
+}
+
+// resume hands control to p and waits for it to block or finish.
+func (s *Sim) resume(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := s.cur
+	s.cur = p
+	p.wake <- wakeSignal{}
+	<-s.yield
+	s.cur = prev
+	if s.failure != nil {
+		f := s.failure
+		s.failure = nil
+		panic(f)
+	}
+}
+
+// kill unwinds a parked process.
+func (p *Proc) kill() {
+	if p.done {
+		return
+	}
+	p.wake <- wakeSignal{kill: true}
+	<-p.sim.yield
+}
+
+// block parks the calling process until the scheduler wakes it.
+func (p *Proc) block() {
+	p.parked = true
+	p.sim.yield <- struct{}{}
+	sig := <-p.wake
+	p.parked = false
+	if sig.kill {
+		panic(killed{})
+	}
+}
+
+// Delay suspends the process for d milliseconds of simulated time.
+func (p *Proc) Delay(d Time) {
+	if d <= 0 {
+		// Even a zero delay must yield through the event queue so that
+		// same-time events retain FIFO fairness.
+		d = 0
+	}
+	p.sim.After(d, func() { p.sim.resume(p) })
+	p.block()
+}
+
+// Suspend parks the process until another process or event calls Resume.
+func (p *Proc) Suspend() {
+	p.block()
+}
+
+// Resume schedules p to continue at the current simulated time. It must only
+// be called for a process parked in Suspend (or a mailbox receive).
+func (p *Proc) Resume() {
+	p.sim.Schedule(p.sim.now, func() { p.sim.resume(p) })
+}
+
+// Hold is an alias for Delay matching DeNet terminology.
+func (p *Proc) Hold(d Time) { p.Delay(d) }

@@ -1,0 +1,517 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 5, 25} {
+		at := at
+		s.Schedule(at, func() { got = append(got, at) })
+	}
+	s.Run(100)
+	want := []Time{5, 10, 20, 25, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v events, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(50, func() { got = append(got, i) })
+	}
+	s.Run(100)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestRunStopsAtEnd(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(100, func() { fired = true })
+	end := s.Run(100)
+	if fired {
+		t.Error("event at end boundary should not fire (end is exclusive)")
+	}
+	if end != 100 {
+		t.Errorf("Run returned %v, want 100", end)
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.Schedule(42, func() { at = s.Now() })
+	s.Run(100)
+	if at != 42 {
+		t.Errorf("Now inside event = %v, want 42", at)
+	}
+	if s.Now() != 100 {
+		t.Errorf("final Now = %v, want 100", s.Now())
+	}
+}
+
+func TestCancelPreventsEvent(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.Schedule(10, func() { fired = true })
+	s.Cancel(e)
+	s.Run(100)
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("event not marked canceled")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	s := New(1)
+	e := s.Schedule(10, func() {})
+	s.Cancel(e)
+	s.Cancel(e)
+	s.Cancel(nil)
+	s.Run(100)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New(1)
+	var got []int
+	var events []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		events = append(events, s.Schedule(Time(i+1), func() { got = append(got, i) }))
+	}
+	s.Cancel(events[2])
+	s.Run(100)
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(50, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.Schedule(10, func() {})
+	})
+	s.Run(100)
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(10, func() {
+		s.After(-5, func() { fired = true })
+	})
+	s.Run(100)
+	if !fired {
+		t.Error("After with negative delay never fired")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.Schedule(1, func() { n++ })
+	s.Schedule(2, func() { n++ })
+	if !s.Step(100) || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !s.Step(100) || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if s.Step(100) {
+		t.Fatal("Step with empty queue returned true")
+	}
+}
+
+func TestProcDelay(t *testing.T) {
+	s := New(1)
+	var times []Time
+	s.Spawn("p", func(p *Proc) {
+		times = append(times, s.Now())
+		p.Delay(10)
+		times = append(times, s.Now())
+		p.Delay(5)
+		times = append(times, s.Now())
+	})
+	s.Run(100)
+	want := []Time{0, 10, 15}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("delay times %v, want %v", times, want)
+		}
+	}
+	if s.LiveProcs() != 0 {
+		t.Errorf("leaked %d processes", s.LiveProcs())
+	}
+}
+
+func TestProcSuspendResume(t *testing.T) {
+	s := New(1)
+	var resumedAt Time
+	var p1 *Proc
+	p1 = s.Spawn("sleeper", func(p *Proc) {
+		p.Suspend()
+		resumedAt = s.Now()
+	})
+	s.Spawn("waker", func(p *Proc) {
+		p.Delay(30)
+		p1.Resume()
+	})
+	s.Run(100)
+	if resumedAt != 30 {
+		t.Errorf("resumed at %v, want 30", resumedAt)
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	s := New(1)
+	var started Time
+	s.SpawnAt(25, "late", func(p *Proc) { started = s.Now() })
+	s.Run(100)
+	if started != 25 {
+		t.Errorf("started at %v, want 25", started)
+	}
+}
+
+func TestProcsRunOneAtATime(t *testing.T) {
+	// With run-to-block semantics two processes at the same instant must
+	// interleave only at blocking points.
+	s := New(1)
+	var trace []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			trace = append(trace, name+"1")
+			trace = append(trace, name+"2")
+			p.Delay(1)
+			trace = append(trace, name+"3")
+		})
+	}
+	s.Run(100)
+	want := []string{"a1", "a2", "b1", "b2", "a3", "b3"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestShutdownKillsBlockedProcs(t *testing.T) {
+	s := New(1)
+	cleanedUp := false
+	s.Spawn("stuck", func(p *Proc) {
+		defer func() {
+			// The kill panic must still unwind deferred functions of the
+			// process body before being recovered by the kernel.
+			cleanedUp = true
+			if r := recover(); r != nil {
+				panic(r) // pass the kill sentinel through
+			}
+		}()
+		p.Suspend() // never resumed
+	})
+	s.Run(10)
+	if s.LiveProcs() != 0 {
+		t.Fatalf("leaked %d processes after Run", s.LiveProcs())
+	}
+	if !cleanedUp {
+		t.Error("deferred cleanup did not run on kill")
+	}
+}
+
+func TestShutdownKillsDelayedProcs(t *testing.T) {
+	s := New(1)
+	s.Spawn("napper", func(p *Proc) {
+		for {
+			p.Delay(1)
+		}
+	})
+	s.Run(50)
+	if s.LiveProcs() != 0 {
+		t.Fatalf("leaked %d processes", s.LiveProcs())
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("process panic did not propagate")
+		}
+	}()
+	s := New(1)
+	s.Spawn("bad", func(p *Proc) { panic("boom") })
+	s.Run(10)
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		s := New(42)
+		var out []float64
+		for i := 0; i < 3; i++ {
+			s.Spawn("p", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Delay(Exponential(s.Rand(), 10))
+					out = append(out, s.Now())
+				}
+			})
+		}
+		s.Run(1000)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventOrderProperty(t *testing.T) {
+	// Property: however events are scheduled (random times, some canceled),
+	// surviving events fire in (time, insertion) order.
+	f := func(times []uint16, cancelMask uint64) bool {
+		if len(times) > 64 {
+			times = times[:64]
+		}
+		s := New(7)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		var events []*Event
+		for i, tt := range times {
+			at := Time(tt % 1000)
+			i := i
+			events = append(events, s.Schedule(at, func() {
+				fired = append(fired, rec{at: at, seq: i})
+			}))
+		}
+		for i, e := range events {
+			if cancelMask&(1<<uint(i)) != 0 {
+				s.Cancel(e)
+			}
+		}
+		s.Run(2000)
+		// Check monotone non-decreasing time, FIFO within equal times.
+		if !sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		}) {
+			return false
+		}
+		// Check the right number of events fired.
+		wantN := 0
+		for i := range times {
+			if cancelMask&(1<<uint(i)) == 0 {
+				wantN++
+			}
+		}
+		return len(fired) == wantN
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyProcsNoLeak(t *testing.T) {
+	s := New(1)
+	n := 0
+	for i := 0; i < 500; i++ {
+		s.Spawn("worker", func(p *Proc) {
+			p.Delay(Uniform(s.Rand(), 0, 50))
+			n++
+		})
+	}
+	s.Run(100)
+	if n != 500 {
+		t.Errorf("only %d of 500 processes completed", n)
+	}
+	if s.LiveProcs() != 0 {
+		t.Errorf("leaked %d processes", s.LiveProcs())
+	}
+}
+
+func TestRandDeterministicBySeed(t *testing.T) {
+	a := New(9).Rand().Float64()
+	b := New(9).Rand().Float64()
+	c := New(10).Rand().Float64()
+	if a != b {
+		t.Error("same seed produced different values")
+	}
+	if a == c {
+		t.Error("different seeds produced identical first values")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += Exponential(r, 25)
+	}
+	mean := sum / n
+	if mean < 24 || mean > 26 {
+		t.Errorf("exponential mean %v, want ~25", mean)
+	}
+}
+
+func TestExponentialNonPositiveMean(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if Exponential(r, 0) != 0 || Exponential(r, -1) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		v := Uniform(r, 10, 30)
+		if v < 10 || v > 30 {
+			t.Fatalf("uniform %v outside [10,30]", v)
+		}
+	}
+	if Uniform(r, 5, 5) != 5 {
+		t.Error("degenerate uniform should return lo")
+	}
+	if Uniform(r, 7, 3) != 7 {
+		t.Error("inverted uniform should return lo")
+	}
+}
+
+func TestUniformIntBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := UniformInt(r, 4, 12)
+		if v < 4 || v > 12 {
+			t.Fatalf("uniform int %v outside [4,12]", v)
+		}
+		seen[v] = true
+	}
+	for v := 4; v <= 12; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never drawn", v)
+		}
+	}
+	if UniformInt(r, 8, 8) != 8 || UniformInt(r, 9, 2) != 9 {
+		t.Error("degenerate uniform int should return lo")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%50) + 1
+		k := int(k8 % 60)
+		s := SampleWithoutReplacement(r, n, k)
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(s) != want {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	s := New(1)
+	e := s.Schedule(42, func() {})
+	if e.At() != 42 {
+		t.Errorf("At() = %v, want 42", e.At())
+	}
+	if e.Canceled() {
+		t.Error("fresh event reports canceled")
+	}
+}
+
+func TestHoldAlias(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.Spawn("p", func(p *Proc) {
+		p.Hold(7)
+		at = s.Now()
+	})
+	s.Run(100)
+	if at != 7 {
+		t.Errorf("Hold resumed at %v, want 7", at)
+	}
+}
+
+func TestSpawnAtPastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(50, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SpawnAt in the past did not panic")
+			}
+		}()
+		s.SpawnAt(10, "late", func(p *Proc) {})
+	})
+	s.Run(100)
+}
+
+func TestProcNameAndSim(t *testing.T) {
+	s := New(1)
+	var p0 *Proc
+	p0 = s.Spawn("worker", func(p *Proc) {
+		if p.Name() != "worker" {
+			t.Errorf("name %q", p.Name())
+		}
+		if p.Sim() != s {
+			t.Error("Sim() mismatch")
+		}
+	})
+	_ = p0
+	s.Run(10)
+}

@@ -1,0 +1,163 @@
+// Package stats provides the small statistics toolkit used by the
+// simulator: streaming means/variances, batch-means confidence intervals,
+// and time-weighted averages for utilization-style metrics.
+package stats
+
+import "math"
+
+// Welford accumulates a streaming mean and variance.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 with no observations).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 with no observations).
+func (w *Welford) Max() float64 { return w.max }
+
+// Reset discards all observations.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// BatchMeans estimates a confidence interval for a steady-state mean using
+// the method of non-overlapping batch means.
+type BatchMeans struct {
+	batchSize int64
+	cur       Welford
+	batches   Welford
+}
+
+// NewBatchMeans creates an estimator with the given batch size (observations
+// per batch). Sizes below 1 are treated as 1.
+func NewBatchMeans(batchSize int64) *BatchMeans {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add records one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.cur.Add(x)
+	if b.cur.Count() >= b.batchSize {
+		b.batches.Add(b.cur.Mean())
+		b.cur.Reset()
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches.Count() }
+
+// Mean returns the grand mean over completed batches; if no batch has
+// completed it falls back to the running mean.
+func (b *BatchMeans) Mean() float64 {
+	if b.batches.Count() == 0 {
+		return b.cur.Mean()
+	}
+	return b.batches.Mean()
+}
+
+// HalfWidth95 returns the approximate 95% confidence half-width using a
+// normal critical value (adequate for the >=10 batches we use in practice).
+// It returns 0 when fewer than 2 batches exist.
+func (b *BatchMeans) HalfWidth95() float64 {
+	n := b.batches.Count()
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * b.batches.StdDev() / math.Sqrt(float64(n))
+}
+
+// TimeWeighted tracks the time-average of a piecewise-constant quantity,
+// e.g. queue length or number of active transactions.
+type TimeWeighted struct {
+	lastT    float64
+	value    float64
+	area     float64
+	started  bool
+	startT   float64
+	maxValue float64
+}
+
+// Set records that the quantity changed to v at time t.
+func (tw *TimeWeighted) Set(t, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.startT = t
+	} else {
+		tw.area += tw.value * (t - tw.lastT)
+	}
+	tw.lastT = t
+	tw.value = v
+	if v > tw.maxValue {
+		tw.maxValue = v
+	}
+}
+
+// Mean returns the time average over [start, t].
+func (tw *TimeWeighted) Mean(t float64) float64 {
+	if !tw.started || t <= tw.startT {
+		return 0
+	}
+	area := tw.area + tw.value*(t-tw.lastT)
+	return area / (t - tw.startT)
+}
+
+// Max returns the largest value observed.
+func (tw *TimeWeighted) Max() float64 { return tw.maxValue }
+
+// ResetAt restarts accumulation at time t keeping the current value
+// (used to discard the warmup period).
+func (tw *TimeWeighted) ResetAt(t float64) {
+	if tw.started {
+		tw.lastT = t
+	} else {
+		tw.lastT = t
+		tw.started = true
+	}
+	tw.startT = t
+	tw.area = 0
+	tw.maxValue = tw.value
+}
+
+// Value returns the current value of the tracked quantity.
+func (tw *TimeWeighted) Value() float64 { return tw.value }

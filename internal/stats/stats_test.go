@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("count %d, want 8", w.Count())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean %v, want 5", w.Mean())
+	}
+	// Unbiased sample variance of this classic data set is 32/7.
+	if !almost(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Error("empty Welford should report zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 {
+		t.Errorf("single obs: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(10)
+	w.Reset()
+	if w.Count() != 0 || w.Mean() != 0 {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, v := range raw {
+			w.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		variance := ss / float64(len(raw)-1)
+		return almost(w.Mean(), mean, 1e-6*(1+math.Abs(mean))) &&
+			almost(w.Variance(), variance, 1e-6*(1+variance))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchMeansMean(t *testing.T) {
+	b := NewBatchMeans(10)
+	r := rand.New(rand.NewSource(1))
+	var sum float64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()*2 + 50
+		b.Add(x)
+		sum += x
+	}
+	if b.Batches() != 100 {
+		t.Errorf("batches %d, want 100", b.Batches())
+	}
+	if !almost(b.Mean(), sum/n, 1e-9) {
+		t.Errorf("batch mean %v vs true mean %v", b.Mean(), sum/n)
+	}
+	hw := b.HalfWidth95()
+	if hw <= 0 || hw > 1 {
+		t.Errorf("suspicious half-width %v for iid normal data", hw)
+	}
+	if b.Mean()-hw > 50 || b.Mean()+hw < 50 {
+		// With 95% confidence this fails rarely; the fixed seed makes it
+		// deterministic.
+		t.Errorf("CI [%v, %v] misses true mean 50", b.Mean()-hw, b.Mean()+hw)
+	}
+}
+
+func TestBatchMeansFallback(t *testing.T) {
+	b := NewBatchMeans(100)
+	b.Add(4)
+	b.Add(6)
+	if b.Mean() != 5 {
+		t.Errorf("fallback mean %v, want 5", b.Mean())
+	}
+	if b.HalfWidth95() != 0 {
+		t.Errorf("half-width with <2 batches should be 0")
+	}
+}
+
+func TestBatchMeansMinimumSize(t *testing.T) {
+	b := NewBatchMeans(0)
+	b.Add(1)
+	if b.Batches() != 1 {
+		t.Errorf("batch size clamp failed: %d batches", b.Batches())
+	}
+}
+
+func TestTimeWeightedConstant(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 5)
+	if !almost(tw.Mean(10), 5, 1e-12) {
+		t.Errorf("constant mean %v, want 5", tw.Mean(10))
+	}
+}
+
+func TestTimeWeightedStep(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 0)
+	tw.Set(10, 4) // 0 for [0,10)
+	tw.Set(30, 2) // 4 for [10,30)
+	// at t=40: (0*10 + 4*20 + 2*10)/40 = 100/40
+	if !almost(tw.Mean(40), 2.5, 1e-12) {
+		t.Errorf("step mean %v, want 2.5", tw.Mean(40))
+	}
+	if tw.Max() != 4 {
+		t.Errorf("max %v, want 4", tw.Max())
+	}
+	if tw.Value() != 2 {
+		t.Errorf("value %v, want 2", tw.Value())
+	}
+}
+
+func TestTimeWeightedResetAt(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 100)
+	tw.Set(10, 2)
+	tw.ResetAt(20)
+	tw.Set(30, 4)
+	// After reset: 2 for [20,30), 4 for [30,40) -> mean 3 at t=40.
+	if !almost(tw.Mean(40), 3, 1e-12) {
+		t.Errorf("post-reset mean %v, want 3", tw.Mean(40))
+	}
+	if tw.Max() != 4 {
+		t.Errorf("post-reset max %v, want 4 (old max discarded)", tw.Max())
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var tw TimeWeighted
+	if tw.Mean(10) != 0 {
+		t.Error("empty time-weighted mean should be 0")
+	}
+}
+
+func TestTimeWeightedMeanIsBoundedProperty(t *testing.T) {
+	// Property: the time average lies within [min, max] of the set values.
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var tw TimeWeighted
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range vals {
+			x := float64(v)
+			tw.Set(float64(i), x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		m := tw.Mean(float64(len(vals)))
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package workload implements the source component of the model (paper
+// §3.2, Table 2): it turns a transaction class description into concrete
+// transaction plans — which pages of which partitions each cohort reads,
+// which of those it updates, and how much CPU each page costs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ddbm/internal/db"
+	"ddbm/internal/sim"
+)
+
+// Access is one page access in a cohort's plan.
+type Access struct {
+	Page  db.PageID
+	Write bool
+	// Remote marks a write to a non-primary copy of a replicated page
+	// (read-one/write-all): the cohort makes a write concurrency control
+	// request but performs no read I/O or page processing; the copy is
+	// installed at commit like any other deferred update. Remote implies
+	// Write.
+	Remote bool
+	// Inst is the CPU demand for processing this page when reading it,
+	// drawn exponentially with mean InstPerPage.
+	Inst float64
+	// WriteInst is the additional CPU demand for processing the page when
+	// writing it (Table 2: InstPerPage applies "when reading or writing");
+	// zero for read-only and remote-copy accesses.
+	WriteInst float64
+}
+
+// CohortPlan is the work one cohort performs at one node.
+type CohortPlan struct {
+	Node     int
+	Accesses []Access
+}
+
+// NumWrites returns how many of the cohort's accesses are updates.
+func (c *CohortPlan) NumWrites() int {
+	n := 0
+	for _, a := range c.Accesses {
+		if a.Write {
+			n++
+		}
+	}
+	return n
+}
+
+// TxnPlan is a complete transaction: one cohort per node that stores data
+// the transaction accesses, in partition order (which is also the execution
+// order for sequential transactions). The plan is fixed across restart
+// attempts — a rerun transaction re-executes the same accesses.
+type TxnPlan struct {
+	Relation int
+	Cohorts  []CohortPlan
+	// Sequential requests sequential cohort execution for this transaction
+	// (set from its class; the machine-wide ExecPattern can also force it).
+	Sequential bool
+}
+
+// NumReads returns the total number of page reads (remote-copy writes do
+// not read).
+func (t *TxnPlan) NumReads() int {
+	n := 0
+	for i := range t.Cohorts {
+		for j := range t.Cohorts[i].Accesses {
+			if !t.Cohorts[i].Accesses[j].Remote {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// NumWrites returns the total number of updated pages.
+func (t *TxnPlan) NumWrites() int {
+	n := 0
+	for i := range t.Cohorts {
+		n += t.Cohorts[i].NumWrites()
+	}
+	return n
+}
+
+// Spread selects the distribution of the per-partition page count around
+// its mean.
+type Spread int
+
+const (
+	// SpreadHalfToThreeHalves draws uniformly from [avg/2, 3·avg/2]
+	// (mean avg). This matches the paper's quantitative footnote 12, which
+	// computes with cohorts of 4..12 pages around a mean of 8.
+	SpreadHalfToThreeHalves Spread = iota
+	// SpreadHalfToTwice draws uniformly from [avg/2, 2·avg] as the model
+	// section's prose states (mean 1.25·avg).
+	SpreadHalfToTwice
+)
+
+// Class describes one transaction class (paper Table 2): which files of
+// the terminal's relation a transaction touches and how it treats them.
+type Class struct {
+	// Frac is the fraction of terminals generating this class (ClassFrac).
+	Frac float64
+	// Sequential selects sequential cohort execution for this class
+	// (ExecPattern); the default is parallel.
+	Sequential bool
+	// FileCount is how many distinct partitions of the terminal's relation
+	// a transaction accesses, drawn uniformly without replacement
+	// (FileCount/FileProb); 0 means every partition — the configuration
+	// used throughout the paper's experiments.
+	FileCount int
+	// AvgPages is the mean number of pages read per accessed partition
+	// (NumPages).
+	AvgPages int
+	// WriteProb is the probability an accessed page is updated.
+	WriteProb float64
+	// InstPerPage is the mean CPU instruction count to process a page.
+	InstPerPage float64
+}
+
+// Generator creates transaction plans for one or more transaction classes.
+type Generator struct {
+	Catalog *db.Catalog
+	// AvgPages is the mean number of pages read per partition (NumPages)
+	// for the default class.
+	AvgPages int
+	// WriteProb is the probability an accessed page is updated (default
+	// class).
+	WriteProb float64
+	// InstPerPage is the mean CPU instruction count to process a page
+	// (default class).
+	InstPerPage float64
+	// Spread selects the page-count distribution (all classes).
+	Spread Spread
+	// Classes optionally defines a multi-class workload; when empty a
+	// single class built from the fields above is used (the paper's
+	// configuration).
+	Classes []Class
+}
+
+// Validate checks the generator's parameters.
+func (g *Generator) Validate() error {
+	if g.Catalog == nil {
+		return fmt.Errorf("workload: nil catalog")
+	}
+	for i, c := range g.classes() {
+		switch {
+		case c.AvgPages < 1:
+			return fmt.Errorf("workload: class %d AvgPages must be >= 1, got %d", i, c.AvgPages)
+		case c.WriteProb < 0 || c.WriteProb > 1:
+			return fmt.Errorf("workload: class %d WriteProb %v out of [0,1]", i, c.WriteProb)
+		case c.InstPerPage < 0:
+			return fmt.Errorf("workload: class %d negative InstPerPage %v", i, c.InstPerPage)
+		case c.FileCount < 0 || c.FileCount > g.Catalog.PartsPerRelation:
+			return fmt.Errorf("workload: class %d FileCount %d out of range for %d partitions",
+				i, c.FileCount, g.Catalog.PartsPerRelation)
+		case len(g.Classes) > 0 && c.Frac <= 0:
+			return fmt.Errorf("workload: class %d has non-positive fraction", i)
+		}
+	}
+	if len(g.Classes) > 0 {
+		var total float64
+		for _, c := range g.Classes {
+			total += c.Frac
+		}
+		if total < 0.999 || total > 1.001 {
+			return fmt.Errorf("workload: class fractions sum to %v, want 1", total)
+		}
+	}
+	return nil
+}
+
+// classes returns the effective class list (the default single class when
+// none are configured).
+func (g *Generator) classes() []Class {
+	if len(g.Classes) > 0 {
+		return g.Classes
+	}
+	return []Class{{
+		Frac:        1,
+		AvgPages:    g.AvgPages,
+		WriteProb:   g.WriteProb,
+		InstPerPage: g.InstPerPage,
+	}}
+}
+
+// ClassOfTerminal deterministically assigns a class to a terminal by the
+// cumulative class fractions (terminal i of n gets the class covering
+// quantile (i+0.5)/n).
+func (g *Generator) ClassOfTerminal(term, numTerminals int) Class {
+	cs := g.classes()
+	q := (float64(term) + 0.5) / float64(numTerminals)
+	var cum float64
+	for _, c := range cs {
+		cum += c.Frac
+		if q <= cum {
+			return c
+		}
+	}
+	return cs[len(cs)-1]
+}
+
+// pageCount draws the number of pages to read from one partition.
+func (g *Generator) pageCount(r *rand.Rand, avg, filePages int) int {
+	lo := avg / 2
+	if lo < 1 {
+		lo = 1
+	}
+	var hi int
+	switch g.Spread {
+	case SpreadHalfToTwice:
+		hi = 2 * avg
+	default:
+		hi = avg + avg/2
+	}
+	n := sim.UniformInt(r, lo, hi)
+	if n > filePages {
+		n = filePages
+	}
+	return n
+}
+
+// NewPlan builds a default-class transaction accessing every partition of
+// relation rel (the paper's configuration). See NewClassPlan.
+func (g *Generator) NewPlan(r *rand.Rand, rel int) TxnPlan {
+	return g.NewClassPlan(r, rel, g.classes()[0])
+}
+
+// NewClassPlan builds a transaction of the given class against relation
+// rel: one cohort per node holding (a primary copy of) the partitions it
+// touches, each cohort reading a random sample (without replacement) of
+// pages from each local partition and updating each with the class's write
+// probability. With replicated files, every updated page additionally gets
+// a remote-write access at each node holding another copy
+// (read-one/write-all), extending the transaction with cohorts at those
+// nodes when needed.
+func (g *Generator) NewClassPlan(r *rand.Rand, rel int, class Class) TxnPlan {
+	nodes, partsAt := g.Catalog.RelationNodes(rel)
+	// Restrict to FileCount randomly chosen partitions if the class asks.
+	if class.FileCount > 0 && class.FileCount < g.Catalog.PartsPerRelation {
+		chosen := make(map[int]bool, class.FileCount)
+		for _, part := range sim.SampleWithoutReplacement(r, g.Catalog.PartsPerRelation, class.FileCount) {
+			chosen[part] = true
+		}
+		filteredNodes := nodes[:0:0]
+		filtered := make(map[int][]int, len(partsAt))
+		for _, node := range nodes {
+			for _, part := range partsAt[node] {
+				if chosen[part] {
+					filtered[node] = append(filtered[node], part)
+				}
+			}
+			if len(filtered[node]) > 0 {
+				filteredNodes = append(filteredNodes, node)
+			}
+		}
+		nodes, partsAt = filteredNodes, filtered
+	}
+
+	plan := TxnPlan{Relation: rel, Sequential: class.Sequential, Cohorts: make([]CohortPlan, 0, len(nodes))}
+	cohortAt := make(map[int]int, len(nodes)) // node -> index in plan.Cohorts
+	for _, node := range nodes {
+		cohortAt[node] = len(plan.Cohorts)
+		plan.Cohorts = append(plan.Cohorts, CohortPlan{Node: node})
+	}
+	var remote []Access
+	var remoteNodes []int
+	for _, node := range nodes {
+		cp := &plan.Cohorts[cohortAt[node]]
+		for _, part := range partsAt[node] {
+			file := g.Catalog.FileOf(rel, part)
+			n := g.pageCount(r, class.AvgPages, g.Catalog.PagesPerFile)
+			for _, pg := range sim.SampleWithoutReplacement(r, g.Catalog.PagesPerFile, n) {
+				a := Access{
+					Page:  db.PageID{File: file, Page: pg},
+					Write: r.Float64() < class.WriteProb,
+					Inst:  sim.Exponential(r, class.InstPerPage),
+				}
+				if a.Write {
+					a.WriteInst = sim.Exponential(r, class.InstPerPage)
+					for _, rn := range g.Catalog.Replicas(file)[1:] {
+						remote = append(remote, Access{Page: a.Page, Write: true, Remote: true})
+						remoteNodes = append(remoteNodes, rn)
+					}
+				}
+				cp.Accesses = append(cp.Accesses, a)
+			}
+		}
+	}
+	// Attach remote-copy writes, creating replica-only cohorts as needed.
+	for i, a := range remote {
+		node := remoteNodes[i]
+		idx, ok := cohortAt[node]
+		if !ok {
+			idx = len(plan.Cohorts)
+			cohortAt[node] = idx
+			plan.Cohorts = append(plan.Cohorts, CohortPlan{Node: node})
+		}
+		plan.Cohorts[idx].Accesses = append(plan.Cohorts[idx].Accesses, a)
+	}
+	return plan
+}

@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ddbm/internal/db"
+)
+
+func gen(t *testing.T, ways int) *Generator {
+	t.Helper()
+	cat, err := db.PlacePartitioned(8, 8, 300, 8, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Generator{Catalog: cat, AvgPages: 8, WriteProb: 0.25, InstPerPage: 8000}
+}
+
+func TestPlanCohortsMatchPlacement(t *testing.T) {
+	for _, ways := range []int{1, 2, 4, 8} {
+		g := gen(t, ways)
+		r := rand.New(rand.NewSource(1))
+		for rel := 0; rel < 8; rel++ {
+			plan := g.NewPlan(r, rel)
+			if len(plan.Cohorts) != ways {
+				t.Fatalf("ways=%d rel=%d: %d cohorts", ways, rel, len(plan.Cohorts))
+			}
+			for _, c := range plan.Cohorts {
+				for _, a := range c.Accesses {
+					if g.Catalog.NodeOf(a.Page.File) != c.Node {
+						t.Fatalf("cohort at node %d accesses file on node %d",
+							c.Node, g.Catalog.NodeOf(a.Page.File))
+					}
+					if a.Page.File/8 != rel {
+						t.Fatalf("plan for relation %d touches file %d", rel, a.Page.File)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlanPageCountBounds(t *testing.T) {
+	// Default spread: 4..12 pages per partition (paper footnote 12).
+	g := gen(t, 8)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		plan := g.NewPlan(r, i%8)
+		perFile := map[int]int{}
+		for _, c := range plan.Cohorts {
+			for _, a := range c.Accesses {
+				perFile[a.Page.File]++
+			}
+		}
+		if len(perFile) != 8 {
+			t.Fatalf("transaction touched %d partitions, want all 8", len(perFile))
+		}
+		for f, n := range perFile {
+			if n < 4 || n > 12 {
+				t.Fatalf("file %d accessed %d pages, want 4..12", f, n)
+			}
+		}
+	}
+}
+
+func TestPlanPageCountSpreadHalfToTwice(t *testing.T) {
+	g := gen(t, 8)
+	g.Spread = SpreadHalfToTwice
+	r := rand.New(rand.NewSource(3))
+	seen16 := false
+	for i := 0; i < 500; i++ {
+		plan := g.NewPlan(r, 0)
+		perFile := map[int]int{}
+		for _, c := range plan.Cohorts {
+			for _, a := range c.Accesses {
+				perFile[a.Page.File]++
+			}
+		}
+		for f, n := range perFile {
+			if n < 4 || n > 16 {
+				t.Fatalf("file %d accessed %d pages, want 4..16", f, n)
+			}
+			if n == 16 {
+				seen16 = true
+			}
+		}
+	}
+	if !seen16 {
+		t.Error("half-to-twice spread never produced 16 pages over 4000 draws")
+	}
+}
+
+func TestPlanPagesDistinctWithinPartition(t *testing.T) {
+	g := gen(t, 8)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		plan := g.NewPlan(r, i%8)
+		seen := map[db.PageID]bool{}
+		for _, c := range plan.Cohorts {
+			for _, a := range c.Accesses {
+				if seen[a.Page] {
+					t.Fatalf("page %v accessed twice", a.Page)
+				}
+				seen[a.Page] = true
+				if a.Page.Page < 0 || a.Page.Page >= 300 {
+					t.Fatalf("page number %d out of file bounds", a.Page.Page)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanWriteFraction(t *testing.T) {
+	g := gen(t, 8)
+	r := rand.New(rand.NewSource(5))
+	reads, writes := 0, 0
+	for i := 0; i < 2000; i++ {
+		plan := g.NewPlan(r, i%8)
+		reads += plan.NumReads()
+		writes += plan.NumWrites()
+	}
+	frac := float64(writes) / float64(reads)
+	if frac < 0.23 || frac > 0.27 {
+		t.Errorf("write fraction %v, want ~0.25", frac)
+	}
+	// The paper's averages: 64 reads, 8 writes per transaction.
+	avgReads := float64(reads) / 2000
+	if avgReads < 62 || avgReads > 66 {
+		t.Errorf("average reads/txn %v, want ~64", avgReads)
+	}
+}
+
+func TestPlanInstExponential(t *testing.T) {
+	g := gen(t, 8)
+	r := rand.New(rand.NewSource(6))
+	var sum, wsum float64
+	n, wn := 0, 0
+	for i := 0; i < 1000; i++ {
+		plan := g.NewPlan(r, i%8)
+		for _, c := range plan.Cohorts {
+			for _, a := range c.Accesses {
+				if a.Inst < 0 || a.WriteInst < 0 {
+					t.Fatal("negative instruction count")
+				}
+				sum += a.Inst
+				n++
+				if a.Write {
+					wsum += a.WriteInst
+					wn++
+				} else if a.WriteInst != 0 {
+					t.Fatal("read-only access has write-processing cost")
+				}
+			}
+		}
+	}
+	mean := sum / float64(n)
+	if mean < 7600 || mean > 8400 {
+		t.Errorf("mean read inst/page %v, want ~8000", mean)
+	}
+	wmean := wsum / float64(wn)
+	if wmean < 7500 || wmean > 8500 {
+		t.Errorf("mean write inst/page %v, want ~8000 (Table 2: processing applies when reading or writing)", wmean)
+	}
+}
+
+func TestPlanDeterministicByRand(t *testing.T) {
+	g := gen(t, 4)
+	a := g.NewPlan(rand.New(rand.NewSource(7)), 3)
+	b := g.NewPlan(rand.New(rand.NewSource(7)), 3)
+	if a.NumReads() != b.NumReads() || a.NumWrites() != b.NumWrites() {
+		t.Fatal("same seed produced different plans")
+	}
+	for i := range a.Cohorts {
+		for j := range a.Cohorts[i].Accesses {
+			if a.Cohorts[i].Accesses[j] != b.Cohorts[i].Accesses[j] {
+				t.Fatal("same seed produced different accesses")
+			}
+		}
+	}
+}
+
+func TestPlanReplicatedWrites(t *testing.T) {
+	cat, err := db.PlacePartitioned(8, 8, 300, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Replicate(3, 8); err != nil {
+		t.Fatal(err)
+	}
+	g := &Generator{Catalog: cat, AvgPages: 8, WriteProb: 0.5, InstPerPage: 8000}
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		plan := g.NewPlan(r, i%8)
+		// Every written page must appear at exactly 3 nodes: once locally
+		// (Remote=false) and twice remotely (Remote=true, no read cost).
+		byPage := map[db.PageID][]Access{}
+		nodeOf := map[db.PageID]map[int]bool{}
+		for _, c := range plan.Cohorts {
+			for _, a := range c.Accesses {
+				if a.Write {
+					byPage[a.Page] = append(byPage[a.Page], a)
+					if nodeOf[a.Page] == nil {
+						nodeOf[a.Page] = map[int]bool{}
+					}
+					if nodeOf[a.Page][c.Node] {
+						t.Fatalf("page %v written twice at node %d", a.Page, c.Node)
+					}
+					nodeOf[a.Page][c.Node] = true
+				} else if a.Remote {
+					t.Fatal("remote access without Write")
+				}
+			}
+		}
+		for page, accesses := range byPage {
+			local, remote := 0, 0
+			for _, a := range accesses {
+				if a.Remote {
+					remote++
+					if a.Inst != 0 || a.WriteInst != 0 {
+						t.Fatal("remote-copy write carries processing cost")
+					}
+				} else {
+					local++
+				}
+			}
+			if local != 1 || remote != 2 {
+				t.Fatalf("page %v: %d local + %d remote writes, want 1+2", page, local, remote)
+			}
+		}
+		// Reads still only touch the single primary node (1-way layout).
+		reads := 0
+		for _, c := range plan.Cohorts {
+			for _, a := range c.Accesses {
+				if !a.Remote {
+					reads++
+					if cat.NodeOf(a.Page.File) != c.Node {
+						t.Fatal("read not at the primary copy")
+					}
+				}
+			}
+		}
+		if plan.NumReads() != reads {
+			t.Fatalf("NumReads %d, counted %d", plan.NumReads(), reads)
+		}
+	}
+}
+
+func TestPlanUnreplicatedHasNoRemotes(t *testing.T) {
+	g := gen(t, 8)
+	r := rand.New(rand.NewSource(10))
+	plan := g.NewPlan(r, 0)
+	for _, c := range plan.Cohorts {
+		for _, a := range c.Accesses {
+			if a.Remote {
+				t.Fatal("remote access without replication")
+			}
+		}
+	}
+}
+
+func TestPageCountClampsToFileSize(t *testing.T) {
+	cat, _ := db.PlacePartitioned(2, 2, 5, 2, 2) // tiny 5-page files
+	g := &Generator{Catalog: cat, AvgPages: 8, WriteProb: 0, InstPerPage: 100}
+	r := rand.New(rand.NewSource(8))
+	plan := g.NewPlan(r, 0)
+	for _, c := range plan.Cohorts {
+		if len(c.Accesses) > 5 {
+			t.Fatalf("cohort accesses %d pages of a 5-page file", len(c.Accesses))
+		}
+	}
+}
+
+func TestGeneratorValidate(t *testing.T) {
+	cat, _ := db.PlaceScaled(8, 8, 300, 8)
+	good := &Generator{Catalog: cat, AvgPages: 8, WriteProb: 0.25, InstPerPage: 8000}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid generator rejected: %v", err)
+	}
+	bad := []*Generator{
+		{Catalog: nil, AvgPages: 8, WriteProb: 0.25, InstPerPage: 8000},
+		{Catalog: cat, AvgPages: 0, WriteProb: 0.25, InstPerPage: 8000},
+		{Catalog: cat, AvgPages: 8, WriteProb: 1.5, InstPerPage: 8000},
+		{Catalog: cat, AvgPages: 8, WriteProb: -0.1, InstPerPage: 8000},
+		{Catalog: cat, AvgPages: 8, WriteProb: 0.25, InstPerPage: -1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("invalid generator %d accepted", i)
+		}
+	}
+}
+
+func TestPlanProperty(t *testing.T) {
+	// Property: for any ways/avg combination, plans have ways cohorts, all
+	// accesses in bounds and distinct within a partition.
+	f := func(w8, avg8, seed uint8) bool {
+		ways := []int{1, 2, 4, 8}[w8%4]
+		avg := int(avg8%12) + 1
+		cat, err := db.PlacePartitioned(8, 8, 50, 8, ways)
+		if err != nil {
+			return false
+		}
+		g := &Generator{Catalog: cat, AvgPages: avg, WriteProb: 0.5, InstPerPage: 1000}
+		r := rand.New(rand.NewSource(int64(seed)))
+		plan := g.NewPlan(r, int(seed)%8)
+		if len(plan.Cohorts) != ways {
+			return false
+		}
+		seen := map[db.PageID]bool{}
+		for _, c := range plan.Cohorts {
+			for _, a := range c.Accesses {
+				if a.Page.Page < 0 || a.Page.Page >= 50 || seen[a.Page] {
+					return false
+				}
+				seen[a.Page] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
