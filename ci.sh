@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# ci.sh — the checks every PR must pass, in increasing order of cost:
+# vet, build, full test suite, a race pass over the experiments package
+# (runGrid fans simulations out across host goroutines — real race
+# territory), and a short kernel benchmark smoke so a catastrophic
+# performance regression fails loudly even without reading numbers.
+#
+# For the tracked performance numbers, run the trajectory harness instead:
+#   go run ./cmd/bench        # rewrites BENCH_kernel.json
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (experiments goroutine fan-out)"
+go test -race -count=1 -run 'TestRunGrid|TestCfgKey' ./experiments/
+
+echo "== kernel benchmark smoke"
+go test -run '^$' -bench 'BenchmarkEventThroughput|BenchmarkProcessSwitch|BenchmarkMailbox' \
+  -benchtime 0.1s -benchmem ./internal/sim/
+
+echo "CI OK"

@@ -1,0 +1,221 @@
+// Command bench is the kernel performance trajectory harness. It runs the
+// simulation kernel microbenchmarks (event throughput, process switch,
+// mailbox round trip) plus one end-to-end macro-benchmark of a full
+// ddbm.Run, and writes the numbers to a JSON file so successive PRs can
+// track ns/op, allocs/op, events/sec and the sim-time/wall-time ratio over
+// time.
+//
+//	go run ./cmd/bench                 # writes BENCH_kernel.json
+//	go run ./cmd/bench -o out.json -benchtime 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ddbm"
+	"ddbm/internal/sim"
+)
+
+// MicroResult records one testing.Benchmark run.
+type MicroResult struct {
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	OpsPerSecond float64 `json:"ops_per_second"`
+}
+
+// MacroResult records one full simulation run of the paper's baseline
+// machine configuration.
+type MacroResult struct {
+	Algorithm        string  `json:"algorithm"`
+	SimMs            float64 `json:"sim_ms"`
+	WallMs           float64 `json:"wall_ms"`
+	SimPerWall       float64 `json:"sim_ms_per_wall_ms"`
+	EventsDispatched uint64  `json:"events_dispatched"`
+	EventsPerWallSec float64 `json:"events_per_wall_sec"`
+	ThroughputTPS    float64 `json:"throughput_tps"`
+	Commits          int64   `json:"commits"`
+}
+
+// Report is the BENCH_kernel.json schema.
+type Report struct {
+	GeneratedAt string                 `json:"generated_at"`
+	GoVersion   string                 `json:"go_version"`
+	GOOS        string                 `json:"goos"`
+	GOARCH      string                 `json:"goarch"`
+	NumCPU      int                    `json:"num_cpu"`
+	Micro       map[string]MicroResult `json:"micro"`
+	Macro       MacroResult            `json:"macro"`
+}
+
+func micro(r testing.BenchmarkResult) MicroResult {
+	ns := float64(r.NsPerOp())
+	if r.N > 0 && r.T > 0 {
+		ns = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	ops := 0.0
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return MicroResult{
+		Iterations:   r.N,
+		NsPerOp:      ns,
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		OpsPerSecond: ops,
+	}
+}
+
+// The three micro-benchmark bodies mirror internal/sim/sim_bench_test.go;
+// they live here as well because _test.go files cannot be imported.
+
+func benchEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	var t sim.Time
+	var fire func()
+	fire = func() {
+		t++
+		if t < sim.Time(b.N) {
+			s.Schedule(t, fire)
+		}
+	}
+	s.Schedule(0, fire)
+	b.ResetTimer()
+	s.Run(sim.Time(b.N) + 1)
+}
+
+func benchProcessSwitch(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	s.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(1)
+		}
+	})
+	b.ResetTimer()
+	s.Run(sim.Time(b.N) + 2)
+}
+
+func benchMailbox(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New(1)
+	m := s.NewMailbox()
+	s.Spawn("rx", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			m.Recv(p)
+		}
+	})
+	s.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			m.Send(i)
+			p.Delay(1)
+		}
+	})
+	b.ResetTimer()
+	s.Run(sim.Time(b.N) + 2)
+}
+
+// runMacro simulates the paper's baseline 8-node machine under 2PL at a
+// 4-second think time and reports how much simulated time one wall-clock
+// unit buys.
+func runMacro(simSeconds float64) (MacroResult, error) {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = ddbm.TwoPL
+	cfg.ThinkTimeMs = 4000
+	cfg.SimTimeMs = simSeconds * 1000
+	cfg.WarmupMs = cfg.SimTimeMs / 8
+	cfg.Seed = 7
+	m, err := ddbm.NewMachine(cfg)
+	if err != nil {
+		return MacroResult{}, err
+	}
+	start := time.Now()
+	res := m.Run()
+	wall := time.Since(start)
+	wallMs := float64(wall.Nanoseconds()) / 1e6
+	events := m.Sim().EventsDispatched()
+	return MacroResult{
+		Algorithm:        cfg.Algorithm.String(),
+		SimMs:            cfg.SimTimeMs,
+		WallMs:           wallMs,
+		SimPerWall:       cfg.SimTimeMs / wallMs,
+		EventsDispatched: events,
+		EventsPerWallSec: float64(events) / wall.Seconds(),
+		ThroughputTPS:    res.ThroughputTPS,
+		Commits:          res.Commits,
+	}, nil
+}
+
+func main() {
+	// Register the testing package's flags (test.benchtime in particular) so
+	// testing.Benchmark can be tuned from our own -benchtime flag.
+	testing.Init()
+	out := flag.String("o", "BENCH_kernel.json", "output file ('-' for stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "target duration per microbenchmark")
+	macroSec := flag.Float64("macrosec", 240, "simulated seconds for the macro-benchmark run")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"EventThroughput", benchEventThroughput},
+		{"ProcessSwitch", benchProcessSwitch},
+		{"Mailbox", benchMailbox},
+	}
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Micro:       make(map[string]MicroResult, len(benches)),
+	}
+
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		m := micro(r)
+		rep.Micro[bm.name] = m
+		fmt.Fprintf(os.Stderr, "%-16s %10d iters  %8.1f ns/op  %4d B/op  %3d allocs/op  %12.0f ops/s\n",
+			bm.name, m.Iterations, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.OpsPerSecond)
+	}
+
+	macro, err := runMacro(*macroSec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "macro-benchmark:", err)
+		os.Exit(1)
+	}
+	rep.Macro = macro
+	fmt.Fprintf(os.Stderr, "macro %s: %.0f sim-ms in %.0f wall-ms (%.1fx real time), %d events, %.0f events/wall-sec, %.2f tps\n",
+		macro.Algorithm, macro.SimMs, macro.WallMs, macro.SimPerWall,
+		macro.EventsDispatched, macro.EventsPerWallSec, macro.ThroughputTPS)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ddbm"
 )
@@ -46,6 +48,8 @@ func main() {
 	simTime := flag.Float64("simtime", cfg.SimTimeMs/1000, "simulated duration (seconds)")
 	warmup := flag.Float64("warmup", cfg.WarmupMs/1000, "warmup before measurement (seconds)")
 	seed := flag.Int64("seed", cfg.Seed, "random seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file` after the run")
 	flag.Parse()
 
 	kind, err := ddbm.ParseAlgorithm(*alg)
@@ -96,7 +100,35 @@ func main() {
 			}
 		})
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	res := m.Run()
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile() // idempotent with the defer; flush before reporting
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 
 	fmt.Printf("algorithm            %v (%s execution)\n", cfg.Algorithm, cfg.ExecPattern)
 	fmt.Printf("machine              1 host (%.0f MIPS) + %d nodes (%.0f MIPS, %d disks each)\n",

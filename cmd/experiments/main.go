@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ddbm/experiments"
@@ -24,7 +26,25 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	chart := flag.Bool("chart", false, "append an ASCII chart after each figure")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file` (flushed on successful exit)")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file` on successful exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
+	}
 
 	emit := func(f *experiments.Figure) {
 		if *csv {

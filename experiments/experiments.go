@@ -11,6 +11,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -86,13 +87,85 @@ func (o Options) apply(cfg *ddbm.Config) {
 }
 
 // cfgKey renders a configuration as a deterministic lookup key (Config
-// contains slices, so it cannot be a map key itself).
-func cfgKey(cfg ddbm.Config) string { return fmt.Sprintf("%+v", cfg) }
+// contains slices, so it cannot be a map key itself). It is a hand-rolled
+// field-by-field builder rather than fmt.Sprintf("%+v", ...): the reflective
+// format walked the whole struct on every grid lookup and dominated grid
+// bookkeeping cost. Every Config field must appear here — TestCfgKey
+// perturbs each field reflectively and fails if a change does not alter the
+// key.
+func cfgKey(cfg ddbm.Config) string {
+	buf := make([]byte, 0, 192)
+	num := func(v float64) {
+		buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		buf = append(buf, '|')
+	}
+	integer := func(v int64) {
+		buf = strconv.AppendInt(buf, v, 10)
+		buf = append(buf, '|')
+	}
+	boolean := func(v bool) {
+		if v {
+			buf = append(buf, '1', '|')
+		} else {
+			buf = append(buf, '0', '|')
+		}
+	}
+	integer(int64(cfg.Algorithm))
+	boolean(cfg.StrictOPT)
+	integer(int64(cfg.NumProcNodes))
+	integer(int64(cfg.PartitionWays))
+	integer(int64(cfg.NumRelations))
+	integer(int64(cfg.PartsPerRelation))
+	integer(int64(cfg.PagesPerFile))
+	integer(int64(cfg.ReplicaCount))
+	boolean(cfg.UpgradeWriteLocks)
+	boolean(cfg.DeferRemoteWriteLocks)
+	integer(int64(cfg.NumTerminals))
+	num(cfg.ThinkTimeMs)
+	integer(int64(cfg.AvgPagesPerPartition))
+	num(cfg.WriteProb)
+	num(cfg.InstPerPage)
+	for _, c := range cfg.Classes {
+		buf = append(buf, 'c')
+		num(c.Frac)
+		boolean(c.Sequential)
+		integer(int64(c.FileCount))
+		integer(int64(c.AvgPagesPerPartition))
+		num(c.WriteProb)
+		num(c.InstPerPage)
+	}
+	buf = append(buf, ';')
+	boolean(cfg.SpreadHalfToTwice)
+	num(cfg.HostMIPS)
+	num(cfg.ProcMIPS)
+	integer(int64(cfg.NumDisks))
+	num(cfg.MinDiskMs)
+	num(cfg.MaxDiskMs)
+	num(cfg.InstPerUpdate)
+	num(cfg.InstPerStartup)
+	num(cfg.InstPerMsg)
+	num(cfg.InstPerCCReq)
+	num(cfg.DetectionIntervalMs)
+	num(cfg.LockWaitTimeoutMs)
+	integer(int64(cfg.ExecPattern))
+	num(cfg.SimTimeMs)
+	num(cfg.WarmupMs)
+	integer(cfg.Seed)
+	num(cfg.InitialRestartDelayMs)
+	boolean(cfg.ModelLogging)
+	boolean(cfg.Audit)
+	return string(buf)
+}
+
+// runSim is the simulation entry point used by runGrid; tests substitute it
+// to observe scheduling behavior without running real simulations.
+var runSim = ddbm.Run
 
 // runGrid executes every configuration (deduplicated, replicated across
 // seeds per Options.Replicates) and returns a lookup table keyed by
 // cfgKey of the base configuration. Runs execute concurrently up to
-// Workers.
+// Workers. Once any run fails, no further simulations are launched — the
+// first error is returned instead of silently burning the rest of the grid.
 func runGrid(o Options, cfgs []ddbm.Config) (map[string]ddbm.Result, error) {
 	uniq := make([]ddbm.Config, 0, len(cfgs))
 	seen := make(map[string]bool, len(cfgs))
@@ -105,11 +178,20 @@ func runGrid(o Options, cfgs []ddbm.Config) (map[string]ddbm.Result, error) {
 	acc := make(map[string][]ddbm.Result, len(uniq))
 	var mu sync.Mutex
 	var firstErr error
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
 	sem := make(chan struct{}, o.Workers)
 	var wg sync.WaitGroup
+launch:
 	for _, base := range uniq {
 		key := cfgKey(base)
 		for rep := 0; rep < o.Replicates; rep++ {
+			if failed() {
+				break launch
+			}
 			cfg := base
 			cfg.Seed = base.Seed + int64(rep)
 			wg.Add(1)
@@ -117,7 +199,7 @@ func runGrid(o Options, cfgs []ddbm.Config) (map[string]ddbm.Result, error) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				res, err := ddbm.Run(cfg)
+				res, err := runSim(cfg)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {

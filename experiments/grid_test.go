@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ddbm"
+)
+
+// TestCfgKeyCoversEveryField perturbs each Config field reflectively and
+// requires the hand-rolled cfgKey to change. This is the guard that keeps
+// the non-reflective key builder honest when Config grows a field: a new
+// field that cfgKey ignores fails here with the field's name.
+func TestCfgKeyCoversEveryField(t *testing.T) {
+	base := ddbm.DefaultConfig()
+	baseKey := cfgKey(base)
+
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		field := typ.Field(i)
+		cfg := base
+		v := reflect.ValueOf(&cfg).Elem().Field(i)
+		switch v.Kind() {
+		case reflect.Bool:
+			v.SetBool(!v.Bool())
+		case reflect.Int, reflect.Int64:
+			v.SetInt(v.Int() + 1)
+		case reflect.Float64:
+			v.SetFloat(v.Float() + 0.421875)
+		case reflect.Slice:
+			v.Set(reflect.ValueOf([]ddbm.TxnClass{{Frac: 1, AvgPagesPerPartition: 3, WriteProb: 0.5, InstPerPage: 100}}))
+		default:
+			t.Fatalf("Config.%s has kind %v that this test (and likely cfgKey) does not handle", field.Name, v.Kind())
+		}
+		if got := cfgKey(cfg); got == baseKey {
+			t.Errorf("changing Config.%s did not change cfgKey — grid dedup would merge distinct configurations", field.Name)
+		}
+	}
+}
+
+// TestCfgKeyClassBoundaries checks that the per-class encoding cannot be
+// confused with the trailing scalar fields or with a different class split.
+func TestCfgKeyClassBoundaries(t *testing.T) {
+	a := ddbm.DefaultConfig()
+	a.Classes = []ddbm.TxnClass{{Frac: 0.5, FileCount: 1}, {Frac: 0.5, FileCount: 2}}
+	b := ddbm.DefaultConfig()
+	b.Classes = []ddbm.TxnClass{{Frac: 0.5, FileCount: 1}}
+	c := ddbm.DefaultConfig()
+	c.Classes = []ddbm.TxnClass{{Frac: 0.5, FileCount: 2}, {Frac: 0.5, FileCount: 1}}
+	keys := map[string]string{"a": cfgKey(a), "b": cfgKey(b), "c": cfgKey(c)}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("configs %s and %s share key %q", prev, name, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestCfgKeyDeterministic ensures repeated calls yield the same key (the
+// grid uses it both to dedupe and to look results back up).
+func TestCfgKeyDeterministic(t *testing.T) {
+	cfg := ddbm.DefaultConfig()
+	cfg.Classes = []ddbm.TxnClass{{Frac: 1}}
+	if cfgKey(cfg) != cfgKey(cfg) {
+		t.Fatal("cfgKey is not deterministic")
+	}
+}
+
+// TestRunGridStopsLaunchingAfterError replaces the simulation entry point
+// and checks that a failing run halts the launch loop instead of burning
+// the rest of the grid.
+func TestRunGridStopsLaunchingAfterError(t *testing.T) {
+	orig := runSim
+	defer func() { runSim = orig }()
+
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	runSim = func(cfg ddbm.Config) (ddbm.Result, error) {
+		calls.Add(1)
+		return ddbm.Result{}, boom
+	}
+
+	const n = 64
+	cfgs := make([]ddbm.Config, n)
+	for i := range cfgs {
+		cfgs[i] = ddbm.DefaultConfig()
+		cfgs[i].NumTerminals = i + 1
+	}
+	o := Options{Workers: 1}.withDefaults()
+	_, err := runGrid(o, cfgs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("runGrid error = %v, want %v", err, boom)
+	}
+	// With one worker, at most the in-flight run plus one more that was
+	// launched before the failure was recorded can execute.
+	if got := calls.Load(); got > 2 {
+		t.Errorf("runGrid launched %d runs after a failure; want at most 2 of %d", got, n)
+	}
+}
+
+// TestRunGridConcurrentWorkers drives the fan-out with many workers and a
+// mocked simulation so the scheduling path (semaphore, shared accumulator,
+// first-error latch) gets exercised under -race.
+func TestRunGridConcurrentWorkers(t *testing.T) {
+	orig := runSim
+	defer func() { runSim = orig }()
+
+	var calls atomic.Int64
+	runSim = func(cfg ddbm.Config) (ddbm.Result, error) {
+		calls.Add(1)
+		time.Sleep(time.Duration(cfg.NumTerminals%5) * time.Millisecond)
+		return ddbm.Result{Config: cfg, ThroughputTPS: float64(cfg.NumTerminals)}, nil
+	}
+
+	const n = 40
+	cfgs := make([]ddbm.Config, n)
+	for i := range cfgs {
+		cfgs[i] = ddbm.DefaultConfig()
+		cfgs[i].NumTerminals = i + 1
+	}
+	o := Options{Workers: 8, Replicates: 2}.withDefaults()
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	if got := calls.Load(); got != n*2 {
+		t.Fatalf("ran %d simulations, want %d", got, n*2)
+	}
+	for i := range cfgs {
+		res, ok := results[cfgKey(cfgs[i])]
+		if !ok {
+			t.Fatalf("missing result for config %d", i)
+		}
+		if res.ThroughputTPS != float64(i+1) {
+			t.Errorf("config %d: tps %v, want %v", i, res.ThroughputTPS, float64(i+1))
+		}
+	}
+}
+
+// BenchmarkCfgKey tracks the cost of the grid's key builder (the old
+// fmt.Sprintf("%+v") reflective version ran at ~20x this cost).
+func BenchmarkCfgKey(b *testing.B) {
+	cfg := ddbm.DefaultConfig()
+	cfg.Classes = []ddbm.TxnClass{{Frac: 0.75}, {Frac: 0.25, FileCount: 2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if cfgKey(cfg) == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

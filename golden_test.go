@@ -1,0 +1,81 @@
+package ddbm_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"ddbm"
+)
+
+// TestKernelGoldenBitIdentical replays the configurations captured in
+// testdata/golden_seed_kernel.json — results produced by the original
+// container/heap kernel with per-resume closure allocation — and requires
+// the current kernel to reproduce every Result field bit-for-bit. This is
+// the contract of the allocation-free kernel rewrite: same (time, seq)
+// dispatch order, same RNG consumption order, therefore the same floats to
+// the last ulp. Regenerate the file (see DESIGN.md, "Kernel performance")
+// only for a deliberate, documented model change.
+func TestKernelGoldenBitIdentical(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden_seed_kernel.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden []ddbm.Result
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) == 0 {
+		t.Fatal("golden file is empty")
+	}
+	for i := range golden {
+		g := golden[i]
+		name := fmt.Sprintf("%d-%v-%s", i, g.Config.Algorithm, g.Config.ExecPattern)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := ddbm.Run(g.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, g) {
+				got, _ := json.MarshalIndent(res, "", "  ")
+				want, _ := json.MarshalIndent(g, "", "  ")
+				t.Errorf("result diverged from the seed kernel\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestRunTwiceIdentical runs every algorithm twice with the same seed and
+// asserts the full Result structs are identical — determinism of the
+// current kernel against itself, independent of the golden file.
+func TestRunTwiceIdentical(t *testing.T) {
+	algos := append(ddbm.Algorithms(), ddbm.O2PL)
+	for _, a := range algos {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := ddbm.DefaultConfig()
+			cfg.Algorithm = a
+			cfg.SimTimeMs = 30_000
+			cfg.WarmupMs = 5_000
+			cfg.ThinkTimeMs = 2_000
+			cfg.Seed = 11
+			first, err := ddbm.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := ddbm.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				got, _ := json.MarshalIndent(second, "", "  ")
+				want, _ := json.MarshalIndent(first, "", "  ")
+				t.Errorf("two runs with one seed diverged\nsecond:\n%s\nfirst:\n%s", got, want)
+			}
+		})
+	}
+}

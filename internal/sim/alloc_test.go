@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the kernel's steady-state allocation counts. They are the
+// regression guard for the allocation-free hot path: a change that
+// reintroduces a per-event or per-switch allocation (a closure in
+// Delay/Resume, losing the event free-list, a mailbox that reallocates)
+// fails here before it shows up as a throughput regression.
+
+// TestScheduleFireAllocFree: one schedule→dispatch cycle of a callback
+// event reuses a free-listed Event and allocates nothing.
+func TestScheduleFireAllocFree(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Prime the free-list with one fired event.
+	s.Schedule(s.Now(), fn)
+	s.Step(math.MaxFloat64)
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Schedule(s.Now(), fn)
+		s.Step(math.MaxFloat64)
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+fire allocates %v objects per event, want 0", allocs)
+	}
+}
+
+// TestScheduleCancelAllocFree: canceling returns the event to the
+// free-list, so churning schedule/cancel (the CPU reschedule pattern)
+// allocates nothing.
+func TestScheduleCancelAllocFree(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	s.Cancel(s.Schedule(10, fn))
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Cancel(s.Schedule(10, fn))
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+cancel allocates %v objects per event, want 0", allocs)
+	}
+}
+
+// TestDelayAllocFree: a full process switch (Delay, park, dispatch, resume)
+// uses the process's embedded resume event and allocates nothing.
+func TestDelayAllocFree(t *testing.T) {
+	s := New(1)
+	allocs := math.NaN()
+	s.Spawn("p", func(p *Proc) {
+		p.Delay(1)
+		allocs = testing.AllocsPerRun(200, func() { p.Delay(1) })
+	})
+	s.Run(math.Inf(1))
+	if allocs != 0 {
+		t.Errorf("Delay allocates %v objects per switch, want 0", allocs)
+	}
+}
+
+// TestSuspendResumeAllocFree: the Suspend/Resume rendezvous — the path
+// mailbox wakeups ride — allocates nothing per cycle.
+func TestSuspendResumeAllocFree(t *testing.T) {
+	s := New(1)
+	allocs := math.NaN()
+	var sleeper *Proc
+	sleeper = s.Spawn("sleeper", func(p *Proc) {
+		for {
+			p.Suspend()
+		}
+	})
+	s.Spawn("driver", func(p *Proc) {
+		sleeper.Resume()
+		p.Delay(1)
+		allocs = testing.AllocsPerRun(200, func() {
+			sleeper.Resume()
+			p.Delay(1)
+		})
+	})
+	s.Run(math.Inf(1))
+	if allocs != 0 {
+		t.Errorf("Resume+Delay cycle allocates %v objects, want 0", allocs)
+	}
+}
+
+// TestMailboxSteadyStateAllocFree: once the ring is warm, send+receive of
+// an already-boxed message allocates nothing (the old slide-forward slice
+// reallocated every few operations).
+func TestMailboxSteadyStateAllocFree(t *testing.T) {
+	s := New(1)
+	m := s.NewMailbox()
+	var msg any = "payload"
+	for i := 0; i < 4; i++ {
+		m.Send(msg)
+	}
+	for {
+		if _, ok := m.TryRecv(); !ok {
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Send(msg)
+		if _, ok := m.TryRecv(); !ok {
+			t.Fatal("message lost")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("mailbox send+recv allocates %v objects per op, want 0", allocs)
+	}
+}
+
+// TestMailboxBacklogAllocAmortized: a mailbox that oscillates between empty
+// and a bounded backlog settles into its ring and stops allocating.
+func TestMailboxBacklogAllocAmortized(t *testing.T) {
+	s := New(1)
+	m := s.NewMailbox()
+	var msg any = 1
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			m.Send(msg)
+		}
+		for i := 0; i < 16; i++ {
+			if _, ok := m.TryRecv(); !ok {
+				t.Fatal("message lost")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm 16-deep mailbox burst allocates %v objects per burst, want 0", allocs)
+	}
+}

@@ -31,9 +31,31 @@ func UniformInt(r *rand.Rand, lo, hi int) int {
 // SampleWithoutReplacement returns k distinct integers from [0, n) in random
 // order. If k >= n it returns a permutation of all n values.
 func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+	return SampleWithoutReplacementInto(r, n, k, nil)
+}
+
+// SampleWithoutReplacementInto is SampleWithoutReplacement with a
+// caller-provided scratch buffer: the returned slice aliases scratch when it
+// has capacity n, so a hot caller (the workload generator draws a sample per
+// partition per transaction) allocates nothing in steady state.
+//
+// It consumes exactly the same randomness as rand.Perm(n) — n Intn draws,
+// including the degenerate Intn(1) at i=0, which rand.Perm keeps for Go 1
+// stream compatibility — so swapping it in for SampleWithoutReplacement
+// cannot perturb a seeded run (TestSampleIntoMatchesPermStream pins this).
+func SampleWithoutReplacementInto(r *rand.Rand, n, k int, scratch []int) []int {
 	if k > n {
 		k = n
 	}
-	perm := r.Perm(n)
-	return perm[:k]
+	if cap(scratch) < n {
+		scratch = make([]int, n)
+	} else {
+		scratch = scratch[:n]
+	}
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		scratch[i] = scratch[j]
+		scratch[j] = i
+	}
+	return scratch[:k]
 }

@@ -3,9 +3,16 @@ package sim
 // Mailbox is an unbounded FIFO message queue with at most one process
 // blocked on receive. It is the basic inter-process communication primitive
 // (coordinator/cohort signalling, terminal completion notices).
+//
+// Messages live in a power-of-two ring buffer: a busy mailbox in steady
+// state allocates nothing per send/receive, unlike the previous
+// slide-forward slice (`queue = queue[1:]`) that walked its backing array
+// and forced a fresh allocation every few operations.
 type Mailbox struct {
 	sim    *Sim
-	queue  []any
+	buf    []any // ring storage; len(buf) is zero or a power of two
+	head   int   // index of the oldest message
+	count  int   // messages currently queued
 	waiter *Proc
 }
 
@@ -15,7 +22,11 @@ func (s *Sim) NewMailbox() *Mailbox { return &Mailbox{sim: s} }
 // Send enqueues a message and wakes the receiver if one is blocked. It never
 // blocks and may be called from event callbacks as well as processes.
 func (m *Mailbox) Send(msg any) {
-	m.queue = append(m.queue, msg)
+	if m.count == len(m.buf) {
+		m.grow()
+	}
+	m.buf[(m.head+m.count)&(len(m.buf)-1)] = msg
+	m.count++
 	if m.waiter != nil {
 		w := m.waiter
 		m.waiter = nil
@@ -23,33 +34,51 @@ func (m *Mailbox) Send(msg any) {
 	}
 }
 
+// grow doubles the ring (minimum 8 slots), unwrapping the live window to
+// the front of the new buffer.
+func (m *Mailbox) grow() {
+	newCap := 2 * len(m.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]any, newCap)
+	for i := 0; i < m.count; i++ {
+		buf[i] = m.buf[(m.head+i)&(len(m.buf)-1)]
+	}
+	m.buf = buf
+	m.head = 0
+}
+
+// pop removes and returns the oldest message; the slot is cleared so the
+// ring does not retain delivered messages.
+func (m *Mailbox) pop() any {
+	msg := m.buf[m.head]
+	m.buf[m.head] = nil
+	m.head = (m.head + 1) & (len(m.buf) - 1)
+	m.count--
+	return msg
+}
+
 // Recv returns the next message, blocking the calling process until one is
 // available. Only one process may block on a mailbox at a time.
 func (m *Mailbox) Recv(p *Proc) any {
-	for len(m.queue) == 0 {
+	for m.count == 0 {
 		if m.waiter != nil && m.waiter != p {
 			panic("sim: multiple receivers on one mailbox")
 		}
 		m.waiter = p
 		p.Suspend()
 	}
-	msg := m.queue[0]
-	// Avoid retaining delivered messages.
-	m.queue[0] = nil
-	m.queue = m.queue[1:]
-	return msg
+	return m.pop()
 }
 
 // TryRecv returns the next message without blocking; ok is false if empty.
 func (m *Mailbox) TryRecv() (msg any, ok bool) {
-	if len(m.queue) == 0 {
+	if m.count == 0 {
 		return nil, false
 	}
-	msg = m.queue[0]
-	m.queue[0] = nil
-	m.queue = m.queue[1:]
-	return msg, true
+	return m.pop(), true
 }
 
 // Len returns the number of queued messages.
-func (m *Mailbox) Len() int { return len(m.queue) }
+func (m *Mailbox) Len() int { return m.count }

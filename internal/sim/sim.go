@@ -8,10 +8,15 @@
 // (Delay, Suspend, mailbox receive). Events scheduled for the same instant
 // fire in FIFO order, and all randomness flows through a single seeded
 // source, so every run is fully deterministic.
+//
+// The kernel hot path is allocation-free in steady state: fired and
+// canceled callback events are recycled through a free-list, and every
+// process embeds its own resume event, so Delay/Resume/SpawnAt and mailbox
+// wakeups neither allocate an Event nor a closure. See DESIGN.md ("Kernel
+// performance") for the invariants this preserves.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -20,11 +25,19 @@ import (
 type Time = float64
 
 // Event is a scheduled callback. It can be canceled before it fires.
+//
+// Recycling contract: once an event has fired or been canceled, its handle
+// is dead — the simulator may reuse the struct for a later Schedule call.
+// Holders must drop their reference after the event fires or after they
+// cancel it (calling Cancel again on a dead handle before the simulator
+// reuses it is still a harmless no-op). All in-tree callers either discard
+// the handle immediately or nil their reference on fire/cancel.
 type Event struct {
 	at       Time
 	seq      uint64
-	fn       func()
-	index    int // heap index, -1 once popped or canceled
+	fn       func() // callback events; nil for process-resume events
+	proc     *Proc  // process-resume events fire by resuming this process
+	index    int    // heap index, -1 while not queued
 	canceled bool
 }
 
@@ -34,47 +47,20 @@ func (e *Event) Canceled() bool { return e.canceled }
 // At returns the simulated time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Sim is a discrete-event simulator instance.
 type Sim struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	rng     *rand.Rand
-	yield   chan struct{}
-	cur     *Proc
-	procs   map[*Proc]struct{}
-	stopped bool
-	nprocs  uint64 // total processes ever spawned (for naming/debug)
-	failure any    // panic value escaped from a process body
+	now        Time
+	events     eventQueue
+	free       []*Event // recycled callback events
+	seq        uint64
+	dispatched uint64
+	rng        *rand.Rand
+	yield      chan struct{}
+	cur        *Proc
+	procs      map[*Proc]struct{}
+	stopped    bool
+	nprocs     uint64 // total processes ever spawned (for naming/debug)
+	failure    any    // panic value escaped from a process body
 }
 
 // New creates a simulator with the given random seed.
@@ -93,15 +79,51 @@ func (s *Sim) Now() Time { return s.now }
 // be used from simulation processes and event callbacks.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// Schedule registers fn to run at absolute time at. Scheduling in the past
-// panics: it would silently reorder causality.
-func (s *Sim) Schedule(at Time, fn func()) *Event {
+// EventsDispatched returns the number of events fired so far — the kernel's
+// fundamental unit of work, used by the perf harness to report events/sec.
+func (s *Sim) EventsDispatched() uint64 { return s.dispatched }
+
+// allocEvent takes a recycled callback event from the free-list or makes a
+// fresh one. Fields left over from a previous life are reset.
+func (s *Sim) allocEvent() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.canceled = false
+		return e
+	}
+	return &Event{index: -1}
+}
+
+// releaseEvent returns a fired or canceled callback event to the free-list.
+// Process-resume events are embedded in their Proc and never pass through
+// here.
+func (s *Sim) releaseEvent(e *Event) {
+	e.fn = nil
+	s.free = append(s.free, e)
+}
+
+// enqueue stamps the event with the next sequence number and queues it.
+// The seq counter advances exactly once per scheduling call, in call order,
+// which (together with the total (at, seq) heap order) makes event dispatch
+// order a pure function of the call sequence.
+func (s *Sim) enqueue(e *Event, at Time) {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
 	s.seq++
-	e := &Event{at: at, seq: s.seq, fn: fn}
-	heap.Push(&s.events, e)
+	e.at = at
+	e.seq = s.seq
+	s.events.push(e)
+}
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Sim) Schedule(at Time, fn func()) *Event {
+	e := s.allocEvent()
+	e.fn = fn
+	s.enqueue(e, at)
 	return e
 }
 
@@ -113,8 +135,22 @@ func (s *Sim) After(d Time, fn func()) *Event {
 	return s.Schedule(s.now+d, fn)
 }
 
+// scheduleProc queues p's embedded resume event: the closure- and
+// allocation-free path behind Delay, Resume, SpawnAt and mailbox wakeups.
+// A process blocks in at most one place, so one embedded event suffices;
+// scheduling it twice is a kernel-usage bug and panics loudly instead of
+// corrupting the queue.
+func (s *Sim) scheduleProc(at Time, p *Proc) {
+	if p.ev.index >= 0 {
+		panic(fmt.Sprintf("sim: process %q already has a pending resume", p.name))
+	}
+	p.ev.canceled = false
+	s.enqueue(&p.ev, at)
+}
+
 // Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op (but see the recycling contract on
+// Event: a dead handle must be dropped promptly).
 func (s *Sim) Cancel(e *Event) {
 	if e == nil || e.canceled || e.index < 0 {
 		if e != nil {
@@ -123,25 +159,41 @@ func (s *Sim) Cancel(e *Event) {
 		return
 	}
 	e.canceled = true
-	heap.Remove(&s.events, e.index)
-	e.index = -1
+	s.events.remove(e.index)
+	if e.proc == nil {
+		s.releaseEvent(e)
+	}
+}
+
+// fire dispatches one popped event: callback events are recycled before
+// their function runs (so a fn that schedules reuses the same struct),
+// resume events hand control to their process.
+func (s *Sim) fire(e *Event) {
+	s.now = e.at
+	s.dispatched++
+	if p := e.proc; p != nil {
+		s.resume(p)
+		return
+	}
+	fn := e.fn
+	s.releaseEvent(e)
+	fn()
 }
 
 // Run executes events until the clock reaches end (exclusive) or the event
 // queue drains, then terminates all live processes. It returns the final
 // simulated time.
 func (s *Sim) Run(end Time) Time {
-	for len(s.events) > 0 {
-		e := s.events[0]
+	for s.events.len() > 0 {
+		e := s.events.min()
 		if e.at >= end {
 			break
 		}
-		heap.Pop(&s.events)
+		s.events.pop()
 		if e.canceled {
 			continue
 		}
-		s.now = e.at
-		e.fn()
+		s.fire(e)
 	}
 	if s.now < end {
 		s.now = end
@@ -153,17 +205,16 @@ func (s *Sim) Run(end Time) Time {
 // Step executes the single next event if one exists before end; it reports
 // whether an event fired. Useful for tests that need fine-grained control.
 func (s *Sim) Step(end Time) bool {
-	for len(s.events) > 0 {
-		e := s.events[0]
+	for s.events.len() > 0 {
+		e := s.events.min()
 		if e.at >= end {
 			return false
 		}
-		heap.Pop(&s.events)
+		s.events.pop()
 		if e.canceled {
 			continue
 		}
-		s.now = e.at
-		e.fn()
+		s.fire(e)
 		return true
 	}
 	return false
@@ -202,6 +253,10 @@ type Proc struct {
 	wake   chan wakeSignal
 	parked bool // true while blocked waiting for a wake signal
 	done   bool
+	// ev is the process's resume event, reused for every Delay/Resume/start
+	// so process switching never allocates. A process is blocked in at most
+	// one place at a time, so a single embedded event is always enough.
+	ev Event
 }
 
 // Name returns the process name given at Spawn.
@@ -220,6 +275,8 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	s.nprocs++
 	p := &Proc{sim: s, name: name, wake: make(chan wakeSignal)}
+	p.ev.proc = p
+	p.ev.index = -1
 	s.procs[p] = struct{}{}
 	p.parked = true
 	go func() {
@@ -242,7 +299,7 @@ func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	s.Schedule(at, func() { s.resume(p) })
+	s.scheduleProc(at, p)
 	return p
 }
 
@@ -283,14 +340,14 @@ func (p *Proc) block() {
 	}
 }
 
-// Delay suspends the process for d milliseconds of simulated time.
+// Delay suspends the process for d milliseconds of simulated time. Even a
+// zero delay yields through the event queue so that same-time events retain
+// FIFO fairness.
 func (p *Proc) Delay(d Time) {
-	if d <= 0 {
-		// Even a zero delay must yield through the event queue so that
-		// same-time events retain FIFO fairness.
+	if d < 0 {
 		d = 0
 	}
-	p.sim.After(d, func() { p.sim.resume(p) })
+	p.sim.scheduleProc(p.sim.now+d, p)
 	p.block()
 }
 
@@ -302,7 +359,7 @@ func (p *Proc) Suspend() {
 // Resume schedules p to continue at the current simulated time. It must only
 // be called for a process parked in Suspend (or a mailbox receive).
 func (p *Proc) Resume() {
-	p.sim.Schedule(p.sim.now, func() { p.sim.resume(p) })
+	p.sim.scheduleProc(p.sim.now, p)
 }
 
 // Hold is an alias for Delay matching DeNet terminology.

@@ -464,6 +464,51 @@ func TestSampleWithoutReplacement(t *testing.T) {
 	}
 }
 
+func TestSampleIntoMatchesPermStream(t *testing.T) {
+	// SampleWithoutReplacementInto must consume the RNG exactly like
+	// rand.Perm: same sample, same number of draws, same state afterwards.
+	// This is what lets the workload generator reuse a scratch buffer
+	// without perturbing seeded runs.
+	for seed := int64(1); seed <= 5; seed++ {
+		a := rand.New(rand.NewSource(seed))
+		b := rand.New(rand.NewSource(seed))
+		scratch := make([]int, 0, 64)
+		for _, nk := range [][2]int{{300, 8}, {1, 1}, {0, 0}, {7, 12}, {50, 50}} {
+			n, k := nk[0], nk[1]
+			want := a.Perm(n)
+			if k > n {
+				k = n
+			}
+			want = want[:k]
+			got := SampleWithoutReplacementInto(b, n, k, scratch)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: len %d, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: sample %v, want %v", n, k, got, want)
+				}
+			}
+			scratch = got[:0]
+		}
+		if a.Float64() != b.Float64() {
+			t.Fatalf("seed %d: RNG states diverged after sampling", seed)
+		}
+	}
+}
+
+func TestSampleIntoAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	scratch := make([]int, 300)
+	allocs := testing.AllocsPerRun(100, func() {
+		s := SampleWithoutReplacementInto(r, 300, 8, scratch)
+		scratch = s[:0]
+	})
+	if allocs != 0 {
+		t.Errorf("SampleWithoutReplacementInto with adequate scratch allocates %v objects, want 0", allocs)
+	}
+}
+
 func TestEventAccessors(t *testing.T) {
 	s := New(1)
 	e := s.Schedule(42, func() {})

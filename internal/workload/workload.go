@@ -137,6 +137,12 @@ type Generator struct {
 	// single class built from the fields above is used (the paper's
 	// configuration).
 	Classes []Class
+
+	// permScratch backs the per-partition page samples so plan generation
+	// does not allocate a fresh permutation per partition. Plans for one
+	// machine are generated one at a time (the simulation kernel runs a
+	// single process at a time), so one buffer suffices.
+	permScratch []int
 }
 
 // Validate checks the generator's parameters.
@@ -271,7 +277,9 @@ func (g *Generator) NewClassPlan(r *rand.Rand, rel int, class Class) TxnPlan {
 		for _, part := range partsAt[node] {
 			file := g.Catalog.FileOf(rel, part)
 			n := g.pageCount(r, class.AvgPages, g.Catalog.PagesPerFile)
-			for _, pg := range sim.SampleWithoutReplacement(r, g.Catalog.PagesPerFile, n) {
+			pages := sim.SampleWithoutReplacementInto(r, g.Catalog.PagesPerFile, n, g.permScratch)
+			g.permScratch = pages[:0]
+			for _, pg := range pages {
 				a := Access{
 					Page:  db.PageID{File: file, Page: pg},
 					Write: r.Float64() < class.WriteProb,
