@@ -1,17 +1,32 @@
 #!/usr/bin/env bash
 # ci.sh — the checks every PR must pass, in increasing order of cost:
-# vet, build, full test suite, a race pass over the experiments package
-# (runGrid fans simulations out across host goroutines — real race
-# territory), and a short kernel benchmark smoke so a catastrophic
-# performance regression fails loudly even without reading numbers.
+# gofmt, vet, the determinism linter (ddbmlint statically enforces the
+# invariants the golden tests can only probe dynamically), build, full
+# test suite, a race pass over the whole module (runGrid fans simulations
+# out across host goroutines — real race territory; -short skips only the
+# marathon paper-shape reproductions, which the Tiny studies cover and
+# which would push the race pass past the go test timeout), and a kernel
+# benchmark smoke so a catastrophic performance regression fails loudly
+# even without reading numbers.
 #
 # For the tracked performance numbers, run the trajectory harness instead:
 #   go run ./cmd/bench        # rewrites BENCH_kernel.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
+
+echo "== ddbmlint (determinism invariants)"
+go run ./cmd/ddbmlint ./...
 
 echo "== go build ./..."
 go build ./...
@@ -19,8 +34,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (experiments goroutine fan-out)"
-go test -race -count=1 -run 'TestRunGrid|TestCfgKey' ./experiments/
+echo "== go test -race -short ./..."
+go test -race -short ./...
 
 echo "== kernel benchmark smoke"
 go test -run '^$' -bench 'BenchmarkEventThroughput|BenchmarkProcessSwitch|BenchmarkMailbox' \

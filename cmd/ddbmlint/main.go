@@ -1,0 +1,142 @@
+// Command ddbmlint statically enforces the simulator's determinism
+// invariants: no wall-clock time, no global math/rand, no order-sensitive
+// map iteration, no goroutines outside internal/sim, and no retained
+// *sim.Event handles. See internal/lint and DESIGN.md ("Statically-
+// enforced determinism invariants").
+//
+// Usage:
+//
+//	go run ./cmd/ddbmlint ./...
+//	go run ./cmd/ddbmlint ./internal/cc ./experiments
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ddbm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddbmlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddbmlint:", err)
+		return 2
+	}
+	dirs, err := expandArgs(root, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddbmlint:", err)
+		return 2
+	}
+	runner := &lint.Runner{Loader: loader, Config: lint.DefaultConfig(loader.Module)}
+	findings := 0
+	for _, rel := range dirs {
+		pkgPath := loader.Module
+		if rel != "." {
+			pkgPath += "/" + rel
+		}
+		diags, err := runner.LintDir(filepath.Join(root, filepath.FromSlash(rel)), pkgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddbmlint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			// Print module-relative paths: stable across machines.
+			if p, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				d.Pos.Filename = filepath.ToSlash(p)
+			}
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ddbmlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks upward from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandArgs resolves package patterns to module-root-relative package
+// directories. Supported: "./...", "dir/...", and plain directories.
+func expandArgs(root string, args []string) ([]string, error) {
+	all, err := lint.PackageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	seen := map[string]bool{}
+	add := func(rel string) {
+		if !seen[rel] {
+			seen[rel] = true
+			out = append(out, rel)
+		}
+	}
+	for _, arg := range args {
+		prefix, recursive := strings.CutSuffix(arg, "...")
+		prefix = strings.TrimSuffix(prefix, "/")
+		if prefix == "" || prefix == "." {
+			prefix = "."
+		}
+		rel, err := relToRoot(root, prefix)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, d := range all {
+			if d == rel || (recursive && (rel == "." || strings.HasPrefix(d, rel+"/"))) {
+				add(d)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", arg)
+		}
+	}
+	return out, nil
+}
+
+func relToRoot(root, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("directory %q is outside the module", dir)
+	}
+	return filepath.ToSlash(rel), nil
+}

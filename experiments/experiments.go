@@ -175,6 +175,9 @@ func runGrid(o Options, cfgs []ddbm.Config) (map[string]ddbm.Result, error) {
 			uniq = append(uniq, c)
 		}
 	}
+	// Every replicate gets a preallocated slot, indexed by replicate
+	// number, so the accumulated results (and the Config retained by
+	// averageResults) are independent of goroutine completion order.
 	acc := make(map[string][]ddbm.Result, len(uniq))
 	var mu sync.Mutex
 	var firstErr error
@@ -188,6 +191,8 @@ func runGrid(o Options, cfgs []ddbm.Config) (map[string]ddbm.Result, error) {
 launch:
 	for _, base := range uniq {
 		key := cfgKey(base)
+		slots := make([]ddbm.Result, o.Replicates)
+		acc[key] = slots
 		for rep := 0; rep < o.Replicates; rep++ {
 			if failed() {
 				break launch
@@ -196,6 +201,7 @@ launch:
 			cfg.Seed = base.Seed + int64(rep)
 			wg.Add(1)
 			sem <- struct{}{}
+			//ddbmlint:allow no-naked-goroutine host-parallel fan-out of independent simulations; each run is seed-deterministic and fills only its own replicate slot under mu, so grid output is independent of completion order
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
@@ -208,7 +214,7 @@ launch:
 					}
 					return
 				}
-				acc[key] = append(acc[key], res)
+				slots[rep] = res
 				if o.Progress != nil {
 					fmt.Fprintf(o.Progress, "ran %-5v nodes=%d ways=%d think=%gs pages=%d seed=%d: %.2f tps, %.0f ms\n",
 						cfg.Algorithm, cfg.NumProcNodes, cfg.PartitionWays, cfg.ThinkTimeMs/1000,

@@ -5,7 +5,6 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
-	"time"
 
 	"ddbm"
 )
@@ -104,25 +103,56 @@ func TestRunGridStopsLaunchingAfterError(t *testing.T) {
 
 // TestRunGridConcurrentWorkers drives the fan-out with many workers and a
 // mocked simulation so the scheduling path (semaphore, shared accumulator,
-// first-error latch) gets exercised under -race.
+// first-error latch) gets exercised under -race. Instead of sleep-based
+// jitter, a gate goroutine collects the in-flight runs and releases each
+// full batch in reverse arrival order: pure channel synchronization (no
+// wall-clock), deterministic in protocol, and it still forces completions
+// out of launch order so the accumulator sees shuffled writes.
 func TestRunGridConcurrentWorkers(t *testing.T) {
 	orig := runSim
 	defer func() { runSim = orig }()
 
+	const (
+		n          = 40
+		workers    = 8
+		replicates = 2
+		total      = n * replicates
+	)
+
+	// The semaphore in runGrid admits exactly `workers` runs at once and
+	// none of them return before release, so every batch fills (the
+	// released == total guard covers a non-divisible tail).
+	gate := make(chan chan struct{}, total)
+	go func() {
+		released := 0
+		var batch []chan struct{}
+		for released < total {
+			batch = append(batch, <-gate)
+			released++
+			if len(batch) == workers || released == total {
+				for i := len(batch) - 1; i >= 0; i-- {
+					close(batch[i])
+				}
+				batch = batch[:0]
+			}
+		}
+	}()
+
 	var calls atomic.Int64
 	runSim = func(cfg ddbm.Config) (ddbm.Result, error) {
 		calls.Add(1)
-		time.Sleep(time.Duration(cfg.NumTerminals%5) * time.Millisecond)
+		release := make(chan struct{})
+		gate <- release
+		<-release
 		return ddbm.Result{Config: cfg, ThroughputTPS: float64(cfg.NumTerminals)}, nil
 	}
 
-	const n = 40
 	cfgs := make([]ddbm.Config, n)
 	for i := range cfgs {
 		cfgs[i] = ddbm.DefaultConfig()
 		cfgs[i].NumTerminals = i + 1
 	}
-	o := Options{Workers: 8, Replicates: 2}.withDefaults()
+	o := Options{Workers: workers, Replicates: replicates}.withDefaults()
 	results, err := runGrid(o, cfgs)
 	if err != nil {
 		t.Fatal(err)

@@ -185,6 +185,7 @@ func (m *manager) Abort(co *cc.CohortMeta) {
 	// Remove a blocked read by this cohort anywhere (it can only be blocked
 	// on one page, the one it is currently accessing).
 	if co.Waiting() {
+		//ddbmlint:ordered a waiting cohort has at most one blocked read across all pages, so at most one iteration acts
 		for _, ps := range m.pages {
 			for i, br := range ps.blocked {
 				if br.co == co {

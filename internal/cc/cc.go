@@ -56,6 +56,7 @@ func (k Kind) String() string {
 
 // ParseKind converts an algorithm name (as printed by String) to a Kind.
 func ParseKind(s string) (Kind, error) {
+	//ddbmlint:ordered kindNames values are unique, so at most one iteration can match and return
 	for k, n := range kindNames {
 		if n == s {
 			return k, nil

@@ -43,6 +43,7 @@ func FindVictims(edges []Edge) []*TxnMeta {
 		adj[e.Waiter] = append(adj[e.Waiter], e.Blocker)
 	}
 	sort.Slice(txns, func(i, j int) bool { return txns[i].ID < txns[j].ID })
+	//ddbmlint:ordered each adjacency list is sorted in place independently; no state crosses iterations
 	for _, succ := range adj {
 		sort.Slice(succ, func(i, j int) bool { return succ[i].ID < succ[j].ID })
 	}

@@ -184,12 +184,7 @@ func (lt *LockTable) ReleaseAll(co *CohortMeta) {
 	for page := range pages {
 		sorted = append(sorted, page)
 	}
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].File != sorted[j].File {
-			return sorted[i].File < sorted[j].File
-		}
-		return sorted[i].Page < sorted[j].Page
-	})
+	sort.Slice(sorted, func(i, j int) bool { return pageLess(sorted[i], sorted[j]) })
 	for _, page := range sorted {
 		e := lt.entries[page]
 		for i, h := range e.holders {
@@ -274,12 +269,30 @@ func (lt *LockTable) Empty() bool {
 	return len(lt.held) == 0 && len(lt.waiting) == 0
 }
 
+// pageLess is the total order (file, then page) used wherever lock-table
+// maps must be iterated deterministically.
+func pageLess(a, b db.PageID) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	return a.Page < b.Page
+}
+
 // WaitsForEdges returns this node's waits-for graph: one edge per
 // (waiter, blocker) pair where the blocker is a conflicting holder or a
-// conflicting request queued ahead of the waiter.
+// conflicting request queued ahead of the waiter. Edges are emitted in
+// sorted page order, not map order: FindVictims canonicalizes whatever it
+// receives, but a stable order keeps every downstream consumer (tracing,
+// tests, future victim policies) independent of map iteration.
 func (lt *LockTable) WaitsForEdges(node int) []Edge {
+	pages := make([]db.PageID, 0, len(lt.entries))
+	for page := range lt.entries {
+		pages = append(pages, page)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pageLess(pages[i], pages[j]) })
 	var edges []Edge
-	for _, e := range lt.entries {
+	for _, page := range pages {
+		e := lt.entries[page]
 		for qi, q := range e.queue {
 			add := func(other *CohortMeta) {
 				if other.Txn != q.co.Txn {

@@ -146,6 +146,7 @@ func (m *manager) Prepare(co *cc.CohortMeta) bool {
 		}
 	}
 	// Certification succeeded: record our entries.
+	//ddbmlint:ordered one entry is appended per distinct page, so iterations touch disjoint page states
 	for page := range cs.reads {
 		ps := m.page(page)
 		ps.certReads = append(ps.certReads, certEntry{ts: ts, co: co})
@@ -168,6 +169,7 @@ func (m *manager) Commit(co *cc.CohortMeta) {
 	}
 	delete(m.cohorts, co)
 	ts := co.Txn.CommitTS
+	//ddbmlint:ordered iterations update disjoint page states (max-merge of rts, removal of this cohort's entry)
 	for page := range cs.reads {
 		ps := m.page(page)
 		if ts > ps.rts {
@@ -192,6 +194,7 @@ func (m *manager) Abort(co *cc.CohortMeta) {
 	}
 	delete(m.cohorts, co)
 	if cs.certified {
+		//ddbmlint:ordered iterations remove this cohort's entry from disjoint page states
 		for page := range cs.reads {
 			removeCert(&m.page(page).certReads, co)
 		}

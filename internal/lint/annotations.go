@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// annotation is one parsed //ddbmlint: comment.
+type annotation struct {
+	line   int
+	check  string // canonical check name the annotation excuses
+	reason string
+	used   bool
+}
+
+// fileAnns indexes a file's annotations by line (for suppression lookup)
+// and in source order (for the unused-annotation sweep).
+type fileAnns struct {
+	byLine map[int]*annotation
+	list   []*annotation
+}
+
+const annPrefix = "ddbmlint:"
+
+// collectAnnotations parses every //ddbmlint: comment in f. Malformed
+// annotations (unknown verb or check, missing justification) are reported
+// immediately — an escape hatch that does not state its ordering argument
+// is worthless for review.
+func collectAnnotations(fset *token.FileSet, f *ast.File, rn *run) *fileAnns {
+	fa := &fileAnns{byLine: map[int]*annotation{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, annPrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			body := strings.TrimPrefix(text, annPrefix)
+			verb, rest, _ := strings.Cut(body, " ")
+			var check, reason string
+			switch verb {
+			case "ordered":
+				check, reason = "map-order", strings.TrimSpace(rest)
+			case "allow":
+				check, reason, _ = strings.Cut(strings.TrimSpace(rest), " ")
+				reason = strings.TrimSpace(reason)
+				if !checkNameValid(check) {
+					rn.diags = append(rn.diags, Diagnostic{
+						Pos: pos, Check: "annotation",
+						Msg:  fmt.Sprintf("ddbmlint:allow names unknown check %q", check),
+						Hint: knownChecksHint(),
+					})
+					continue
+				}
+			default:
+				rn.diags = append(rn.diags, Diagnostic{
+					Pos: pos, Check: "annotation",
+					Msg:  fmt.Sprintf("unknown ddbmlint annotation verb %q", verb),
+					Hint: "use //ddbmlint:ordered <why> or //ddbmlint:allow <check> <why>",
+				})
+				continue
+			}
+			if reason == "" {
+				rn.diags = append(rn.diags, Diagnostic{
+					Pos: pos, Check: "annotation",
+					Msg:  "ddbmlint annotation without a justification",
+					Hint: "state why the flagged construct cannot affect determinism",
+				})
+				continue
+			}
+			a := &annotation{line: pos.Line, check: check, reason: reason}
+			fa.byLine[a.line] = a
+			fa.list = append(fa.list, a)
+		}
+	}
+	return fa
+}
+
+func knownChecksHint() string {
+	names := make([]string, len(Checks))
+	for i, c := range Checks {
+		names[i] = c.Name
+	}
+	return "known checks: " + strings.Join(names, ", ")
+}

@@ -1,0 +1,85 @@
+package lint
+
+import "strings"
+
+// Policy scopes one check: which package paths it runs on and whether
+// _test.go files are exempt.
+type Policy struct {
+	Check     string
+	SkipTests bool
+	// Skip lists package path prefixes where the check is off entirely.
+	Skip []string
+	// Only, when non-empty, restricts the check to these prefixes.
+	Only []string
+}
+
+func (p Policy) inScope(pkgPath string) bool {
+	for _, pre := range p.Skip {
+		if pathMatch(pkgPath, pre) {
+			return false
+		}
+	}
+	if len(p.Only) == 0 {
+		return true
+	}
+	for _, pre := range p.Only {
+		if pathMatch(pkgPath, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathMatch reports whether path is prefix itself or a package below it.
+func pathMatch(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// Config is the scope table for a whole run.
+type Config struct {
+	policies map[string]Policy
+}
+
+// NewConfig builds a Config from explicit policies; checks without a
+// policy run everywhere including tests.
+func NewConfig(policies ...Policy) Config {
+	m := make(map[string]Policy, len(policies))
+	for _, p := range policies {
+		m[p.Check] = p
+	}
+	return Config{policies: m}
+}
+
+func (c Config) policy(check string) Policy {
+	if p, ok := c.policies[check]; ok {
+		return p
+	}
+	return Policy{Check: check}
+}
+
+// DefaultConfig is the repo's scope table, parameterized by module path so
+// the fixture harness can reuse it under a fake module name.
+//
+//   - no-wall-clock: simulation code must run on simulated time only.
+//     cmd/... (benchmark harnesses time real work) and _test.go files are
+//     allowlisted.
+//   - no-global-rand: nothing, tests included, may draw from the global
+//     math/rand source; all randomness flows through the per-Simulation
+//     seeded *rand.Rand so runs are a pure function of the seed.
+//   - map-order: non-test simulation code must not let Go's randomized
+//     map iteration order reach anything order-sensitive.
+//   - no-naked-goroutine: internal/sim owns the run-to-block scheduler;
+//     host concurrency anywhere else needs an audited annotation. Test
+//     harnesses are exempt.
+//   - event-retention: *sim.Event handles die when they fire or are
+//     canceled (free-list recycling), so only internal/sim itself may
+//     retain them structurally. Test files are exempt.
+func DefaultConfig(module string) Config {
+	return NewConfig(
+		Policy{Check: "no-wall-clock", SkipTests: true, Skip: []string{module + "/cmd"}},
+		Policy{Check: "no-global-rand"},
+		Policy{Check: "map-order", SkipTests: true},
+		Policy{Check: "no-naked-goroutine", SkipTests: true, Skip: []string{module + "/internal/sim"}},
+		Policy{Check: "event-retention", SkipTests: true, Skip: []string{module + "/internal/sim"}},
+	)
+}

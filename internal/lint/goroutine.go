@@ -1,0 +1,20 @@
+package lint
+
+import "go/ast"
+
+// runNakedGoroutine flags go statements outside internal/sim. The sim
+// package owns the run-to-block scheduler: its handshake guarantees
+// exactly one simulation goroutine runs at a time, which is what makes
+// process interleaving a pure function of the event queue. A goroutine
+// spawned anywhere else races the scheduler and reintroduces host-timing
+// nondeterminism unless it has been audited end to end.
+func runNakedGoroutine(p *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			p.Report(g.Pos(),
+				"goroutine outside internal/sim",
+				"model concurrency as sim processes (Sim.Spawn); host-parallel fan-out needs an audited //ddbmlint:allow no-naked-goroutine <why>")
+		}
+		return true
+	})
+}

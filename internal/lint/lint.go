@@ -1,0 +1,196 @@
+// Package lint is ddbmlint: a pure-stdlib static analyzer that enforces
+// the simulator's determinism invariants at the AST/type level instead of
+// hoping a golden seed exercises them. The whole value of this
+// reproduction rests on bit-identical, seed-deterministic runs; golden
+// tests guard that property dynamically, this package guards it
+// statically.
+//
+// Five checks (see the check files for details):
+//
+//	no-wall-clock       time.Now/Since/Sleep/... in simulation code
+//	no-global-rand      package-level math/rand functions
+//	map-order           for-range over a map with an order-sensitive body
+//	no-naked-goroutine  go statements outside internal/sim
+//	event-retention     *sim.Event stored in a field or package var
+//
+// A finding can be suppressed with an annotation comment on the flagged
+// line or the line directly above it:
+//
+//	//ddbmlint:ordered <why iteration order cannot matter>
+//	//ddbmlint:allow <check-name> <why this use is audited and safe>
+//
+// Annotations must state their justification; an annotation with no
+// reason, for an unknown check, or that suppresses nothing is itself a
+// diagnostic, so stale escapes cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: position, the check that fired, the message,
+// and a hint describing the fix.
+type Diagnostic struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+	Hint  string
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Msg)
+	if d.Hint != "" {
+		s += "\n\thint: " + d.Hint
+	}
+	return s
+}
+
+// Check is one analyzer. Run is invoked once per file that the config
+// leaves in scope.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass, f *ast.File)
+}
+
+// Checks is the full suite, in reporting order.
+var Checks = []Check{
+	{Name: "no-wall-clock", Doc: "wall-clock time in simulation code", Run: runWallClock},
+	{Name: "no-global-rand", Doc: "global math/rand functions", Run: runGlobalRand},
+	{Name: "map-order", Doc: "order-sensitive map iteration", Run: runMapOrder},
+	{Name: "no-naked-goroutine", Doc: "goroutines outside the sim scheduler", Run: runNakedGoroutine},
+	{Name: "event-retention", Doc: "retained *sim.Event handles", Run: runEventRetention},
+}
+
+func checkNameValid(name string) bool {
+	for _, c := range Checks {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass hands one check everything it needs for one unit.
+type Pass struct {
+	Fset  *token.FileSet
+	Unit  *Unit
+	check string
+	run   *run
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Unit.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Unit.Info.ObjectOf(id) }
+
+// Report files a diagnostic unless an annotation suppresses it.
+func (p *Pass) Report(pos token.Pos, msg, hint string) {
+	p.run.report(p.check, pos, msg, hint)
+}
+
+// run is the mutable state of linting one unit.
+type run struct {
+	fset  *token.FileSet
+	anns  map[string]*fileAnns // filename -> annotations
+	diags []Diagnostic
+}
+
+func (r *run) report(check string, pos token.Pos, msg, hint string) {
+	position := r.fset.Position(pos)
+	if a := r.annotationFor(position.Filename, position.Line, check); a != nil {
+		a.used = true
+		return
+	}
+	r.diags = append(r.diags, Diagnostic{Pos: position, Check: check, Msg: msg, Hint: hint})
+}
+
+// annotationFor finds an annotation for check on line or the line above.
+func (r *run) annotationFor(file string, line int, check string) *annotation {
+	fa := r.anns[file]
+	if fa == nil {
+		return nil
+	}
+	if a := fa.byLine[line]; a != nil && a.check == check {
+		return a
+	}
+	if a := fa.byLine[line-1]; a != nil && a.check == check {
+		return a
+	}
+	return nil
+}
+
+// Runner applies a Config's worth of checks to loaded packages.
+type Runner struct {
+	Loader *Loader
+	Config Config
+}
+
+// LintDir lints every unit (package, plus external test package if any)
+// in dir. pkgPath is the import path used for config scope decisions.
+func (r *Runner) LintDir(dir, pkgPath string) ([]Diagnostic, error) {
+	units, err := r.Loader.LoadDir(dir, pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, u := range units {
+		diags = append(diags, r.lintUnit(u)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}
+
+func (r *Runner) lintUnit(u *Unit) []Diagnostic {
+	rn := &run{fset: r.Loader.Fset, anns: map[string]*fileAnns{}}
+	for _, f := range u.Files {
+		name := r.Loader.Fset.Position(f.Pos()).Filename
+		rn.anns[name] = collectAnnotations(r.Loader.Fset, f, rn)
+	}
+	for _, chk := range Checks {
+		pol := r.Config.policy(chk.Name)
+		if !pol.inScope(u.Path) {
+			continue
+		}
+		pass := &Pass{Fset: r.Loader.Fset, Unit: u, check: chk.Name, run: rn}
+		for _, f := range u.Files {
+			if pol.SkipTests && u.Test[f] {
+				continue
+			}
+			chk.Run(pass, f)
+		}
+	}
+	// Stale escapes are findings too: an annotation that suppressed
+	// nothing means the code it excused was fixed (or never needed it).
+	for _, f := range u.Files {
+		name := r.Loader.Fset.Position(f.Pos()).Filename
+		for _, a := range rn.anns[name].list {
+			if !a.used {
+				rn.diags = append(rn.diags, Diagnostic{
+					Pos:   token.Position{Filename: name, Line: a.line, Column: 1},
+					Check: "annotation",
+					Msg:   fmt.Sprintf("unused ddbmlint annotation for %q", a.check),
+					Hint:  "the annotated construct no longer triggers the check; delete the annotation",
+				})
+			}
+		}
+	}
+	return rn.diags
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Unit is one type-checked body of files: a package together with its
+// in-package _test.go files, or an external (package foo_test) test
+// package. Test membership is tracked per file so policies can exempt
+// tests without a second load path.
+type Unit struct {
+	Path  string // import path used for scope decisions
+	Files []*ast.File
+	Test  map[*ast.File]bool
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages with nothing outside the
+// standard library: module-internal imports are resolved against the
+// module root and checked from source recursively; everything else
+// (the standard library) goes through go/importer's source importer.
+type Loader struct {
+	Fset   *token.FileSet
+	Root   string // module root directory (contains go.mod)
+	Module string // module path from go.mod
+
+	std     types.ImporterFrom
+	cache   map[string]*types.Package // import view: non-test files only
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, errors.New("lint: source importer unavailable")
+	}
+	return &Loader{
+		Fset:    fset,
+		Root:    root,
+		Module:  module,
+		std:     std,
+		cache:   map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Import resolves one import path: module packages from source under the
+// module root, anything else via the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if !pathMatch(path, l.Module) {
+		return l.std.Import(path)
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")))
+	files, _, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s for import %q", dir, path)
+	}
+	pkg, _, err := l.typecheck(path, files)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// ImportFrom implements types.ImporterFrom; vendoring is not supported.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return l.Import(path)
+}
+
+// parseDir parses every .go file in dir, split into non-test files and
+// _test.go files, in sorted filename order.
+func (l *Loader) parseDir(dir string) (files, testFiles []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: %w", err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, f)
+		} else {
+			files = append(files, f)
+		}
+	}
+	return files, testFiles, nil
+}
+
+// typecheck checks one set of files as a package.
+func (l *Loader) typecheck(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		const max = 10
+		if len(errs) > max {
+			errs = append(errs[:max], fmt.Errorf("... and %d more errors", len(errs)-max))
+		}
+		return nil, nil, fmt.Errorf("lint: type-checking %s:\n%w", path, errors.Join(errs...))
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// LoadDir loads the lint units of one directory: the package (with its
+// in-package test files) and, if present, the external test package.
+func (l *Loader) LoadDir(dir, pkgPath string) ([]*Unit, error) {
+	files, testFiles, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files)+len(testFiles) == 0 {
+		return nil, nil
+	}
+	// Split test files into in-package and external (package foo_test).
+	pkgName := ""
+	if len(files) > 0 {
+		pkgName = files[0].Name.Name
+	}
+	var inPkg, external []*ast.File
+	for _, f := range testFiles {
+		if pkgName != "" && f.Name.Name == pkgName+"_test" {
+			external = append(external, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+	var units []*Unit
+	if len(files)+len(inPkg) > 0 {
+		u, err := l.unit(pkgPath, append(append([]*ast.File{}, files...), inPkg...), inPkg)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if len(external) > 0 {
+		// A distinct path: checking "p_test" while importing "p" must not
+		// look like a self-import.
+		u, err := l.unit(pkgPath+"_test", external, external)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+func (l *Loader) unit(path string, files, testFiles []*ast.File) (*Unit, error) {
+	pkg, info, err := l.typecheck(path, files)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{Path: path, Files: files, Test: map[*ast.File]bool{}, Pkg: pkg, Info: info}
+	for _, f := range testFiles {
+		u.Test[f] = true
+	}
+	return u, nil
+}
+
+// PackageDirs walks the module tree and returns every directory holding a
+// Go package, as module-root-relative slash paths, skipping testdata,
+// vendor, and hidden directories. The driver expands "./..." with this.
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			rel, err := filepath.Rel(root, filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			rel = filepath.ToSlash(rel)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+				dirs = append(dirs, rel)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}

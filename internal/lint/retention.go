@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runEventRetention flags struct fields and package-level variables that
+// hold sim.Event values or handles outside internal/sim. Events are
+// recycled through the kernel free-list the moment they fire or are
+// canceled, so a stored handle silently becomes a different, live event
+// later — the classic dead-handle bug. Retainers that nil their reference
+// on fire/cancel can be annotated after audit.
+func runEventRetention(p *Pass, f *ast.File) {
+	const hint = "event handles die on fire/cancel (free-list recycling); drop the reference instead, or annotate //ddbmlint:allow event-retention <why> after auditing the lifecycle"
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, fld := range n.Fields.List {
+				if holdsEvent(p.TypeOf(fld.Type)) {
+					p.Report(fld.Pos(), "struct field retains *sim.Event across events", hint)
+				}
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := p.ObjectOf(name)
+					// Only package-level vars: locals come and go with
+					// their event.
+					if obj == nil || obj.Parent() != p.Unit.Pkg.Scope() {
+						continue
+					}
+					if holdsEvent(obj.Type()) {
+						p.Report(name.Pos(), "package variable retains *sim.Event across events", hint)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// holdsEvent reports whether t structurally contains sim.Event (by value
+// or through pointers, slices, arrays, maps, or channels). Named
+// non-Event types are not descended into: their own declarations are
+// checked where they are defined.
+func holdsEvent(t types.Type) bool {
+	for range 64 { // depth guard; composite nesting is tiny in practice
+		switch u := t.(type) {
+		case *types.Named:
+			obj := u.Obj()
+			return obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/sim") && obj.Name() == "Event"
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Chan:
+			t = u.Elem()
+		case *types.Map:
+			if holdsEvent(u.Key()) {
+				return true
+			}
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -30,7 +30,11 @@ type CPU struct {
 	msgs []*cpuJob
 
 	lastT sim.Time
-	next  *sim.Event
+	// next is the pending completion event. Audited retainer: complete()
+	// nils it before callbacks run and reschedule() cancels-then-replaces
+	// it, so it never holds a dead (recycled) handle.
+	//ddbmlint:allow event-retention canceled or nilled before the handle dies; see reschedule/complete
+	next *sim.Event
 
 	busyPS  float64 // ms spent on processor-sharing work
 	busyMsg float64 // ms spent on message processing

@@ -227,6 +227,7 @@ func (s *Sim) Shutdown() {
 		return
 	}
 	s.stopped = true
+	//ddbmlint:ordered the clock is stopped and no further events fire; each kill only unwinds its own parked goroutine, so kill order is unobservable
 	for p := range s.procs {
 		if p.parked {
 			p.kill()

@@ -1,0 +1,26 @@
+// Package annotations exercises annotation hygiene: malformed or stale
+// escapes are diagnostics themselves.
+package annotations
+
+/*ddbmlint:gibberish something*/ // want "unknown ddbmlint annotation verb"
+func a()                         {}
+
+/*ddbmlint:allow no-such-check because*/ // want "unknown check"
+func b()                                 {}
+
+/*ddbmlint:ordered*/ // want "without a justification"
+func c()             {}
+
+func d(m map[int]int) int {
+	n := 0
+	/*ddbmlint:ordered this loop was already order-insensitive*/ // want "unused ddbmlint annotation"
+	for range m {
+		n++
+	}
+	return n
+}
+
+var _ = a
+var _ = b
+var _ = c
+var _ = d

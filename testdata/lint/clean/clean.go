@@ -1,0 +1,46 @@
+// Package clean holds only legitimate patterns: the harness asserts the
+// whole file produces zero diagnostics.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func Exists(m map[int]bool) bool {
+	for _, v := range m {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func Total(m map[string]float64, r *rand.Rand) float64 {
+	total := r.Float64()
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func OrderedPairs(m map[int]int) [][2]int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	pairs := make([][2]int, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, [2]int{k, m[k]})
+	}
+	return pairs
+}

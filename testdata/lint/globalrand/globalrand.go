@@ -1,0 +1,18 @@
+// Package globalrand exercises the no-global-rand check: the shared,
+// host-seeded source is flagged; explicit seeded sources are not.
+package globalrand
+
+import "math/rand"
+
+func Bad() int {
+	return rand.Intn(10) // want "global math/rand function rand.Intn"
+}
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand function rand.Shuffle"
+}
+
+func Fine(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -1,0 +1,76 @@
+// Package maporder exercises the map-order check: order-sensitive map
+// iteration is flagged, the order-insensitive idioms are not.
+package maporder
+
+import "sort"
+
+// Pure reads into another map/counter: clean.
+func CountValues(m map[string]int) map[int]int {
+	hist := make(map[int]int, len(m))
+	for _, v := range m {
+		hist[v]++
+	}
+	return hist
+}
+
+// Existence checks return constants, so any witness iteration gives the
+// same answer: clean.
+func HasEmptyKey(m map[string]int) bool {
+	for k := range m {
+		if k == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Collect-then-sort launders map order into a total order: clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Deleting while iterating is order-insensitive: clean.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Collected but never sorted: whoever consumes keys sees map order.
+func KeysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "order-sensitive body"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Returns a visited element: which one depends on iteration order.
+func AnyKey(m map[string]int) string {
+	for k := range m { // want "order-sensitive body"
+		return k
+	}
+	return ""
+}
+
+// Calls escape the analysis: flagged unless annotated.
+func VisitAll(m map[string]int, f func(string)) {
+	for k := range m { // want "order-sensitive body"
+		f(k)
+	}
+}
+
+// The same loop with a stated ordering argument: clean.
+func VisitAllAnnotated(m map[string]int, f func(string)) {
+	//ddbmlint:ordered fixture: the callback is order-agnostic by contract
+	for k := range m {
+		f(k)
+	}
+}

@@ -1,0 +1,27 @@
+// Package retention exercises the event-retention check: storing
+// *sim.Event in a struct field or package variable outside internal/sim
+// violates the free-list dead-handle contract.
+package retention
+
+import "ddbm/internal/sim"
+
+type holder struct {
+	ev *sim.Event // want "struct field retains"
+}
+
+type nested struct {
+	evs []*sim.Event // want "struct field retains"
+}
+
+var pending *sim.Event // want "package variable retains"
+
+type audited struct {
+	//ddbmlint:allow event-retention fixture: nilled before the handle dies
+	ev *sim.Event
+}
+
+// Locals and return values track a live handle only briefly: clean.
+func use(s *sim.Sim) *sim.Event {
+	e := s.After(1, func() {})
+	return e
+}

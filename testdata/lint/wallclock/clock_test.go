@@ -1,0 +1,7 @@
+package wallclock
+
+import "time"
+
+// _test.go files may use the host clock: harness timing is not
+// simulation state, so nothing here is flagged.
+func sleepHelper() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,18 @@
+// Package wallclock exercises the no-wall-clock check: reading or
+// waiting on the host clock is flagged, pure duration arithmetic is not.
+package wallclock
+
+import "time"
+
+const tick = 10 * time.Millisecond
+
+func Bad() time.Time {
+	time.Sleep(tick)  // want "wall-clock time.Sleep"
+	return time.Now() // want "wall-clock time.Now"
+}
+
+func AlsoBad(t time.Time) time.Duration {
+	return time.Since(t) // want "wall-clock time.Since"
+}
+
+func Fine(d time.Duration) float64 { return d.Seconds() }
