@@ -41,4 +41,9 @@ echo "== kernel benchmark smoke"
 go test -run '^$' -bench 'BenchmarkEventThroughput|BenchmarkProcessSwitch|BenchmarkMailbox' \
   -benchtime 0.1s -benchmem ./internal/sim/
 
+echo "== commit-protocol sweep smoke"
+# All three 2PC variants end-to-end at a tiny time scale: a wedged protocol
+# (lost vote, missing ack) deadlocks the simulation and fails loudly here.
+go run ./cmd/experiments -fig cps -scale 0.02 -q
+
 echo "CI OK"

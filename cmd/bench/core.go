@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ddbm"
+)
+
+// CoreResult records one transaction-path benchmark run: a full machine
+// simulation dominated by either the commit path (no contention to speak
+// of) or the abort path (a deliberately overloaded database), for one
+// commit protocol. Alongside the wall-clock cost per transaction it keeps
+// the per-commit message and forced-log-write counts, so protocol-layer
+// regressions show up in the trajectory even when they are too cheap to
+// move wall time.
+type CoreResult struct {
+	Protocol           string  `json:"protocol"`
+	Path               string  `json:"path"`
+	SimMs              float64 `json:"sim_ms"`
+	WallMs             float64 `json:"wall_ms"`
+	Commits            int64   `json:"commits"`
+	Aborts             int64   `json:"aborts"`
+	WallNsPerCommit    float64 `json:"wall_ns_per_commit"`
+	MessagesPerCommit  float64 `json:"messages_per_commit"`
+	LogForcesPerCommit float64 `json:"log_forces_per_commit"`
+	AbortPathLogForces int64   `json:"abort_path_log_forces"`
+}
+
+// CoreReport is the BENCH_core.json schema.
+type CoreReport struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	Runs        []CoreResult `json:"runs"`
+}
+
+// commitPathConfig is the paper's baseline machine under 2PL at think 0 with
+// the large database: essentially every transaction commits, so the run
+// exercises the full work → prepare → decide → resolve pipeline.
+func commitPathConfig(proto ddbm.CommitProtocol, simSeconds float64) ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = ddbm.TwoPL
+	cfg.CommitProtocol = proto
+	cfg.PagesPerFile = 1200
+	cfg.ThinkTimeMs = 0
+	cfg.ModelLogging = true
+	cfg.SimTimeMs = simSeconds * 1000
+	cfg.WarmupMs = cfg.SimTimeMs / 8
+	cfg.Seed = 7
+	return cfg
+}
+
+// abortPathConfig shrinks the database until deadlock aborts are routine, so
+// the abort fan-out (and the variants' abort-path logging) dominates.
+func abortPathConfig(proto ddbm.CommitProtocol, simSeconds float64) ddbm.Config {
+	cfg := commitPathConfig(proto, simSeconds)
+	cfg.NumProcNodes = 4
+	cfg.NumTerminals = 32
+	cfg.PagesPerFile = 40
+	return cfg
+}
+
+func runCorePath(path string, cfg ddbm.Config) (CoreResult, error) {
+	m, err := ddbm.NewMachine(cfg)
+	if err != nil {
+		return CoreResult{}, err
+	}
+	start := time.Now()
+	res := m.Run()
+	wall := time.Since(start)
+	out := CoreResult{
+		Protocol:           cfg.CommitProtocol.String(),
+		Path:               path,
+		SimMs:              cfg.SimTimeMs,
+		WallMs:             float64(wall.Nanoseconds()) / 1e6,
+		Commits:            res.Commits,
+		Aborts:             res.Aborts,
+		AbortPathLogForces: res.AbortPathLogForces,
+	}
+	if res.Commits > 0 {
+		out.WallNsPerCommit = float64(wall.Nanoseconds()) / float64(res.Commits)
+		out.MessagesPerCommit = float64(res.MessagesSent) / float64(res.Commits)
+		out.LogForcesPerCommit = float64(res.LogForces) / float64(res.Commits)
+	}
+	return out, nil
+}
+
+// runCoreSuite benchmarks the commit and abort paths of every commit
+// protocol and reports the per-transaction costs.
+func runCoreSuite(simSeconds float64) ([]CoreResult, error) {
+	var runs []CoreResult
+	for _, proto := range ddbm.CommitProtocols() {
+		for _, pc := range []struct {
+			path string
+			cfg  ddbm.Config
+		}{
+			{"commit", commitPathConfig(proto, simSeconds)},
+			{"abort", abortPathConfig(proto, simSeconds)},
+		} {
+			r, err := runCorePath(pc.path, pc.cfg)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "core %-3s %-6s %8.0f ns/commit  %6.2f msgs/commit  %5.2f forces/commit  %6d commits  %6d aborts\n",
+				r.Protocol, r.Path, r.WallNsPerCommit, r.MessagesPerCommit, r.LogForcesPerCommit, r.Commits, r.Aborts)
+			runs = append(runs, r)
+		}
+	}
+	return runs, nil
+}

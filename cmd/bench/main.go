@@ -5,8 +5,13 @@
 // track ns/op, allocs/op, events/sec and the sim-time/wall-time ratio over
 // time.
 //
-//	go run ./cmd/bench                 # writes BENCH_kernel.json
+// A second suite benchmarks the core transaction path — the commit and
+// abort paths of every commit protocol — and writes BENCH_core.json, so the
+// trajectory covers the protocol layer as well as the kernel.
+//
+//	go run ./cmd/bench                 # writes BENCH_kernel.json + BENCH_core.json
 //	go run ./cmd/bench -o out.json -benchtime 2s
+//	go run ./cmd/bench -suite core     # only the transaction-path suite
 package main
 
 import (
@@ -158,13 +163,40 @@ func main() {
 	// Register the testing package's flags (test.benchtime in particular) so
 	// testing.Benchmark can be tuned from our own -benchtime flag.
 	testing.Init()
-	out := flag.String("o", "BENCH_kernel.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_kernel.json", "kernel-suite output file ('-' for stdout)")
+	coreOut := flag.String("coreo", "BENCH_core.json", "core-suite output file ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target duration per microbenchmark")
 	macroSec := flag.Float64("macrosec", 240, "simulated seconds for the macro-benchmark run")
+	coreSec := flag.Float64("coresec", 120, "simulated seconds per core transaction-path run")
+	suite := flag.String("suite", "all", "which suites to run: kernel, core or all")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *suite != "all" && *suite != "kernel" && *suite != "core" {
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want kernel, core or all)\n", *suite)
+		os.Exit(2)
+	}
+
+	if *suite == "all" || *suite == "core" {
+		runs, err := runCoreSuite(*coreSec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "core suite:", err)
+			os.Exit(1)
+		}
+		rep := CoreReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			Runs:        runs,
+		}
+		if err := writeJSON(*coreOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *suite == "core" {
+		return
 	}
 
 	benches := []struct {
@@ -203,19 +235,26 @@ func main() {
 		macro.Algorithm, macro.SimMs, macro.WallMs, macro.SimPerWall,
 		macro.EventsDispatched, macro.EventsPerWallSec, macro.ThroughputTPS)
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := writeJSON(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// writeJSON marshals v with indentation to path ('-' for stdout).
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
 	}
 	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
 	}
-	fmt.Fprintln(os.Stderr, "wrote", *out)
+	fmt.Fprintln(os.Stderr, "wrote", path)
+	return nil
 }

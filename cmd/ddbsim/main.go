@@ -22,6 +22,7 @@ func main() {
 	cfg := ddbm.DefaultConfig()
 
 	alg := flag.String("alg", "2PL", "algorithm: 2PL, WW, BTO, OPT or NO_DC")
+	protocol := flag.String("protocol", "2PC", "commit protocol: 2PC (centralized), PA (presumed abort) or PC (presumed commit)")
 	nodes := flag.Int("nodes", cfg.NumProcNodes, "number of processing nodes")
 	ways := flag.Int("ways", cfg.PartitionWays, "partitioning degree (0 = spread every relation over all nodes)")
 	pages := flag.Int("pages", cfg.PagesPerFile, "pages per file (300 = small DB, 1200 = large DB)")
@@ -58,6 +59,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Algorithm = kind
+	proto, err := ddbm.ParseCommitProtocol(*protocol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.CommitProtocol = proto
 	cfg.NumProcNodes = *nodes
 	cfg.PartitionWays = *ways
 	cfg.PagesPerFile = *pages
@@ -130,7 +137,7 @@ func main() {
 		f.Close()
 	}
 
-	fmt.Printf("algorithm            %v (%s execution)\n", cfg.Algorithm, cfg.ExecPattern)
+	fmt.Printf("algorithm            %v (%s execution, %v commit)\n", cfg.Algorithm, cfg.ExecPattern, cfg.CommitProtocol)
 	fmt.Printf("machine              1 host (%.0f MIPS) + %d nodes (%.0f MIPS, %d disks each)\n",
 		cfg.HostMIPS, cfg.NumProcNodes, cfg.ProcMIPS, cfg.NumDisks)
 	fmt.Printf("database             %d files x %d pages (placement ways=%d)\n",
@@ -150,6 +157,9 @@ func main() {
 	fmt.Printf("utilization          proc CPU %.1f%%, proc disk %.1f%%, host CPU %.1f%%\n",
 		res.ProcCPUUtil*100, res.ProcDiskUtil*100, res.HostCPUUtil*100)
 	fmt.Printf("messages             %d\n", res.MessagesSent)
+	if cfg.ModelLogging {
+		fmt.Printf("log forces           %d (%d on abort paths)\n", res.LogForces, res.AbortPathLogForces)
+	}
 	fmt.Printf("avg active txns      %.1f\n", res.AvgActiveTxns)
 	if cfg.Audit {
 		fmt.Printf("serializability      %d txns audited, %d anomalies\n",

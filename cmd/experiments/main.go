@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	figs := flag.String("fig", "all", "comma-separated figure numbers (2-17), 'all', or 'ext'")
+	figs := flag.String("fig", "all", "comma-separated figure numbers (2-17), 'all', 'ext', or 'cps' (commit-protocol sweep)")
 	scale := flag.Float64("scale", 1.0, "simulated-time scale factor (1.0 = publication length)")
 	seed := flag.Int64("seed", 1, "random seed for every run")
 	reps := flag.Int("reps", 1, "replicate runs per configuration (averaged)")
@@ -127,6 +127,12 @@ func main() {
 				emit(f.fig())
 			}
 		}
+	}
+
+	if want["ext"] || want["cps"] {
+		fig, err := experiments.CommitProtocolSweep(opts, 8000)
+		check(err)
+		emit(fig)
 	}
 
 	if want["ext"] {

@@ -27,6 +27,7 @@ package ddbm
 
 import (
 	"ddbm/internal/cc"
+	"ddbm/internal/commit"
 	"ddbm/internal/core"
 )
 
@@ -58,6 +59,32 @@ func Algorithms() []Algorithm { return cc.Kinds() }
 // ParseAlgorithm converts a name ("2PL", "WW", "BTO", "OPT", "NO_DC") to an
 // Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) { return cc.ParseKind(s) }
+
+// CommitProtocol identifies a two-phase commit variant; set
+// Config.CommitProtocol to choose one.
+type CommitProtocol = commit.Kind
+
+// The commit protocol variants.
+const (
+	// CentralizedTwoPC is the paper's centralized two-phase commit (§2.1,
+	// §3.3): decisions and aborts are both acknowledged, and every cohort
+	// forces a prepare record when logging is modeled. The default.
+	CentralizedTwoPC = commit.CentralizedTwoPC
+	// PresumedAbort is R*'s presumed-abort 2PC: unacknowledged, force-free
+	// aborts and a read-only vote short-circuit.
+	PresumedAbort = commit.PresumedAbort
+	// PresumedCommit is R*'s presumed-commit 2PC: unacknowledged COMMIT
+	// messages at the price of a forced collecting record per transaction
+	// and forced, acknowledged abort records.
+	PresumedCommit = commit.PresumedCommit
+)
+
+// CommitProtocols lists the protocol variants, default first.
+func CommitProtocols() []CommitProtocol { return commit.Kinds() }
+
+// ParseCommitProtocol converts a name ("2PC", "PA", "PC") to a
+// CommitProtocol.
+func ParseCommitProtocol(s string) (CommitProtocol, error) { return commit.ParseKind(s) }
 
 // ExecPattern selects sequential or parallel cohort execution (paper §3.3).
 type ExecPattern = core.ExecPattern
@@ -106,6 +133,11 @@ const (
 	TxnAttemptAborted = core.TxnAttemptAborted
 	// TxnCommitted: the commit decision was made.
 	TxnCommitted = core.TxnCommitted
+	// TxnPrepared: every cohort voted yes in the first commit phase.
+	TxnPrepared = core.TxnPrepared
+	// TxnDecided: the commit protocol resolved the attempt ("commit" or
+	// "abort" in Detail).
+	TxnDecided = core.TxnDecided
 )
 
 // NewMachine builds (but does not run) a machine, for callers that attach

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ddbm"
+)
+
+// CommitProtocolCosts is the per-message CPU cost sweep (instructions per
+// message, both ends) of the commit-protocol study — the §4.4 message-cost
+// axis extended around the Table 4 baseline of 1K.
+func CommitProtocolCosts() []float64 { return []float64{0, 1000, 2000, 4000, 8000} }
+
+// CommitProtocolStudy holds the grid behind the commit-protocol sweep: the
+// 8-node, 8-way-partitioned small-database machine under 2PL with logging
+// modeled, swept over per-message CPU cost for each two-phase commit
+// variant (centralized, presumed abort, presumed commit). Logging is on so
+// the forced-log-write savings of the presumed variants are visible
+// alongside their message savings.
+type CommitProtocolStudy struct {
+	opts    Options
+	costs   []float64
+	thinkMs float64
+	results map[string]ddbm.Result
+}
+
+// commitProtocolConfig builds the configuration for one grid point.
+func (o Options) commitProtocolConfig(proto ddbm.CommitProtocol, instPerMsg, thinkMs float64) ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = ddbm.TwoPL
+	cfg.PartitionWays = 8
+	cfg.PagesPerFile = SmallDB
+	cfg.ThinkTimeMs = thinkMs
+	cfg.InstPerMsg = instPerMsg
+	cfg.ModelLogging = true
+	cfg.CommitProtocol = proto
+	o.apply(&cfg)
+	return cfg
+}
+
+// RunCommitProtocolStudy runs the sweep over the default cost axis.
+func RunCommitProtocolStudy(opts Options, thinkMs float64) (*CommitProtocolStudy, error) {
+	return RunCommitProtocolStudyCosts(opts, thinkMs, CommitProtocolCosts())
+}
+
+// RunCommitProtocolStudyCosts runs the sweep over an arbitrary cost axis.
+func RunCommitProtocolStudyCosts(opts Options, thinkMs float64, costs []float64) (*CommitProtocolStudy, error) {
+	o := opts.withDefaults()
+	var cfgs []ddbm.Config
+	for _, c := range costs {
+		for _, p := range ddbm.CommitProtocols() {
+			cfgs = append(cfgs, o.commitProtocolConfig(p, c, thinkMs))
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &CommitProtocolStudy{opts: o, costs: costs, thinkMs: thinkMs, results: results}, nil
+}
+
+// Result returns one grid point.
+func (st *CommitProtocolStudy) Result(proto ddbm.CommitProtocol, instPerMsg float64) ddbm.Result {
+	return st.results[cfgKey(st.opts.commitProtocolConfig(proto, instPerMsg, st.thinkMs))]
+}
+
+// ResponseFigure is the headline sweep: mean response time vs per-message
+// cost, one series per commit protocol. As messages get more expensive the
+// acknowledgement and read-only-path savings of the presumed variants
+// separate the curves.
+func (st *CommitProtocolStudy) ResponseFigure() *Figure {
+	fig := &Figure{
+		ID:     "Ext J",
+		Title:  fmt.Sprintf("Response time vs message cost by commit protocol (2PL, 8-way, logging, think %g s)", st.thinkMs/1000),
+		XLabel: "inst/msg(K)",
+		YLabel: "response time (s)",
+	}
+	for _, p := range ddbm.CommitProtocols() {
+		s := Series{Label: p.String()}
+		for _, c := range st.costs {
+			s.Points = append(s.Points, Point{X: c / 1000, Y: st.Result(p, c).MeanResponseMs / 1000})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// MessagesPerCommitFigure shows where the response savings come from:
+// inter-node messages per committed transaction, per protocol, vs message
+// cost.
+func (st *CommitProtocolStudy) MessagesPerCommitFigure() *Figure {
+	fig := &Figure{
+		ID:     "Ext J msgs",
+		Title:  fmt.Sprintf("Messages per commit by commit protocol (2PL, 8-way, logging, think %g s)", st.thinkMs/1000),
+		XLabel: "inst/msg(K)",
+		YLabel: "messages/commit",
+	}
+	for _, p := range ddbm.CommitProtocols() {
+		s := Series{Label: p.String()}
+		for _, c := range st.costs {
+			r := st.Result(p, c)
+			y := 0.0
+			if r.Commits > 0 {
+				y = float64(r.MessagesSent) / float64(r.Commits)
+			}
+			s.Points = append(s.Points, Point{X: c / 1000, Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// CommitProtocolSweep runs the commit-protocol study and returns the
+// response-time figure: the Fig. 4.6-style message-cost sensitivity with
+// all three two-phase commit variants side by side.
+func CommitProtocolSweep(opts Options, thinkMs float64) (*Figure, error) {
+	st, err := RunCommitProtocolStudy(opts, thinkMs)
+	if err != nil {
+		return nil, err
+	}
+	return st.ResponseFigure(), nil
+}

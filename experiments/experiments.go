@@ -112,6 +112,7 @@ func cfgKey(cfg ddbm.Config) string {
 	}
 	integer(int64(cfg.Algorithm))
 	boolean(cfg.StrictOPT)
+	integer(int64(cfg.CommitProtocol))
 	integer(int64(cfg.NumProcNodes))
 	integer(int64(cfg.PartitionWays))
 	integer(int64(cfg.NumRelations))
@@ -243,12 +244,15 @@ func averageResults(rs []ddbm.Result) ddbm.Result {
 	out := rs[0]
 	n := float64(len(rs))
 	out.Commits, out.Aborts, out.MessagesSent, out.BlockCount = 0, 0, 0, 0
+	out.LogForces, out.AbortPathLogForces = 0, 0
 	var tput, resp, hw, sd, max, ar, mr, blk, cpu, dsk, host, act, p50, p90, p99 float64
 	for _, r := range rs {
 		out.Commits += r.Commits
 		out.Aborts += r.Aborts
 		out.MessagesSent += r.MessagesSent
 		out.BlockCount += r.BlockCount
+		out.LogForces += r.LogForces
+		out.AbortPathLogForces += r.AbortPathLogForces
 		tput += r.ThroughputTPS
 		resp += r.MeanResponseMs
 		hw += r.RespHalfWidth95

@@ -164,3 +164,53 @@ func TestShapeExpensiveMessagesHurtEightWay(t *testing.T) {
 		t.Errorf("with 4K messages OPT still gains %.2fx from 8-way vs 4-way; paper shows ~none", o4/o8)
 	}
 }
+
+func TestShapeCommitProtocolSavings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	// Extension (Ext J): the presumed 2PC variants buy real savings over
+	// the centralized baseline — presumed abort never exceeds it in
+	// messages per commit or abort-path log forces, and presumed commit
+	// trades commit acks for forced abort records.
+	st, err := RunCommitProtocolStudyCosts(shapeOpts(0), 0, []float64{1000, 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCommit := func(total, commits int64) float64 { return float64(total) / float64(commits) }
+	for _, cost := range []float64{1000, 4000} {
+		base := st.Result(ddbm.CentralizedTwoPC, cost)
+		pa := st.Result(ddbm.PresumedAbort, cost)
+		pc := st.Result(ddbm.PresumedCommit, cost)
+		for _, r := range []struct {
+			proto ddbm.CommitProtocol
+			res   ddbm.Result
+		}{{ddbm.CentralizedTwoPC, base}, {ddbm.PresumedAbort, pa}, {ddbm.PresumedCommit, pc}} {
+			if r.res.Commits == 0 {
+				t.Fatalf("cost %v: %v made no commits", cost, r.proto)
+			}
+		}
+		if m, b := perCommit(pa.MessagesSent, pa.Commits), perCommit(base.MessagesSent, base.Commits); m > b {
+			t.Errorf("cost %v: presumed abort sends %.2f messages/commit, centralized %.2f", cost, m, b)
+		}
+		if m, b := perCommit(pc.MessagesSent, pc.Commits), perCommit(base.MessagesSent, base.Commits); m >= b {
+			t.Errorf("cost %v: presumed commit sends %.2f messages/commit, centralized %.2f", cost, m, b)
+		}
+		// Abort-path logging: centralized and presumed abort never force
+		// abort records; presumed commit must, whenever it aborts at all.
+		if pa.AbortPathLogForces > base.AbortPathLogForces {
+			t.Errorf("cost %v: presumed abort forced %d abort records, centralized %d",
+				cost, pa.AbortPathLogForces, base.AbortPathLogForces)
+		}
+		if pa.AbortPathLogForces != 0 || base.AbortPathLogForces != 0 {
+			t.Errorf("cost %v: abort-path forces nonzero (2PC %d, PA %d)",
+				cost, base.AbortPathLogForces, pa.AbortPathLogForces)
+		}
+		if pc.Aborts > 0 && pc.AbortPathLogForces == 0 {
+			t.Errorf("cost %v: presumed commit aborted %d times without forcing abort records", cost, pc.Aborts)
+		}
+		if f, b := perCommit(pa.LogForces, pa.Commits), perCommit(base.LogForces, base.Commits); f > b {
+			t.Errorf("cost %v: presumed abort forces %.2f log writes/commit, centralized %.2f", cost, f, b)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package commit is the commit-protocol layer of the transaction manager:
+// the coordinator-side and cohort-side state machines that take a
+// transaction attempt from the end of its work phase (work → prepare →
+// decide → resolve) to a globally resolved commit or abort. The paper's
+// centralized two-phase commit (§2.1, §3.3) is the default; the
+// presumed-abort and presumed-commit variants of Mohan, Lindsay & Obermarck
+// ("Transaction Management in the R* Distributed Database Management
+// System") reduce the acknowledgement traffic and forced log writes the
+// paper identifies as first-order commit costs (§2.4, §4.4).
+//
+// The protocols drive machine resources only through the narrow Env
+// facade, so the layer stays independent of the machine assembly: it sees
+// the network as Send, the log as ForceLog/ForceLogAsync, and the
+// concurrency control layer as cc.Manager. One fan-out primitive (fanOut)
+// carries every per-cohort broadcast — prepare, commit phase two, and
+// abort.
+package commit
+
+import (
+	"fmt"
+
+	"ddbm/internal/cc"
+	"ddbm/internal/db"
+	"ddbm/internal/sim"
+)
+
+// Kind identifies a commit protocol variant.
+type Kind int
+
+const (
+	// CentralizedTwoPC is the paper's centralized two-phase commit (§2.1):
+	// every cohort is prepared, votes, receives the decision, and
+	// acknowledges it; aborts are likewise acknowledged before the
+	// coordinator forgets the transaction. With logging modeled, every
+	// cohort forces a prepare record and the coordinator forces the commit
+	// record. The zero value, and the default.
+	CentralizedTwoPC Kind = iota
+	// PresumedAbort is R*'s presumed-abort 2PC: in the absence of log
+	// records the outcome is presumed to be abort, so abort messages need
+	// no acknowledgements (the coordinator forgets the transaction the
+	// moment they are sent) and the abort path forces nothing. Read-only
+	// cohorts vote READ, release immediately, and take no part in phase
+	// two; a fully read-only transaction skips the decision force and
+	// phase two entirely.
+	PresumedAbort
+	// PresumedCommit is R*'s presumed-commit 2PC: the coordinator forces a
+	// collecting (initiation) record before the prepare phase, after which
+	// the outcome is presumed to be commit — COMMIT messages need no
+	// acknowledgements and cohorts write no forced commit records, while
+	// abort messages must be acknowledged and, with logging modeled, abort
+	// records forced at the cohorts. Read-only cohorts short-circuit as
+	// under PresumedAbort.
+	PresumedCommit
+)
+
+var kindNames = map[Kind]string{
+	CentralizedTwoPC: "2PC",
+	PresumedAbort:    "PA",
+	PresumedCommit:   "PC",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind converts a protocol name (as printed by String) to a Kind.
+func ParseKind(s string) (Kind, error) {
+	//ddbmlint:ordered kindNames values are unique, so at most one iteration can match and return
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("commit: unknown protocol %q (want 2PC, PA or PC)", s)
+}
+
+// Kinds lists every protocol variant, default first.
+func Kinds() []Kind { return []Kind{CentralizedTwoPC, PresumedAbort, PresumedCommit} }
+
+// Vote is a cohort's reply to the PREPARE message. ReadOnly marks the READ
+// vote of the presumed protocols' read-only short-circuit: the cohort has
+// already released locally and takes no part in phase two.
+type Vote struct {
+	Idx      int
+	Yes      bool
+	ReadOnly bool
+}
+
+// Ack acknowledges an abort message at the coordinator.
+type Ack struct{ Idx int }
+
+// AbortSignal marks transaction-manager messages that demand the attempt
+// abort (cohort self-aborts, remote wound and deadlock-victim notices).
+// The vote collection loop treats any such message as a failed prepare
+// phase.
+type AbortSignal interface{ CommitAbortSignal() }
+
+// Cohort is the protocol layer's handle on one cohort of one attempt.
+type Cohort struct {
+	// Idx is the cohort's index within the transaction; votes and acks
+	// carry it back to the coordinator.
+	Idx int
+	// Meta is the cohort as the concurrency control managers see it.
+	Meta *cc.CohortMeta
+	// ReadOnly reports that the cohort updates nothing — no local writes
+	// and no remote-copy write permissions — making it eligible for the
+	// presumed protocols' read-only vote short-circuit.
+	ReadOnly bool
+	// Deferred lists write permissions requested only in the prepare phase
+	// (all writes under O2PL, remote-copy writes under
+	// DeferRemoteWriteLocks); the node may block before it can vote.
+	Deferred []db.PageID
+
+	// done marks a cohort resolved before phase two (read-only
+	// short-circuit); fanOut skips it.
+	done bool
+}
+
+// Txn is one transaction attempt as the protocol layer sees it: the shared
+// metadata, the coordinator's mailbox, and the cohorts.
+type Txn struct {
+	Meta *cc.TxnMeta
+	Mail *sim.Mailbox
+	// Cohorts in load order; Vote.Idx and Ack.Idx index this slice.
+	Cohorts []*Cohort
+}
+
+// Env is the narrow facade over the machine resources a commit protocol
+// may drive: the coordinator's network endpoint, the per-node concurrency
+// control managers, the log (host and cohort disks), the timestamp source,
+// and observation hooks. All methods run in simulation context.
+type Env interface {
+	// Host returns the coordinator's node id.
+	Host() int
+	// Send delivers a message between nodes with full per-end message CPU
+	// costs; nil deliver sends a pure-load message (e.g. an ack).
+	Send(from, to int, deliver func())
+	// Manager returns the concurrency control manager at a node.
+	Manager(node int) cc.Manager
+	// NextTS draws the next globally unique, monotone timestamp.
+	NextTS() int64
+	// Logging reports whether log forces are modeled (Config.ModelLogging).
+	Logging() bool
+	// ForceLog synchronously forces a log record at the coordinator's
+	// node, blocking the calling process. abortPath attributes the force
+	// to abort handling for the metrics.
+	ForceLog(p *sim.Proc, abortPath bool)
+	// ForceLogAsync forces a log record at a cohort node's disk and then
+	// runs done.
+	ForceLogAsync(node int, abortPath bool, done func())
+	// InstallCommit applies a committed cohort's buffered updates at its
+	// node: audit installs plus the per-page deferred write initiation
+	// costs. Called at the cohort's node, after Manager(node).Commit.
+	InstallCommit(c *Cohort)
+	// RecordCommit registers the committed transaction with the machine's
+	// serializability auditor. Called once, at the commit decision.
+	RecordCommit()
+	// Prepared observes the successful end of the prepare phase (all
+	// votes yes); Decided observes the commit decision. Observation only —
+	// neither may affect simulated behaviour.
+	Prepared()
+	Decided(committed bool)
+}
+
+// Protocol is one two-phase commit variant: the coordinator-side state
+// machine driving prepare → decide → resolve and the cohort-side rules for
+// voting, logging and acknowledging.
+type Protocol interface {
+	// Kind identifies the variant.
+	Kind() Kind
+	// Commit runs the protocol from the end of a successful work phase:
+	// prepare fan-out, vote collection, decision logging, and the phase-two
+	// fan-out. It returns false if the attempt must abort instead — the
+	// transaction manager then runs Abort, which is always safe after a
+	// failed Commit.
+	Commit(p *sim.Proc, env Env, t *Txn) bool
+	// Abort resolves the attempt as aborted across the first loaded
+	// cohorts. It returns when the coordinator may forget the attempt —
+	// after all abort acknowledgements for the acknowledged variants,
+	// immediately after the fan-out for presumed abort.
+	Abort(p *sim.Proc, env Env, t *Txn, loaded int)
+}
+
+// New returns the protocol implementing a variant.
+func New(k Kind) (Protocol, error) {
+	switch k {
+	case CentralizedTwoPC:
+		return &twoPC{kind: k, ackCommits: true, ackAborts: true}, nil
+	case PresumedAbort:
+		return &twoPC{kind: k, shortCircuitRO: true, ackCommits: true}, nil
+	case PresumedCommit:
+		return &twoPC{kind: k, shortCircuitRO: true, initForce: true, ackAborts: true, abortForce: true}, nil
+	default:
+		return nil, fmt.Errorf("commit: unknown protocol %v", k)
+	}
+}
+
+// fanOut delivers fn at every live cohort's node, in cohort order — the
+// one primitive behind the prepare, commit phase-two and abort fan-outs.
+// Cohorts already resolved by the read-only short-circuit are skipped. It
+// returns the number of messages sent.
+func fanOut(env Env, cohorts []*Cohort, fn func(c *Cohort)) int {
+	n := 0
+	for _, c := range cohorts {
+		if c.done {
+			continue
+		}
+		c := c
+		n++
+		env.Send(env.Host(), c.Meta.Node, func() { fn(c) })
+	}
+	return n
+}

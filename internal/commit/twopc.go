@@ -1,0 +1,226 @@
+package commit
+
+import (
+	"ddbm/internal/cc"
+	"ddbm/internal/sim"
+)
+
+// twoPC implements all three protocol variants as one state machine
+// parameterized by what each variant acknowledges, forces and
+// short-circuits. The phase order is fixed — prepare fan-out, vote
+// collection, decision logging, decision, phase-two fan-out — and matches
+// the paper's centralized protocol exactly when all savings are off.
+type twoPC struct {
+	kind Kind
+	// shortCircuitRO lets read-only cohorts vote READ: release locally at
+	// prepare time and drop out of phase two (the presumed variants).
+	shortCircuitRO bool
+	// initForce forces a collecting record at the coordinator before the
+	// prepare fan-out (presumed commit's extra force).
+	initForce bool
+	// ackCommits has cohorts acknowledge COMMIT messages.
+	ackCommits bool
+	// ackAborts has cohorts acknowledge ABORT messages; without it the
+	// coordinator forgets the attempt as soon as the aborts are sent.
+	ackAborts bool
+	// abortForce has cohorts force an abort record before acknowledging
+	// (presumed commit: the explicit abort must survive a crash or the
+	// presumption would commit it).
+	abortForce bool
+}
+
+func (tp *twoPC) Kind() Kind { return tp.kind }
+
+// Commit drives the coordinator through prepare → decide → resolve. Any
+// failed vote, abort signal, or abort raced in behind a log force returns
+// false with the attempt still unresolved; the caller runs Abort.
+func (tp *twoPC) Commit(p *sim.Proc, env Env, t *Txn) bool {
+	meta := t.Meta
+
+	// Phase one: the commit timestamp travels to every cohort in the
+	// "prepare to commit" message (OPT certifies against it).
+	meta.State = cc.Preparing
+	meta.CommitTS = env.NextTS()
+
+	if tp.initForce && env.Logging() {
+		// Presumed commit: force the collecting record before any cohort
+		// can prepare, or a coordinator crash would presume-commit a
+		// transaction that never decided.
+		env.ForceLog(p, false)
+		if meta.AbortRequested {
+			return false
+		}
+	}
+
+	tp.sendPrepares(env, t)
+	if !tp.collectVotes(p, t) {
+		return false
+	}
+	if meta.AbortRequested {
+		// A wound or deadlock abort raced in behind the last vote: the
+		// coordinator learns of it before deciding, so the abort wins.
+		return false
+	}
+	env.Prepared()
+
+	if env.Logging() && tp.decisionForce(t) {
+		// Force the commit record at the coordinator's node before the
+		// decision becomes durable (and before the response completes).
+		env.ForceLog(p, false)
+		if meta.AbortRequested {
+			// An abort raced in while the force was on disk.
+			return false
+		}
+	}
+
+	// Commit decision: from here the transaction can no longer abort and
+	// the response is complete. Phase two runs asynchronously: COMMIT
+	// messages release locks and install updates at each node, and cohorts
+	// acknowledge (CPU load only) where the variant requires it.
+	meta.State = cc.Committing
+	meta.DecisionTS = env.NextTS()
+	env.Decided(true)
+	env.RecordCommit()
+
+	fanOut(env, t.Cohorts, func(c *Cohort) {
+		env.Manager(c.Meta.Node).Commit(c.Meta)
+		env.InstallCommit(c)
+		if tp.ackCommits {
+			env.Send(c.Meta.Node, env.Host(), nil)
+		}
+	})
+	return true
+}
+
+// sendPrepares runs the prepare fan-out: each cohort votes after its local
+// first phase (deferred write permissions first where configured), forcing
+// a prepare record before a YES vote when logging is modeled. Read-only
+// cohorts under the presumed variants vote READ instead: they resolve
+// locally at once, force nothing, and drop out of phase two.
+//
+// The READ short-circuit is sound only when the transaction's lock point
+// has passed by prepare time — true for the locking algorithms' normal
+// mode, where every permission was acquired during the work phase. When
+// any cohort still has deferred write permissions to acquire (O2PL), an
+// early read release would open a serializability window (another
+// transaction could overwrite the released reads and then be overwritten
+// by this one), so the short-circuit is suppressed for the whole
+// transaction.
+func (tp *twoPC) sendPrepares(env Env, t *Txn) {
+	host := env.Host()
+	shortCircuit := tp.shortCircuitRO
+	if shortCircuit {
+		for _, c := range t.Cohorts {
+			if len(c.Deferred) > 0 {
+				shortCircuit = false
+				break
+			}
+		}
+	}
+	fanOut(env, t.Cohorts, func(c *Cohort) {
+		mgr := env.Manager(c.Meta.Node)
+		if shortCircuit && c.ReadOnly {
+			// The READ vote still runs the local first phase (OPT must
+			// certify the reads) but skips the prepare-record force: a
+			// cohort with nothing to redo or undo has nothing to log.
+			if mgr.Prepare(c.Meta) {
+				mgr.Commit(c.Meta)
+				c.done = true
+				env.Send(c.Meta.Node, host, func() { t.Mail.Send(Vote{Idx: c.Idx, Yes: true, ReadOnly: true}) })
+			} else {
+				env.Send(c.Meta.Node, host, func() { t.Mail.Send(Vote{Idx: c.Idx, Yes: false}) })
+			}
+			return
+		}
+		reply := func(yes bool) {
+			if yes && env.Logging() {
+				// Force the cohort's prepare record before voting yes
+				// (footnote 5: only log pages are forced pre-commit).
+				env.ForceLogAsync(c.Meta.Node, false, func() {
+					env.Send(c.Meta.Node, host, func() { t.Mail.Send(Vote{Idx: c.Idx, Yes: true}) })
+				})
+				return
+			}
+			env.Send(c.Meta.Node, host, func() { t.Mail.Send(Vote{Idx: c.Idx, Yes: yes}) })
+		}
+		if len(c.Deferred) > 0 {
+			// [Care89]: deferred write permissions are requested only now,
+			// in the first phase of the commit protocol; the node may
+			// block before it can vote.
+			mgr.(cc.DeferredWriter).PrepareDeferred(c.Meta, c.Deferred, func(ok bool) {
+				reply(ok && mgr.Prepare(c.Meta))
+			})
+			return
+		}
+		reply(mgr.Prepare(c.Meta))
+	})
+}
+
+// collectVotes consumes coordinator mail until every cohort has voted yes,
+// returning false on the first no vote or abort signal. Stale messages from
+// the attempt's work phase are ignored.
+func (tp *twoPC) collectVotes(p *sim.Proc, t *Txn) bool {
+	for votes := 0; votes < len(t.Cohorts); {
+		switch v := t.Mail.Recv(p).(type) {
+		case Vote:
+			if !v.Yes {
+				return false
+			}
+			votes++
+		case AbortSignal:
+			return false
+		}
+	}
+	return true
+}
+
+// decisionForce reports whether the commit decision needs a forced log
+// record. Centralized 2PC always forces it; the presumed variants skip it
+// for a fully read-only transaction — every cohort voted READ, so there is
+// no phase two and nothing to recover.
+func (tp *twoPC) decisionForce(t *Txn) bool {
+	if !tp.shortCircuitRO {
+		return true
+	}
+	for _, c := range t.Cohorts {
+		if !c.done {
+			return true
+		}
+	}
+	return false
+}
+
+// Abort resolves the attempt as aborted: abort messages fan out to the
+// loaded cohorts, and — for the acknowledged variants — the coordinator
+// waits for every acknowledgement ("once the transaction manager has
+// finished aborting the transaction", §3.3) before forgetting the attempt.
+// Presumed abort skips the wait entirely; presumed commit additionally
+// forces an abort record at each cohort before it acknowledges. Stale
+// messages from the doomed attempt are drained and ignored.
+func (tp *twoPC) Abort(p *sim.Proc, env Env, t *Txn, loaded int) {
+	env.Decided(false)
+	host := env.Host()
+	n := fanOut(env, t.Cohorts[:loaded], func(c *Cohort) {
+		node := c.Meta.Node
+		env.Manager(node).Abort(c.Meta)
+		if !tp.ackAborts {
+			return
+		}
+		ack := func() {
+			env.Send(node, host, func() { t.Mail.Send(Ack{Idx: c.Idx}) })
+		}
+		if tp.abortForce && env.Logging() {
+			env.ForceLogAsync(node, true, ack)
+			return
+		}
+		ack()
+	})
+	if tp.ackAborts {
+		for acks := 0; acks < n; {
+			if _, ok := t.Mail.Recv(p).(Ack); ok {
+				acks++
+			}
+		}
+	}
+	t.Meta.State = cc.Finished
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"ddbm/internal/cc"
+	"ddbm/internal/commit"
 )
 
 // ExecPattern selects how a transaction's cohorts execute (paper §3.3).
@@ -52,6 +53,15 @@ type Config struct {
 	Algorithm cc.Kind
 	// StrictOPT enables the conservative OPT read-certification guard.
 	StrictOPT bool
+	// CommitProtocol selects the two-phase commit variant. The zero value,
+	// CentralizedTwoPC, is the paper-faithful default; PresumedAbort and
+	// PresumedCommit are the R* variants that trade acknowledgement
+	// messages and forced log writes on the read-only and abort paths (see
+	// internal/commit). Note that the presumed variants release read-only
+	// cohorts at vote time, before the global decision — for OPT this
+	// widens the known certify/commit anomaly window beyond what
+	// StrictOPT closes.
+	CommitProtocol commit.Kind
 
 	// NumProcNodes is the number of processing nodes (the host is extra).
 	NumProcNodes int
@@ -200,6 +210,15 @@ func DefaultConfig() Config {
 	}
 }
 
+func validCommitProtocol(k commit.Kind) bool {
+	for _, v := range commit.Kinds() {
+		if k == v {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate checks the configuration for internal consistency.
 func (c *Config) Validate() error {
 	switch {
@@ -235,6 +254,16 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: DeferRemoteWriteLocks applies to 2PL only")
 	case c.DeferRemoteWriteLocks && c.ReplicaCount < 2:
 		return fmt.Errorf("core: DeferRemoteWriteLocks requires ReplicaCount >= 2")
+	case !validCommitProtocol(c.CommitProtocol):
+		return fmt.Errorf("core: unknown commit protocol %v", c.CommitProtocol)
+	case c.DeferRemoteWriteLocks && c.CommitProtocol != commit.CentralizedTwoPC:
+		return fmt.Errorf("core: DeferRemoteWriteLocks is only supported with the CentralizedTwoPC commit protocol")
+	case c.StrictOPT && c.Algorithm != cc.OPT:
+		return fmt.Errorf("core: StrictOPT applies to OPT only")
+	case c.UpgradeWriteLocks && c.Algorithm != cc.TwoPL && c.Algorithm != cc.WoundWait:
+		return fmt.Errorf("core: UpgradeWriteLocks applies to the locking algorithms (2PL, WW) only")
+	case c.LockWaitTimeoutMs > 0 && c.Algorithm != cc.TwoPL && c.Algorithm != cc.O2PL:
+		return fmt.Errorf("core: LockWaitTimeoutMs applies to 2PL and O2PL only")
 	case (c.Algorithm == cc.TwoPL || c.Algorithm == cc.O2PL) && c.DetectionIntervalMs <= 0 && c.LockWaitTimeoutMs <= 0:
 		return fmt.Errorf("core: %v needs a positive DetectionIntervalMs (or a LockWaitTimeoutMs)", c.Algorithm)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ddbm/internal/cc"
+	"ddbm/internal/commit"
 )
 
 func TestDefaultConfigMatchesTable4(t *testing.T) {
@@ -70,6 +71,23 @@ func TestValidateRejections(t *testing.T) {
 		{"scaled indivisible", func(c *Config) { c.NumProcNodes = 3 }, "scaled placement"},
 		{"ways too big", func(c *Config) { c.PartitionWays = 9 }, "PartitionWays"},
 		{"ways indivisible", func(c *Config) { c.PartitionWays = 3 }, "PartitionWays"},
+		{"unknown commit protocol", func(c *Config) { c.CommitProtocol = 99 }, "commit protocol"},
+		{"deferred locks with presumed abort", func(c *Config) {
+			c.ReplicaCount = 2
+			c.DeferRemoteWriteLocks = true
+			c.CommitProtocol = commit.PresumedAbort
+		}, "DeferRemoteWriteLocks"},
+		{"strict OPT under 2PL", func(c *Config) { c.StrictOPT = true }, "StrictOPT"},
+		{"upgrade locks under BTO", func(c *Config) {
+			c.Algorithm = cc.BTO
+			c.DetectionIntervalMs = 0
+			c.UpgradeWriteLocks = true
+		}, "UpgradeWriteLocks"},
+		{"lock timeout under BTO", func(c *Config) {
+			c.Algorithm = cc.BTO
+			c.DetectionIntervalMs = 0
+			c.LockWaitTimeoutMs = 1000
+		}, "LockWaitTimeoutMs"},
 	}
 	for _, tc := range cases {
 		cfg := base
@@ -93,6 +111,15 @@ func TestValidateAcceptsVariants(t *testing.T) {
 		func(c *Config) { c.NumProcNodes = 1 },
 		func(c *Config) { c.ExecPattern = Sequential },
 		func(c *Config) { c.WarmupMs = 0 },
+		func(c *Config) { c.CommitProtocol = commit.PresumedAbort },
+		func(c *Config) { c.CommitProtocol = commit.PresumedCommit; c.ModelLogging = true },
+		func(c *Config) { c.Algorithm = cc.O2PL; c.CommitProtocol = commit.PresumedAbort },
+		func(c *Config) { c.Algorithm = cc.OPT; c.DetectionIntervalMs = 0; c.StrictOPT = true },
+		func(c *Config) { c.UpgradeWriteLocks = true },
+		func(c *Config) {
+			c.ReplicaCount = 2
+			c.DeferRemoteWriteLocks = true // centralized 2PC: still allowed
+		},
 	} {
 		cfg := DefaultConfig()
 		mutate(&cfg)

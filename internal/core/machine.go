@@ -11,6 +11,7 @@ import (
 	"ddbm/internal/cc/opt"
 	"ddbm/internal/cc/twopl"
 	"ddbm/internal/cc/ww"
+	"ddbm/internal/commit"
 	"ddbm/internal/db"
 	"ddbm/internal/network"
 	"ddbm/internal/resource"
@@ -31,6 +32,7 @@ type Machine struct {
 	net       *network.Network
 	mgrs      []cc.Manager
 	algo      cc.Algorithm
+	proto     commit.Protocol
 	gen       *workload.Generator
 	stats     *statsCollector
 	rec       *audit.Recorder // non-nil when cfg.Audit
@@ -39,6 +41,11 @@ type Machine struct {
 	hostID     int
 	tsCounter  int64
 	txnCounter int64
+
+	// logForces counts modeled log forces over the whole run;
+	// abortLogForces is the subset attributed to abort handling.
+	logForces      int64
+	abortLogForces int64
 }
 
 // NewMachine builds (but does not run) a machine from the configuration.
@@ -66,13 +73,19 @@ func NewMachine(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 
+	proto, err := commit.New(cfg.CommitProtocol)
+	if err != nil {
+		return nil, err
+	}
+
 	s := sim.New(cfg.Seed)
 	m := &Machine{
 		cfg:    cfg,
 		sim:    s,
 		cat:    cat,
+		proto:  proto,
 		hostID: cfg.NumProcNodes,
-		stats:  newStatsCollector(),
+		stats:  newStatsCollector(expectedCommits(&cfg)),
 	}
 	if cfg.Audit {
 		m.rec = audit.NewRecorder()
@@ -150,6 +163,17 @@ func (m *Machine) Catalog() *db.Catalog { return m.cat }
 
 // Manager returns the concurrency control manager of a processing node.
 func (m *Machine) Manager(node int) cc.Manager { return m.mgrs[node] }
+
+// expectedCommits estimates how many transactions will commit inside the
+// measurement window, for preallocating the per-response sample buffer:
+// each terminal cycles through one think time plus roughly one response
+// (taken as the restart delay plus a small floor to avoid dividing by
+// near-zero for no-think workloads).
+func expectedCommits(cfg *Config) int {
+	cycleMs := cfg.ThinkTimeMs + cfg.InitialRestartDelayMs + 100
+	window := cfg.SimTimeMs - cfg.WarmupMs
+	return int(float64(cfg.NumTerminals) * window / cycleMs)
+}
 
 // nextTS returns the next globally unique, monotone timestamp.
 func (m *Machine) nextTS() int64 {
@@ -258,6 +282,8 @@ func (m *Machine) result() Result {
 	r.ProcDiskUtil /= float64(cfg.NumProcNodes)
 	r.HostCPUUtil = m.cpus[m.hostID].Utilization()
 	r.MessagesSent = m.net.Sent()
+	r.LogForces = m.logForces
+	r.AbortPathLogForces = m.abortLogForces
 	r.AvgActiveTxns = m.stats.active.Mean(m.sim.Now())
 	if m.rec != nil {
 		r.AuditedTxns = int64(len(m.rec.Records()))

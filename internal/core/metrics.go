@@ -22,8 +22,28 @@ type statsCollector struct {
 	runningAvg stats.Welford // all commits, incl. warmup (restart delay)
 }
 
-func newStatsCollector() *statsCollector {
-	return &statsCollector{respBatch: stats.NewBatchMeans(50)}
+// maxRespSamples caps the per-response sample buffer backing the
+// percentile metrics: a marathon run stops collecting individual samples
+// past this point (the percentiles then describe the first maxRespSamples
+// post-warmup commits) instead of holding every response in an
+// ever-reallocating slice. At 8 bytes a sample the cap bounds the buffer
+// at 8 MiB.
+const maxRespSamples = 1 << 20
+
+// newStatsCollector sizes the sample buffer from the expected number of
+// post-warmup commits so steady-state runs never reallocate it.
+func newStatsCollector(expectedCommits int) *statsCollector {
+	hint := expectedCommits
+	if hint < 256 {
+		hint = 256
+	}
+	if hint > maxRespSamples {
+		hint = maxRespSamples
+	}
+	return &statsCollector{
+		respAll:   make([]float64, 0, hint),
+		respBatch: stats.NewBatchMeans(50),
+	}
 }
 
 // startMeasuring marks the warmup boundary.
@@ -45,7 +65,9 @@ func (s *statsCollector) txnCommitted(now sim.Time, responseMs float64, restarts
 	}
 	s.commits++
 	s.resp.Add(responseMs)
-	s.respAll = append(s.respAll, responseMs)
+	if len(s.respAll) < maxRespSamples {
+		s.respAll = append(s.respAll, responseMs)
+	}
 	s.respBatch.Add(responseMs)
 	s.restarts.Add(float64(restarts))
 }
@@ -93,7 +115,8 @@ type Result struct {
 	RespStdDev      float64
 	MaxResponseMs   float64
 	// RespP50Ms, RespP90Ms and RespP99Ms are response-time percentiles
-	// (0 when nothing committed in the measurement window).
+	// (0 when nothing committed in the measurement window; computed over
+	// at most the first maxRespSamples post-warmup commits).
 	RespP50Ms float64
 	RespP90Ms float64
 	RespP99Ms float64
@@ -118,6 +141,12 @@ type Result struct {
 	PerNodeDiskUtil []float64
 	// MessagesSent counts inter-node messages over the whole run.
 	MessagesSent int64
+	// LogForces counts modeled forced log writes over the whole run (0
+	// unless Config.ModelLogging); AbortPathLogForces is the subset forced
+	// while aborting attempts (presumed commit's abort-record forces —
+	// zero for centralized 2PC and presumed abort).
+	LogForces          int64
+	AbortPathLogForces int64
 	// AvgActiveTxns is the time-average number of in-flight transactions.
 	AvgActiveTxns float64
 

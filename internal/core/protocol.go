@@ -1,0 +1,142 @@
+package core
+
+import (
+	"ddbm/internal/audit"
+	"ddbm/internal/cc"
+	"ddbm/internal/commit"
+	"ddbm/internal/db"
+	"ddbm/internal/sim"
+	"ddbm/internal/workload"
+)
+
+// The coordinator's abort-demanding mailbox messages satisfy
+// commit.AbortSignal so the protocol layer's vote collection treats them as
+// a failed prepare phase.
+func (msgSelfAbort) CommitAbortSignal()   {}
+func (msgAbortNotice) CommitAbortSignal() {}
+
+// protocolEnv adapts one transaction attempt's view of the machine to
+// commit.Env: it is the narrow facade through which a commit protocol
+// drives the network, the per-node managers, the log disks, and the
+// timestamp source.
+type protocolEnv struct {
+	m       *Machine
+	txn     int64
+	attempt int
+	// runs carries the core-side cohort state (plans, audit reads) in the
+	// same order as the protocol-side commit.Txn.Cohorts.
+	runs []*cohortRun
+}
+
+func (e *protocolEnv) Host() int                         { return e.m.hostID }
+func (e *protocolEnv) Send(from, to int, deliver func()) { e.m.net.Send(from, to, deliver) }
+func (e *protocolEnv) Manager(node int) cc.Manager       { return e.m.mgrs[node] }
+func (e *protocolEnv) NextTS() int64                     { return e.m.nextTS() }
+func (e *protocolEnv) Logging() bool                     { return e.m.cfg.ModelLogging }
+
+// ForceLog forces a log record at the coordinator's node: a synchronous
+// priority write on the host's disks, blocking the calling process.
+func (e *protocolEnv) ForceLog(p *sim.Proc, abortPath bool) {
+	e.m.countLogForce(abortPath)
+	e.m.hostDisks.Write(p)
+}
+
+// ForceLogAsync forces a log record at a cohort node's disks, running done
+// when the write completes.
+func (e *protocolEnv) ForceLogAsync(node int, abortPath bool, done func()) {
+	e.m.countLogForce(abortPath)
+	e.m.disks[node].WriteAsync(done)
+}
+
+// InstallCommit applies a committed cohort's buffered updates at its node:
+// audit installs, then one InstPerUpdate CPU burst per updated page to
+// initiate the deferred disk write.
+func (e *protocolEnv) InstallCommit(c *commit.Cohort) {
+	m := e.m
+	run := e.runs[c.Idx]
+	node := c.Meta.Node
+	if m.rec != nil {
+		stamp := m.serializationStamp(c.Meta.Txn)
+		for i := range run.plan.Accesses {
+			if run.plan.Accesses[i].Write {
+				m.rec.Install(run.plan.Accesses[i].Page, node, stamp)
+			}
+		}
+	}
+	writes := run.plan.NumWrites()
+	for w := 0; w < writes; w++ {
+		m.cpus[node].UseAsync(m.cfg.InstPerUpdate, func() {
+			m.disks[node].WriteAsync(nil)
+		})
+	}
+}
+
+// RecordCommit registers the committed transaction with the
+// serializability auditor (a no-op unless Config.Audit).
+func (e *protocolEnv) RecordCommit() {
+	m := e.m
+	if m.rec == nil {
+		return
+	}
+	meta := e.runs[0].meta.Txn
+	stamp := m.serializationStamp(meta)
+	rec := audit.TxnRecord{ID: meta.ID, Stamp: stamp}
+	for _, c := range e.runs {
+		rec.Reads = append(rec.Reads, c.reads...)
+		for i := range c.plan.Accesses {
+			if c.plan.Accesses[i].Write {
+				rec.Writes = append(rec.Writes, c.plan.Accesses[i].Page)
+			}
+		}
+	}
+	m.rec.Commit(rec)
+}
+
+// Prepared and Decided surface protocol phase transitions as TxnEvents.
+// Observation only: they have no effect on simulated behaviour.
+func (e *protocolEnv) Prepared() {
+	e.m.emit(TxnEvent{Txn: e.txn, Attempt: e.attempt, Kind: TxnPrepared})
+}
+
+func (e *protocolEnv) Decided(committed bool) {
+	detail := "commit"
+	if !committed {
+		detail = "abort"
+	}
+	e.m.emit(TxnEvent{Txn: e.txn, Attempt: e.attempt, Kind: TxnDecided, Detail: detail})
+}
+
+// countLogForce tallies modeled log forces over the whole run (like
+// MessagesSent, not windowed to the measurement interval).
+func (m *Machine) countLogForce(abortPath bool) {
+	m.logForces++
+	if abortPath {
+		m.abortLogForces++
+	}
+}
+
+// deferredPages lists the cohort's write permissions that move to the first
+// phase of the commit protocol: every write under O2PL, the remote-copy
+// writes under DeferRemoteWriteLocks ([Care89]).
+func (m *Machine) deferredPages(cp *workload.CohortPlan) []db.PageID {
+	var deferred []db.PageID
+	for i := range cp.Accesses {
+		a := &cp.Accesses[i]
+		if (m.cfg.Algorithm == cc.O2PL && a.Write) ||
+			(m.cfg.DeferRemoteWriteLocks && a.Remote) {
+			deferred = append(deferred, a.Page)
+		}
+	}
+	return deferred
+}
+
+// abortAttempt resolves a failed attempt: it marks the attempt aborted
+// (with a default reason when no party recorded one) and runs the commit
+// protocol's abort path across the loaded cohorts.
+func (m *Machine) abortAttempt(p *sim.Proc, env *protocolEnv, t *commit.Txn, loaded int) {
+	t.Meta.AbortRequested = true
+	if t.Meta.AbortReason == "" {
+		t.Meta.AbortReason = "aborted by coordinator"
+	}
+	m.proto.Abort(p, env, t, loaded)
+}

@@ -19,6 +19,13 @@ const (
 	TxnAttemptAborted
 	// TxnCommitted: the commit decision was made (response complete).
 	TxnCommitted
+	// TxnPrepared: every cohort voted yes in the first phase of the commit
+	// protocol (before the decision is logged).
+	TxnPrepared
+	// TxnDecided: the commit protocol resolved the attempt; Detail is
+	// "commit" or "abort". Emitted for every attempt — together with
+	// TxnPrepared it makes per-phase commit timing observable.
+	TxnDecided
 )
 
 func (k TxnEventKind) String() string {
@@ -31,6 +38,10 @@ func (k TxnEventKind) String() string {
 		return "aborted"
 	case TxnCommitted:
 		return "committed"
+	case TxnPrepared:
+		return "prepared"
+	case TxnDecided:
+		return "decided"
 	default:
 		return fmt.Sprintf("TxnEventKind(%d)", int(k))
 	}

@@ -5,13 +5,16 @@ import (
 
 	"ddbm/internal/audit"
 	"ddbm/internal/cc"
-	"ddbm/internal/db"
+	"ddbm/internal/commit"
 	"ddbm/internal/sim"
 	"ddbm/internal/workload"
 )
 
-// Coordinator mailbox messages. Every message a cohort node sends to the
-// coordinator travels through the network with full CPU costs.
+// Coordinator mailbox messages for the work phase. Every message a cohort
+// node sends to the coordinator travels through the network with full CPU
+// costs. The commit protocol's own messages (votes, acks) are defined in
+// internal/commit; the abort-demanding messages here implement
+// commit.AbortSignal (see protocol.go).
 type (
 	msgCohortDone struct{ idx int }
 	msgSelfAbort  struct {
@@ -19,11 +22,6 @@ type (
 		reason string
 	}
 	msgAbortNotice struct{ reason string }
-	msgVote        struct {
-		idx int
-		yes bool
-	}
-	msgAbortAck struct{ idx int }
 )
 
 // cohortRun is the coordinator's handle on one cohort of one attempt.
@@ -77,7 +75,7 @@ func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
 	restarts := 0
 	for {
 		m.emit(TxnEvent{Txn: id, Attempt: restarts + 1, Kind: TxnAttemptStarted})
-		committed, reason := m.attempt(p, id, origTS, plan)
+		committed, reason := m.attempt(p, id, origTS, restarts+1, plan)
 		if committed {
 			break
 		}
@@ -91,10 +89,10 @@ func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
 }
 
 // attempt executes one try of the transaction: load cohorts (sequentially
-// or in parallel), wait for their work phases, then run centralized
-// two-phase commit. It reports whether the attempt committed and, if not,
-// why it aborted.
-func (m *Machine) attempt(p *sim.Proc, id, origTS int64, plan *workload.TxnPlan) (bool, string) {
+// or in parallel), wait for their work phases, then hand the attempt to
+// the configured commit protocol (centralized 2PC by default). It reports
+// whether the attempt committed and, if not, why it aborted.
+func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *workload.TxnPlan) (bool, string) {
 	cfg := &m.cfg
 	meta := &cc.TxnMeta{ID: id, TS: origTS, AttemptTS: m.nextTS()}
 	mail := m.sim.NewMailbox()
@@ -106,17 +104,27 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, plan *workload.TxnPlan)
 	m.cpus[m.hostID].Use(p, cfg.InstPerStartup)
 
 	cohorts := make([]*cohortRun, len(plan.Cohorts))
+	protoCohorts := make([]*commit.Cohort, len(plan.Cohorts))
 	for i := range plan.Cohorts {
+		cp := &plan.Cohorts[i]
 		cohorts[i] = &cohortRun{
 			idx:  i,
-			plan: &plan.Cohorts[i],
+			plan: cp,
 			meta: &cc.CohortMeta{
 				Txn:       meta,
-				Node:      plan.Cohorts[i].Node,
+				Node:      cp.Node,
 				OnBlocked: m.stats.blocked,
 			},
 		}
+		protoCohorts[i] = &commit.Cohort{
+			Idx:      i,
+			Meta:     cohorts[i].meta,
+			ReadOnly: cp.NumWrites() == 0,
+			Deferred: m.deferredPages(cp),
+		}
 	}
+	t := &commit.Txn{Meta: meta, Mail: mail, Cohorts: protoCohorts}
+	env := &protocolEnv{m: m, txn: id, attempt: attemptNo, runs: cohorts}
 
 	loaded := 0
 	if cfg.ExecPattern == Sequential || plan.Sequential {
@@ -124,7 +132,7 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, plan *workload.TxnPlan)
 			m.loadCohort(c, mail)
 			loaded++
 			if !m.awaitDone(p, mail, 1) {
-				m.abortProtocol(p, meta, cohorts[:loaded], mail)
+				m.abortAttempt(p, env, t, loaded)
 				return false, meta.AbortReason
 			}
 		}
@@ -134,128 +142,18 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, plan *workload.TxnPlan)
 			loaded++
 		}
 		if !m.awaitDone(p, mail, loaded) {
-			m.abortProtocol(p, meta, cohorts[:loaded], mail)
+			m.abortAttempt(p, env, t, loaded)
 			return false, meta.AbortReason
 		}
 	}
 	if meta.AbortRequested {
-		m.abortProtocol(p, meta, cohorts, mail)
+		m.abortAttempt(p, env, t, len(cohorts))
 		return false, meta.AbortReason
 	}
 
-	// Two-phase commit, phase one: the commit timestamp travels to every
-	// cohort in the "prepare to commit" message (OPT certifies against it).
-	meta.State = cc.Preparing
-	meta.CommitTS = m.nextTS()
-	for _, c := range cohorts {
-		c := c
-		var deferred []db.PageID
-		for i := range c.plan.Accesses {
-			a := &c.plan.Accesses[i]
-			// O2PL defers every write lock to the prepare phase; the
-			// [Care89] 2PL variant defers only the remote-copy ones.
-			if (cfg.Algorithm == cc.O2PL && a.Write) ||
-				(cfg.DeferRemoteWriteLocks && a.Remote) {
-				deferred = append(deferred, a.Page)
-			}
-		}
-		m.net.Send(m.hostID, c.meta.Node, func() {
-			mgr := m.mgrs[c.meta.Node]
-			reply := func(yes bool) {
-				if yes && cfg.ModelLogging {
-					// Force the cohort's prepare record before voting yes
-					// (footnote 5: only log pages are forced pre-commit).
-					m.disks[c.meta.Node].WriteAsync(func() {
-						m.net.Send(c.meta.Node, m.hostID, func() { mail.Send(msgVote{idx: c.idx, yes: true}) })
-					})
-					return
-				}
-				m.net.Send(c.meta.Node, m.hostID, func() { mail.Send(msgVote{idx: c.idx, yes: yes}) })
-			}
-			if len(deferred) > 0 {
-				// [Care89]: remote-copy write locks are requested only now,
-				// in the first phase of the commit protocol; the node may
-				// block before it can vote.
-				mgr.(cc.DeferredWriter).PrepareDeferred(c.meta, deferred, func(ok bool) {
-					reply(ok && mgr.Prepare(c.meta))
-				})
-				return
-			}
-			reply(mgr.Prepare(c.meta))
-		})
-	}
-	for votes := 0; votes < len(cohorts); {
-		switch v := mail.Recv(p).(type) {
-		case msgVote:
-			if !v.yes {
-				m.abortProtocol(p, meta, cohorts, mail)
-				return false, meta.AbortReason
-			}
-			votes++
-		case msgAbortNotice, msgSelfAbort:
-			m.abortProtocol(p, meta, cohorts, mail)
-			return false, meta.AbortReason
-		}
-	}
-	if meta.AbortRequested {
-		// A wound or deadlock abort raced in behind the last vote: the
-		// coordinator learns of it before deciding, so the abort wins.
-		m.abortProtocol(p, meta, cohorts, mail)
+	if !m.proto.Commit(p, env, t) {
+		m.abortAttempt(p, env, t, len(cohorts))
 		return false, meta.AbortReason
-	}
-
-	if cfg.ModelLogging {
-		// Force the commit record at the coordinator's node before the
-		// decision becomes durable (and before the response completes).
-		m.hostDisks.Write(p)
-		if meta.AbortRequested {
-			// An abort raced in while the force was on disk.
-			m.abortProtocol(p, meta, cohorts, mail)
-			return false, meta.AbortReason
-		}
-	}
-
-	// Commit decision: from here the transaction can no longer abort and
-	// the response is complete. Phase two runs asynchronously: COMMIT
-	// messages release locks and install updates at each node, deferred
-	// disk writes are initiated (InstPerUpdate CPU each), and cohorts
-	// acknowledge (CPU load only).
-	meta.State = cc.Committing
-	meta.DecisionTS = m.nextTS()
-	if m.rec != nil {
-		stamp := m.serializationStamp(meta)
-		rec := audit.TxnRecord{ID: meta.ID, Stamp: stamp}
-		for _, c := range cohorts {
-			rec.Reads = append(rec.Reads, c.reads...)
-			for i := range c.plan.Accesses {
-				if c.plan.Accesses[i].Write {
-					rec.Writes = append(rec.Writes, c.plan.Accesses[i].Page)
-				}
-			}
-		}
-		m.rec.Commit(rec)
-	}
-	for _, c := range cohorts {
-		c := c
-		writes := c.plan.NumWrites()
-		m.net.Send(m.hostID, c.meta.Node, func() {
-			node := c.meta.Node
-			m.mgrs[node].Commit(c.meta)
-			if m.rec != nil {
-				stamp := m.serializationStamp(c.meta.Txn)
-				for i := range c.plan.Accesses {
-					if c.plan.Accesses[i].Write {
-						m.rec.Install(c.plan.Accesses[i].Page, node, stamp)
-					}
-				}
-			}
-			for w := 0; w < writes; w++ {
-				m.cpus[node].UseAsync(cfg.InstPerUpdate, func() {
-					m.disks[node].WriteAsync(nil)
-				})
-			}
-			m.net.Send(node, m.hostID, func() {})
-		})
 	}
 	return true, ""
 }
@@ -272,30 +170,6 @@ func (m *Machine) awaitDone(p *sim.Proc, mail *sim.Mailbox, n int) bool {
 		}
 	}
 	return true
-}
-
-// abortProtocol tells every loaded cohort node to abort and waits for all
-// acknowledgements ("once the transaction manager has finished aborting the
-// transaction", §3.3). Stale messages from the doomed attempt are drained
-// and ignored.
-func (m *Machine) abortProtocol(p *sim.Proc, meta *cc.TxnMeta, cohorts []*cohortRun, mail *sim.Mailbox) {
-	meta.AbortRequested = true
-	if meta.AbortReason == "" {
-		meta.AbortReason = "aborted by coordinator"
-	}
-	for _, c := range cohorts {
-		c := c
-		m.net.Send(m.hostID, c.meta.Node, func() {
-			m.mgrs[c.meta.Node].Abort(c.meta)
-			m.net.Send(c.meta.Node, m.hostID, func() { mail.Send(msgAbortAck{idx: c.idx}) })
-		})
-	}
-	for acks := 0; acks < len(cohorts); {
-		if _, ok := mail.Recv(p).(msgAbortAck); ok {
-			acks++
-		}
-	}
-	meta.State = cc.Finished
 }
 
 // loadCohort sends the "load cohort" message; at the destination the
