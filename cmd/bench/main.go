@@ -7,11 +7,14 @@
 //
 // A second suite benchmarks the core transaction path — the commit and
 // abort paths of every commit protocol — and writes BENCH_core.json, so the
-// trajectory covers the protocol layer as well as the kernel.
+// trajectory covers the protocol layer as well as the kernel. A third
+// suite measures the observability layer — the same run with tracing and
+// probes off and on — and writes BENCH_obs.json.
 //
-//	go run ./cmd/bench                 # writes BENCH_kernel.json + BENCH_core.json
+//	go run ./cmd/bench                 # writes BENCH_kernel.json + BENCH_core.json + BENCH_obs.json
 //	go run ./cmd/bench -o out.json -benchtime 2s
 //	go run ./cmd/bench -suite core     # only the transaction-path suite
+//	go run ./cmd/bench -suite obs      # only the tracer-overhead suite
 package main
 
 import (
@@ -165,18 +168,40 @@ func main() {
 	testing.Init()
 	out := flag.String("o", "BENCH_kernel.json", "kernel-suite output file ('-' for stdout)")
 	coreOut := flag.String("coreo", "BENCH_core.json", "core-suite output file ('-' for stdout)")
+	obsOut := flag.String("obso", "BENCH_obs.json", "obs-suite output file ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target duration per microbenchmark")
 	macroSec := flag.Float64("macrosec", 240, "simulated seconds for the macro-benchmark run")
 	coreSec := flag.Float64("coresec", 120, "simulated seconds per core transaction-path run")
-	suite := flag.String("suite", "all", "which suites to run: kernel, core or all")
+	obsSec := flag.Float64("obssec", 120, "simulated seconds per tracer-overhead run")
+	suite := flag.String("suite", "all", "which suites to run: kernel, core, obs or all")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *suite != "all" && *suite != "kernel" && *suite != "core" {
-		fmt.Fprintf(os.Stderr, "unknown suite %q (want kernel, core or all)\n", *suite)
+	if *suite != "all" && *suite != "kernel" && *suite != "core" && *suite != "obs" {
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want kernel, core, obs or all)\n", *suite)
 		os.Exit(2)
+	}
+
+	if *suite == "all" || *suite == "obs" {
+		runs, err := runObsSuite(*obsSec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs suite:", err)
+			os.Exit(1)
+		}
+		rep := ObsReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			Runs:        runs,
+		}
+		if err := writeJSON(*obsOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *suite == "obs" {
+		return
 	}
 
 	if *suite == "all" || *suite == "core" {

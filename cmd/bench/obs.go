@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ddbm"
+)
+
+// ObsResult records one run of the tracer-overhead pair: the same
+// configuration simulated with instrumentation off and on. The disabled
+// row is the baseline; the traced row carries the wall-time ratio against
+// it plus the volume of observations recorded, so a regression in either
+// the disabled fast path or the enabled recording cost shows up in the
+// trajectory.
+type ObsResult struct {
+	Mode            string  `json:"mode"` // "disabled" or "traced"
+	SimMs           float64 `json:"sim_ms"`
+	WallMs          float64 `json:"wall_ms"`
+	WallVsDisabled  float64 `json:"wall_vs_disabled,omitempty"`
+	TraceEvents     int     `json:"trace_events,omitempty"`
+	EventsPerWallMs float64 `json:"events_per_wall_ms,omitempty"`
+	ProbeSamples    int     `json:"probe_samples,omitempty"`
+	Commits         int64   `json:"commits"`
+}
+
+// ObsReport is the BENCH_obs.json schema.
+type ObsReport struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	Runs        []ObsResult `json:"runs"`
+}
+
+// obsConfig is the paper's baseline 8-node machine under 2PL at a 4-second
+// think time — the same shape as the kernel macro-benchmark, so the two
+// trajectories stay comparable.
+func obsConfig(simSeconds float64) ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = ddbm.TwoPL
+	cfg.ThinkTimeMs = 4000
+	cfg.SimTimeMs = simSeconds * 1000
+	cfg.WarmupMs = cfg.SimTimeMs / 8
+	cfg.Seed = 7
+	return cfg
+}
+
+// runObsSuite runs the overhead pair: one plain run, then the identical
+// configuration with tracing and 100 ms probes enabled.
+func runObsSuite(simSeconds float64) ([]ObsResult, error) {
+	cfg := obsConfig(simSeconds)
+
+	m, err := ddbm.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	plainRes := m.Run()
+	plainWall := float64(time.Since(start).Nanoseconds()) / 1e6
+	plain := ObsResult{Mode: "disabled", SimMs: cfg.SimTimeMs, WallMs: plainWall, Commits: plainRes.Commits}
+
+	m, err = ddbm.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := m.EnableTracing()
+	ts := m.EnableProbes(100)
+	start = time.Now()
+	tracedRes := m.Run()
+	tracedWall := float64(time.Since(start).Nanoseconds()) / 1e6
+	traced := ObsResult{
+		Mode:         "traced",
+		SimMs:        cfg.SimTimeMs,
+		WallMs:       tracedWall,
+		TraceEvents:  tr.Len(),
+		ProbeSamples: ts.Len(),
+		Commits:      tracedRes.Commits,
+	}
+	if plainWall > 0 {
+		traced.WallVsDisabled = tracedWall / plainWall
+	}
+	if tracedWall > 0 {
+		traced.EventsPerWallMs = float64(tr.Len()) / tracedWall
+	}
+	if plainRes.Commits != tracedRes.Commits {
+		return nil, fmt.Errorf("tracing perturbed the run: %d commits plain vs %d traced", plainRes.Commits, tracedRes.Commits)
+	}
+
+	fmt.Fprintf(os.Stderr, "obs  disabled %8.0f wall-ms\n", plain.WallMs)
+	fmt.Fprintf(os.Stderr, "obs  traced   %8.0f wall-ms (%.2fx)  %d events  %d samples\n",
+		traced.WallMs, traced.WallVsDisabled, traced.TraceEvents, traced.ProbeSamples)
+	return []ObsResult{plain, traced}, nil
+}

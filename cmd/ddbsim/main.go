@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"ddbm"
 )
@@ -44,6 +45,8 @@ func main() {
 	deferLocks := flag.Bool("defer", false, "defer remote-copy write locks to commit phase 1 (2PL + replication)")
 	auditFlag := flag.Bool("audit", false, "run the serializability auditor and report anomalies")
 	trace := flag.Int("trace", 0, "print the first N transaction life-cycle events")
+	traceOut := flag.String("trace-out", "", "write a simulated-time trace to `file` (.jsonl = flat event stream, otherwise Chrome trace-event JSON for Perfetto)")
+	probeInterval := flag.Float64("probe-interval", 0, "sample per-node gauges every `N` milliseconds of simulated time (0 = off)")
 	logging := flag.Bool("logging", false, "model log forces (prepare records + commit record)")
 	seq := flag.Bool("sequential", false, "run cohorts sequentially instead of in parallel")
 	simTime := flag.Float64("simtime", cfg.SimTimeMs/1000, "simulated duration (seconds)")
@@ -107,6 +110,14 @@ func main() {
 			}
 		})
 	}
+	var tracer *ddbm.Tracer
+	if *traceOut != "" {
+		tracer = m.EnableTracing()
+	}
+	var series *ddbm.TimeSeries
+	if *probeInterval > 0 {
+		series = m.EnableProbes(*probeInterval)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -161,6 +172,37 @@ func main() {
 		fmt.Printf("log forces           %d (%d on abort paths)\n", res.LogForces, res.AbortPathLogForces)
 	}
 	fmt.Printf("avg active txns      %.1f\n", res.AvgActiveTxns)
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			err = ddbm.WriteTraceJSONL(f, tracer.Events())
+		} else {
+			err = ddbm.WriteChromeTrace(f, tracer.Events(), cfg.NumProcNodes)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace                %d events -> %s\n", tracer.Len(), *traceOut)
+	}
+	if series != nil {
+		var cpu, disk float64
+		for i := 0; i < cfg.NumProcNodes; i++ {
+			cpu += series.MeanCPUUtil(i, cfg.WarmupMs, cfg.SimTimeMs)
+			disk += series.MeanDiskUtil(i, cfg.WarmupMs, cfg.SimTimeMs)
+		}
+		cpu /= float64(cfg.NumProcNodes)
+		disk /= float64(cfg.NumProcNodes)
+		fmt.Printf("probes               %d samples every %g ms; sampled proc CPU %.1f%%, proc disk %.1f%%\n",
+			series.Len(), *probeInterval, cpu*100, disk*100)
+	}
 	if cfg.Audit {
 		fmt.Printf("serializability      %d txns audited, %d anomalies\n",
 			res.AuditedTxns, len(res.AuditViolations))

@@ -26,6 +26,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
 	chart := flag.Bool("chart", false, "append an ASCII chart after each figure")
+	traceOut := flag.String("trace-out", "", "write one Chrome trace-event JSON per run into `dir` (use with a small -scale)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file` (flushed on successful exit)")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file` on successful exit")
 	flag.Parse()
@@ -59,7 +60,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{TimeScale: *scale, Seed: *seed, Replicates: *reps}
+	opts := experiments.Options{TimeScale: *scale, Seed: *seed, Replicates: *reps, TraceDir: *traceOut}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}

@@ -1,0 +1,52 @@
+// Command tracecheck structurally validates Chrome trace-event JSON files
+// produced by ddbsim -trace-out or experiments -trace-out: the document
+// must parse, spans on every track must nest, and cohort / commit-phase
+// spans must sit under their transaction's attempt span. CI runs it on a
+// freshly generated trace as a smoke test.
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ddbm"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck file.json [file.json ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			bad = true
+			continue
+		}
+		if err := ddbm.CheckChromeTrace(data); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		// CheckChromeTrace already proved the document parses.
+		json.Unmarshal(data, &doc)
+		fmt.Printf("%s: ok (%d events, %d bytes)\n", path, len(doc.TraceEvents), len(data))
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

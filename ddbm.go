@@ -26,9 +26,12 @@
 package ddbm
 
 import (
+	"io"
+
 	"ddbm/internal/cc"
 	"ddbm/internal/commit"
 	"ddbm/internal/core"
+	"ddbm/internal/obs"
 )
 
 // Algorithm identifies a concurrency control algorithm.
@@ -143,3 +146,30 @@ const (
 // NewMachine builds (but does not run) a machine, for callers that attach
 // observers; call its Run method to simulate.
 func NewMachine(cfg Config) (*Machine, error) { return core.NewMachine(cfg) }
+
+// Tracer records spans and instant events in simulated time; obtain one
+// with Machine.EnableTracing before Run. A nil tracer is the disabled
+// state and costs nothing on the simulation's hot paths.
+type Tracer = obs.Tracer
+
+// TraceEvent is one recorded observation (a span or an instant).
+type TraceEvent = obs.Event
+
+// TimeSeries holds the periodic probe samples of per-node gauges; obtain
+// one with Machine.EnableProbes before Run.
+type TimeSeries = obs.TimeSeries
+
+// WriteChromeTrace renders trace events as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing); host is the host node's id.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, host int) error {
+	return obs.WriteChromeTrace(w, events, host)
+}
+
+// WriteTraceJSONL renders trace events as a flat JSONL stream.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
+	return obs.WriteJSONL(w, events)
+}
+
+// CheckChromeTrace structurally validates WriteChromeTrace output (JSON
+// parses, spans nest, cohort/commit-phase spans sit under their attempt).
+func CheckChromeTrace(data []byte) error { return obs.CheckChromeTrace(data) }

@@ -8,7 +8,10 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -46,6 +49,12 @@ type Options struct {
 	Replicates int
 	// Progress, if non-nil, receives one line per completed run.
 	Progress io.Writer
+	// TraceDir, if non-empty, writes one Chrome trace-event JSON file per
+	// simulation run into this directory (created on demand), named
+	// trace_<fnv64a of the config key>.json — deterministic and collision-
+	// free across concurrent grid workers. Meant for small -scale runs:
+	// publication-length sweeps produce very large traces.
+	TraceDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -162,6 +171,37 @@ func cfgKey(cfg ddbm.Config) string {
 // to observe scheduling behavior without running real simulations.
 var runSim = ddbm.Run
 
+// run dispatches one grid cell: the plain entry point normally, or a
+// traced run writing a per-configuration Chrome trace when TraceDir is
+// set. cfg already carries its replicate's seed, and cfgKey includes the
+// seed, so every replicate gets its own file.
+func (o Options) run(cfg ddbm.Config) (ddbm.Result, error) {
+	if o.TraceDir == "" {
+		return runSim(cfg)
+	}
+	m, err := ddbm.NewMachine(cfg)
+	if err != nil {
+		return ddbm.Result{}, err
+	}
+	tr := m.EnableTracing()
+	res := m.Run()
+	h := fnv.New64a()
+	io.WriteString(h, cfgKey(cfg))
+	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+		return res, err
+	}
+	path := filepath.Join(o.TraceDir, fmt.Sprintf("trace_%016x.json", h.Sum64()))
+	f, err := os.Create(path)
+	if err != nil {
+		return res, err
+	}
+	err = ddbm.WriteChromeTrace(f, tr.Events(), cfg.NumProcNodes)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return res, err
+}
+
 // runGrid executes every configuration (deduplicated, replicated across
 // seeds per Options.Replicates) and returns a lookup table keyed by
 // cfgKey of the base configuration. Runs execute concurrently up to
@@ -206,7 +246,7 @@ launch:
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				res, err := runSim(cfg)
+				res, err := o.run(cfg)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {

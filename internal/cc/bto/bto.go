@@ -74,6 +74,18 @@ type manager struct {
 
 func (m *manager) Kind() cc.Kind { return cc.BTO }
 
+// TableSize and BlockedCount are the probe sampler's gauges (obs layer):
+// pages with timestamp state, and readers blocked behind pending writes.
+func (m *manager) TableSize() int { return len(m.pages) }
+
+func (m *manager) BlockedCount() int {
+	n := 0
+	for _, ps := range m.pages {
+		n += len(ps.blocked)
+	}
+	return n
+}
+
 func (m *manager) page(p db.PageID) *pageState {
 	ps := m.pages[p]
 	if ps == nil {

@@ -263,6 +263,14 @@ func (lt *LockTable) Holds(co *CohortMeta, page db.PageID) (LockMode, bool) {
 // HeldCount returns the number of locks co holds.
 func (lt *LockTable) HeldCount(co *CohortMeta) int { return len(lt.held[co]) }
 
+// Size returns the number of pages with lock state (held or queued) —
+// the probe sampler's lock-table-size gauge.
+func (lt *LockTable) Size() int { return len(lt.entries) }
+
+// WaiterCount returns the number of cohorts currently queued behind a
+// conflicting lock — the probe sampler's blocked-txn gauge.
+func (lt *LockTable) WaiterCount() int { return len(lt.waiting) }
+
 // Empty reports whether the table holds no locks and no waiters — the
 // quiescence invariant checked at the end of simulations.
 func (lt *LockTable) Empty() bool {

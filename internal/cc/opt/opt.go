@@ -77,6 +77,11 @@ type manager struct {
 
 func (m *manager) Kind() cc.Kind { return cc.OPT }
 
+// TableSize and BlockedCount are the probe sampler's gauges (obs layer).
+// OPT never blocks a cohort, so BlockedCount is always zero.
+func (m *manager) TableSize() int    { return len(m.pages) }
+func (m *manager) BlockedCount() int { return 0 }
+
 func (m *manager) page(p db.PageID) *pageState {
 	ps := m.pages[p]
 	if ps == nil {

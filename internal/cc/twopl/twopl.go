@@ -83,6 +83,10 @@ func (m *manager) WaitsForEdges() []cc.Edge { return m.lt.WaitsForEdges(m.env.No
 // LockTable exposes the underlying table for invariant checks in tests.
 func (m *manager) LockTable() *cc.LockTable { return m.lt }
 
+// TableSize and BlockedCount are the probe sampler's gauges (obs layer).
+func (m *manager) TableSize() int    { return m.lt.Size() }
+func (m *manager) BlockedCount() int { return m.lt.WaiterCount() }
+
 func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outcome {
 	if co.Txn.AbortRequested {
 		return cc.Aborted

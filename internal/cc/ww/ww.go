@@ -44,6 +44,10 @@ func (m *manager) Wounds() int64 { return m.wounds }
 // LockTable exposes the underlying table for invariant checks in tests.
 func (m *manager) LockTable() *cc.LockTable { return m.lt }
 
+// TableSize and BlockedCount are the probe sampler's gauges (obs layer).
+func (m *manager) TableSize() int    { return m.lt.Size() }
+func (m *manager) BlockedCount() int { return m.lt.WaiterCount() }
+
 // WaitsForEdges lets tests assert the waits-for graph stays acyclic.
 func (m *manager) WaitsForEdges() []cc.Edge { return m.lt.WaitsForEdges(m.env.Node) }
 

@@ -14,6 +14,7 @@ import (
 	"ddbm/internal/commit"
 	"ddbm/internal/db"
 	"ddbm/internal/network"
+	"ddbm/internal/obs"
 	"ddbm/internal/resource"
 	"ddbm/internal/sim"
 	"ddbm/internal/workload"
@@ -37,6 +38,16 @@ type Machine struct {
 	stats     *statsCollector
 	rec       *audit.Recorder // non-nil when cfg.Audit
 	observer  func(TxnEvent)
+
+	// Observability (all nil/zero unless explicitly enabled; the disabled
+	// state is the existing fast path). activeCohorts is allocated — and
+	// maintained by runCohort — only while probing is on.
+	tracer        *obs.Tracer
+	probes        *obs.TimeSeries
+	probeEveryMs  float64
+	activeCohorts []int     // per processing node
+	prevCPUBusy   []float64 // sampler window state: last BusyTime() per CPU
+	prevDiskBusy  []float64 // ... per disk array (proc nodes, then host)
 
 	hostID     int
 	tsCounter  int64
@@ -164,6 +175,91 @@ func (m *Machine) Catalog() *db.Catalog { return m.cat }
 // Manager returns the concurrency control manager of a processing node.
 func (m *Machine) Manager(node int) cc.Manager { return m.mgrs[node] }
 
+// EnableTracing attaches an observability tracer to every layer of the
+// machine (transaction life cycle, cohorts, CC waits, commit phases,
+// messages, CPU and disk service) and returns it. Must be called before
+// Start/Run; idempotent. Tracing is observation only: the traced run is
+// bit-identical to the untraced run.
+func (m *Machine) EnableTracing() *obs.Tracer {
+	if m.tracer == nil {
+		tr := obs.NewTracer(m.sim)
+		m.tracer = tr
+		m.net.SetTracer(tr)
+		for i, c := range m.cpus {
+			c.SetTrace(tr, i)
+		}
+		for i, d := range m.disks {
+			d.SetTrace(tr, i)
+		}
+		m.hostDisks.SetTrace(tr, m.hostID)
+	}
+	return m.tracer
+}
+
+// Tracer returns the attached tracer, or nil when tracing is disabled.
+func (m *Machine) Tracer() *obs.Tracer { return m.tracer }
+
+// EnableProbes installs the periodic gauge sampler, snapshotting per-node
+// gauges every intervalMs of simulated time into the returned TimeSeries.
+// Must be called before Start/Run. The sampler is a deterministic sim
+// process that only reads state (see obs.TimeSeries), so probed runs stay
+// bit-identical to unprobed ones.
+func (m *Machine) EnableProbes(intervalMs float64) *obs.TimeSeries {
+	if intervalMs <= 0 {
+		panic("core: probe interval must be positive")
+	}
+	nodes := m.cfg.NumProcNodes + 1
+	m.probes = obs.NewTimeSeries(intervalMs, nodes, int(m.cfg.SimTimeMs/intervalMs)+1)
+	m.probeEveryMs = intervalMs
+	m.activeCohorts = make([]int, m.cfg.NumProcNodes)
+	m.prevCPUBusy = make([]float64, len(m.cpus))
+	m.prevDiskBusy = make([]float64, nodes)
+	return m.probes
+}
+
+// TimeSeries returns the probe samples, or nil when probing is disabled.
+func (m *Machine) TimeSeries() *obs.TimeSeries { return m.probes }
+
+// ccGauges is the optional interface a CC manager implements to expose its
+// table size and blocked-cohort count to the probe sampler; managers
+// without local state (no-DC) simply report zeros.
+type ccGauges interface {
+	TableSize() int
+	BlockedCount() int
+}
+
+// sample takes one probe snapshot. Pure reads only: BusyTime() on the
+// resources is side-effect-free, and the gauges are queue/map lengths.
+func (m *Machine) sample() {
+	ts := m.probes
+	ts.Times = append(ts.Times, m.sim.Now())
+	for i := 0; i <= m.cfg.NumProcNodes; i++ {
+		ns := &ts.Nodes[i]
+		da := m.hostDisks
+		if i < m.cfg.NumProcNodes {
+			da = m.disks[i]
+		}
+		cpuBusy := m.cpus[i].BusyTime()
+		diskBusy := da.BusyTime()
+		ns.CPUUtil = append(ns.CPUUtil, (cpuBusy-m.prevCPUBusy[i])/m.probeEveryMs)
+		ns.DiskUtil = append(ns.DiskUtil, (diskBusy-m.prevDiskBusy[i])/(m.probeEveryMs*float64(da.NumDisks())))
+		m.prevCPUBusy[i] = cpuBusy
+		m.prevDiskBusy[i] = diskBusy
+		ns.ReadyQueue = append(ns.ReadyQueue, m.cpus[i].QueueLen())
+		var active, tableSize, blocked int
+		if i < m.cfg.NumProcNodes {
+			active = m.activeCohorts[i]
+			if g, ok := m.mgrs[i].(ccGauges); ok {
+				tableSize = g.TableSize()
+				blocked = g.BlockedCount()
+			}
+		}
+		ns.ActiveCohorts = append(ns.ActiveCohorts, active)
+		ns.LockTableSize = append(ns.LockTableSize, tableSize)
+		ns.BlockedTxns = append(ns.BlockedTxns, blocked)
+	}
+}
+
 // expectedCommits estimates how many transactions will commit inside the
 // measurement window, for preallocating the per-response sample buffer:
 // each terminal cycles through one think time plus roughly one response
@@ -215,6 +311,14 @@ func (m *Machine) Start() {
 			d.MarkWarmup()
 		}
 	})
+	if m.probes != nil {
+		m.sim.Spawn("probe-sampler", func(p *sim.Proc) {
+			for {
+				p.Delay(m.probeEveryMs)
+				m.sample()
+			}
+		})
+	}
 }
 
 // Run executes the configured simulation and returns its metrics.

@@ -5,6 +5,7 @@ import (
 	"ddbm/internal/cc"
 	"ddbm/internal/commit"
 	"ddbm/internal/db"
+	"ddbm/internal/obs"
 	"ddbm/internal/sim"
 	"ddbm/internal/workload"
 )
@@ -26,6 +27,10 @@ type protocolEnv struct {
 	// runs carries the core-side cohort state (plans, audit reads) in the
 	// same order as the protocol-side commit.Txn.Cohorts.
 	runs []*cohortRun
+	// phaseAt is the running commit-phase boundary for the tracer's
+	// prepare/decide/resolve spans: the attempt sets it on entering the
+	// protocol, Prepared and Decided advance it. Observation only.
+	phaseAt sim.Time
 }
 
 func (e *protocolEnv) Host() int                         { return e.m.hostID }
@@ -92,10 +97,16 @@ func (e *protocolEnv) RecordCommit() {
 	m.rec.Commit(rec)
 }
 
-// Prepared and Decided surface protocol phase transitions as TxnEvents.
-// Observation only: they have no effect on simulated behaviour.
+// Prepared and Decided surface protocol phase transitions as life-cycle
+// events and close the corresponding commit-phase spans ("prepare" runs
+// from protocol entry to all-votes-collected, "decide" from there to the
+// logged decision). Observation only: no effect on simulated behaviour.
 func (e *protocolEnv) Prepared() {
-	e.m.emit(TxnEvent{Txn: e.txn, Attempt: e.attempt, Kind: TxnPrepared})
+	e.m.lifecycle(TxnPrepared, e.txn, e.attempt, "")
+	if tr := e.m.tracer; tr != nil {
+		tr.Complete(obs.KindCommitPhase, "prepare", e.m.hostID, e.txn, e.attempt, e.phaseAt)
+		e.phaseAt = e.m.sim.Now()
+	}
 }
 
 func (e *protocolEnv) Decided(committed bool) {
@@ -103,7 +114,11 @@ func (e *protocolEnv) Decided(committed bool) {
 	if !committed {
 		detail = "abort"
 	}
-	e.m.emit(TxnEvent{Txn: e.txn, Attempt: e.attempt, Kind: TxnDecided, Detail: detail})
+	e.m.lifecycle(TxnDecided, e.txn, e.attempt, detail)
+	if tr := e.m.tracer; tr != nil {
+		tr.Complete(obs.KindCommitPhase, "decide", e.m.hostID, e.txn, e.attempt, e.phaseAt)
+		e.phaseAt = e.m.sim.Now()
+	}
 }
 
 // countLogForce tallies modeled log forces over the whole run (like
@@ -138,5 +153,10 @@ func (m *Machine) abortAttempt(p *sim.Proc, env *protocolEnv, t *commit.Txn, loa
 	if t.Meta.AbortReason == "" {
 		t.Meta.AbortReason = "aborted by coordinator"
 	}
+	env.phaseAt = m.sim.Now()
 	m.proto.Abort(p, env, t, loaded)
+	// Abort resolution: from the abort decision (Decided(false) fires at
+	// the top of the protocol's abort path, advancing phaseAt) to the
+	// protocol's return. Nil-safe no-op when untraced.
+	m.tracer.Complete(obs.KindCommitPhase, "resolve", m.hostID, env.txn, env.attempt, env.phaseAt)
 }

@@ -28,23 +28,26 @@ const (
 	TxnDecided
 )
 
+// txnEventNames is the single name table for life-cycle events: TxnEvent
+// printing and the obs tracer's instant names both draw from it, so the
+// two observation paths cannot drift apart.
+var txnEventNames = [...]string{
+	TxnSubmitted:      "submitted",
+	TxnAttemptStarted: "attempt",
+	TxnAttemptAborted: "aborted",
+	TxnCommitted:      "committed",
+	TxnPrepared:       "prepared",
+	TxnDecided:        "decided",
+}
+
+// String names the kind; out-of-range values (on either side — the kind is
+// a signed int) fall back to a TxnEventKind(n) form rather than indexing
+// the name table out of bounds.
 func (k TxnEventKind) String() string {
-	switch k {
-	case TxnSubmitted:
-		return "submitted"
-	case TxnAttemptStarted:
-		return "attempt"
-	case TxnAttemptAborted:
-		return "aborted"
-	case TxnCommitted:
-		return "committed"
-	case TxnPrepared:
-		return "prepared"
-	case TxnDecided:
-		return "decided"
-	default:
-		return fmt.Sprintf("TxnEventKind(%d)", int(k))
+	if k >= 0 && int(k) < len(txnEventNames) {
+		return txnEventNames[k]
 	}
+	return fmt.Sprintf("TxnEventKind(%d)", int(k))
 }
 
 // TxnEvent is one observation of a transaction's life cycle.
@@ -70,7 +73,10 @@ func (e TxnEvent) String() string {
 
 // ObserveTxns registers a transaction life-cycle observer. It must be
 // called before Start/Run; passing nil removes the observer. Observation
-// has no effect on simulated behaviour.
+// has no effect on simulated behaviour. Since the obs layer landed, the
+// observer is a thin adapter over the same emission path (lifecycle) that
+// feeds the tracer's instant events; the TxnEvent API is kept for callers
+// that want a callback instead of a recorded trace.
 func (m *Machine) ObserveTxns(fn func(TxnEvent)) { m.observer = fn }
 
 // TraceTxns writes every transaction event to w (a convenience wrapper
@@ -79,9 +85,16 @@ func (m *Machine) TraceTxns(w io.Writer) {
 	m.ObserveTxns(func(e TxnEvent) { fmt.Fprintln(w, e) })
 }
 
-func (m *Machine) emit(e TxnEvent) {
+// lifecycle is the single life-cycle emission path: one call records the
+// event as an obs instant (at the host node, where the coordinator runs)
+// and adapts it to the legacy TxnEvent observer. Both sinks disabled —
+// the common case — costs two nil tests.
+func (m *Machine) lifecycle(kind TxnEventKind, txn int64, attempt int, detail string) {
+	if m.tracer == nil && m.observer == nil {
+		return
+	}
+	m.tracer.Instant(kind.String(), m.hostID, txn, attempt, detail)
 	if m.observer != nil {
-		e.Time = m.sim.Now()
-		m.observer(e)
+		m.observer(TxnEvent{Time: m.sim.Now(), Txn: txn, Attempt: attempt, Kind: kind, Detail: detail})
 	}
 }

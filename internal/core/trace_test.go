@@ -111,3 +111,24 @@ func TestTxnEventStrings(t *testing.T) {
 		t.Error("unknown kind renders empty")
 	}
 }
+
+// The String fallback must hold on both sides of the name table — a
+// negative kind must not panic the table lookup, and the fallback must
+// flow through TxnEvent.String too.
+func TestTxnEventKindStringFallback(t *testing.T) {
+	if got := TxnEventKind(99).String(); got != "TxnEventKind(99)" {
+		t.Errorf("out-of-range kind = %q, want TxnEventKind(99)", got)
+	}
+	if got := TxnEventKind(-3).String(); got != "TxnEventKind(-3)" {
+		t.Errorf("negative kind = %q, want TxnEventKind(-3)", got)
+	}
+	s := TxnEvent{Time: 1, Txn: 2, Attempt: 1, Kind: TxnEventKind(42)}.String()
+	if !strings.Contains(s, "TxnEventKind(42)") {
+		t.Errorf("event string %q does not surface the fallback kind", s)
+	}
+	for k := TxnSubmitted; k <= TxnDecided; k++ {
+		if strings.HasPrefix(k.String(), "TxnEventKind(") {
+			t.Errorf("in-range kind %d missing from the name table", int(k))
+		}
+	}
+}

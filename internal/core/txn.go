@@ -6,6 +6,7 @@ import (
 	"ddbm/internal/audit"
 	"ddbm/internal/cc"
 	"ddbm/internal/commit"
+	"ddbm/internal/obs"
 	"ddbm/internal/sim"
 	"ddbm/internal/workload"
 )
@@ -26,9 +27,10 @@ type (
 
 // cohortRun is the coordinator's handle on one cohort of one attempt.
 type cohortRun struct {
-	idx  int
-	plan *workload.CohortPlan
-	meta *cc.CohortMeta
+	idx     int
+	attempt int // attempt number, tagging this cohort's trace spans
+	plan    *workload.CohortPlan
+	meta    *cc.CohortMeta
 	// reads records audit observations (only when auditing is enabled).
 	reads []audit.ReadObs
 }
@@ -71,20 +73,26 @@ func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
 	origTS := m.nextTS() // original startup timestamp, kept across restarts
 	origin := m.sim.Now()
 	m.stats.txnStarted(origin)
-	m.emit(TxnEvent{Txn: id, Attempt: 1, Kind: TxnSubmitted})
+	m.lifecycle(TxnSubmitted, id, 1, "")
 	restarts := 0
 	for {
-		m.emit(TxnEvent{Txn: id, Attempt: restarts + 1, Kind: TxnAttemptStarted})
-		committed, reason := m.attempt(p, id, origTS, restarts+1, plan)
+		attemptNo := restarts + 1
+		m.lifecycle(TxnAttemptStarted, id, attemptNo, "")
+		// The attempt span is ended explicitly, never deferred: terminals
+		// killed at simulation shutdown must not record a half-finished
+		// attempt (see obs.Span.End).
+		sp := m.tracer.Begin(obs.KindTxn, "attempt", m.hostID, id, attemptNo)
+		committed, reason := m.attempt(p, id, origTS, attemptNo, plan)
+		sp.End()
 		if committed {
 			break
 		}
-		m.emit(TxnEvent{Txn: id, Attempt: restarts + 1, Kind: TxnAttemptAborted, Detail: reason})
+		m.lifecycle(TxnAttemptAborted, id, attemptNo, reason)
 		m.stats.txnAborted()
 		restarts++
 		p.Delay(m.stats.avgResponse(m.cfg.InitialRestartDelayMs))
 	}
-	m.emit(TxnEvent{Txn: id, Attempt: restarts + 1, Kind: TxnCommitted})
+	m.lifecycle(TxnCommitted, id, restarts+1, "")
 	m.stats.txnCommitted(m.sim.Now(), m.sim.Now()-origin, restarts)
 }
 
@@ -107,15 +115,25 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *wo
 	protoCohorts := make([]*commit.Cohort, len(plan.Cohorts))
 	for i := range plan.Cohorts {
 		cp := &plan.Cohorts[i]
-		cohorts[i] = &cohortRun{
-			idx:  i,
-			plan: cp,
-			meta: &cc.CohortMeta{
-				Txn:       meta,
-				Node:      cp.Node,
-				OnBlocked: m.stats.blocked,
-			},
+		cm := &cc.CohortMeta{
+			Txn:       meta,
+			Node:      cp.Node,
+			OnBlocked: m.stats.blocked,
 		}
+		if tr := m.tracer; tr != nil {
+			// Record each blocking episode as a cc-wait span before the
+			// stats tally. The closure exists only on the traced path, so
+			// the disabled path keeps the allocation-free direct method
+			// value above.
+			node := cp.Node
+			cm.OnBlocked = func(d sim.Time) {
+				if d > 0 {
+					tr.Complete(obs.KindCCWait, "cc-wait", node, id, attemptNo, m.sim.Now()-d)
+				}
+				m.stats.blocked(d)
+			}
+		}
+		cohorts[i] = &cohortRun{idx: i, attempt: attemptNo, plan: cp, meta: cm}
 		protoCohorts[i] = &commit.Cohort{
 			Idx:      i,
 			Meta:     cohorts[i].meta,
@@ -151,10 +169,14 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *wo
 		return false, meta.AbortReason
 	}
 
+	env.phaseAt = m.sim.Now()
 	if !m.proto.Commit(p, env, t) {
 		m.abortAttempt(p, env, t, len(cohorts))
 		return false, meta.AbortReason
 	}
+	// Commit resolution: from the logged decision (phaseAt was advanced by
+	// Decided) to the protocol's return. Nil-safe no-op when untraced.
+	m.tracer.Complete(obs.KindCommitPhase, "resolve", m.hostID, id, attemptNo, env.phaseAt)
 	return true, ""
 }
 
@@ -198,10 +220,15 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 	mgr := m.mgrs[node]
 	cpu := m.cpus[node]
 	disks := m.disks[node]
+	if m.activeCohorts != nil {
+		m.activeCohorts[node]++
+	}
+	sp := m.tracer.Begin(obs.KindCohort, "cohort", node, c.meta.Txn.ID, c.attempt)
 	deferAllWrites := cfg.Algorithm == cc.O2PL
 	for i := range c.plan.Accesses {
 		a := &c.plan.Accesses[i]
 		if c.meta.Txn.AbortRequested {
+			m.cohortDone(c, sp)
 			return
 		}
 		if a.Remote {
@@ -214,6 +241,7 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 			cpu.Use(cp, cfg.InstPerCCReq)
 			if mgr.Access(c.meta, a.Page, true) == cc.Aborted {
 				m.reportSelfAbort(c, mail)
+				m.cohortDone(c, sp)
 				return
 			}
 			continue
@@ -226,6 +254,7 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 		cpu.Use(cp, cfg.InstPerCCReq)
 		if mgr.Access(c.meta, a.Page, firstAccessIsWrite) == cc.Aborted {
 			m.reportSelfAbort(c, mail)
+			m.cohortDone(c, sp)
 			return
 		}
 		if m.rec != nil {
@@ -235,12 +264,14 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 		cpu.Use(cp, a.Inst)
 		if a.Write {
 			if c.meta.Txn.AbortRequested {
+				m.cohortDone(c, sp)
 				return
 			}
 			if !firstAccessIsWrite && !deferAllWrites {
 				cpu.Use(cp, cfg.InstPerCCReq)
 				if mgr.Access(c.meta, a.Page, true) == cc.Aborted {
 					m.reportSelfAbort(c, mail)
+					m.cohortDone(c, sp)
 					return
 				}
 			}
@@ -249,7 +280,20 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 			cpu.Use(cp, a.WriteInst)
 		}
 	}
+	m.cohortDone(c, sp)
 	m.net.Send(node, m.hostID, func() { mail.Send(msgCohortDone{idx: c.idx}) })
+}
+
+// cohortDone closes a cohort's observability state. Deliberately called
+// explicitly on every work-phase exit path rather than deferred: a cohort
+// killed at simulation shutdown must not record its span (its
+// coordinator's attempt span never records either), and the gauge is only
+// read by the sampler, which has no events left by then.
+func (m *Machine) cohortDone(c *cohortRun, sp *obs.Span) {
+	if m.activeCohorts != nil {
+		m.activeCohorts[c.meta.Node]--
+	}
+	sp.End()
 }
 
 // locksUpFront reports whether the algorithm can usefully claim write
@@ -263,6 +307,7 @@ func locksUpFront(k cc.Kind) bool { return k == cc.TwoPL || k == cc.WoundWait }
 // by concurrency control. If the attempt is already being aborted the
 // coordinator knows, so nothing is sent.
 func (m *Machine) reportSelfAbort(c *cohortRun, mail *sim.Mailbox) {
+	m.tracer.Instant("cc-reject", c.meta.Node, c.meta.Txn.ID, c.attempt, "")
 	if c.meta.Txn.AbortRequested {
 		return
 	}

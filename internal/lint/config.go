@@ -74,6 +74,12 @@ func (c Config) policy(check string) Policy {
 //   - event-retention: *sim.Event handles die when they fire or are
 //     canceled (free-list recycling), so only internal/sim itself may
 //     retain them structurally. Test files are exempt.
+//   - span-retention: *obs.Span handles die at End() (tracer free-list
+//     reuse), so only internal/obs itself may retain them structurally.
+//     Test files are exempt. Note that wall-clock reads inside
+//     internal/obs are already barred by no-wall-clock, whose allowlist
+//     covers only cmd/... — simulated-time-only discipline extends to the
+//     observability layer with no extra policy.
 func DefaultConfig(module string) Config {
 	return NewConfig(
 		Policy{Check: "no-wall-clock", SkipTests: true, Skip: []string{module + "/cmd"}},
@@ -81,5 +87,6 @@ func DefaultConfig(module string) Config {
 		Policy{Check: "map-order", SkipTests: true},
 		Policy{Check: "no-naked-goroutine", SkipTests: true, Skip: []string{module + "/internal/sim"}},
 		Policy{Check: "event-retention", SkipTests: true, Skip: []string{module + "/internal/sim"}},
+		Policy{Check: "span-retention", SkipTests: true, Skip: []string{module + "/internal/obs"}},
 	)
 }

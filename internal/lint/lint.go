@@ -5,13 +5,14 @@
 // tests guard that property dynamically, this package guards it
 // statically.
 //
-// Five checks (see the check files for details):
+// Six checks (see the check files for details):
 //
 //	no-wall-clock       time.Now/Since/Sleep/... in simulation code
 //	no-global-rand      package-level math/rand functions
 //	map-order           for-range over a map with an order-sensitive body
 //	no-naked-goroutine  go statements outside internal/sim
 //	event-retention     *sim.Event stored in a field or package var
+//	span-retention      *obs.Span stored in a field or package var
 //
 // A finding can be suppressed with an annotation comment on the flagged
 // line or the line directly above it:
@@ -64,6 +65,7 @@ var Checks = []Check{
 	{Name: "map-order", Doc: "order-sensitive map iteration", Run: runMapOrder},
 	{Name: "no-naked-goroutine", Doc: "goroutines outside the sim scheduler", Run: runNakedGoroutine},
 	{Name: "event-retention", Doc: "retained *sim.Event handles", Run: runEventRetention},
+	{Name: "span-retention", Doc: "retained *obs.Span handles", Run: runSpanRetention},
 }
 
 func checkNameValid(name string) bool {

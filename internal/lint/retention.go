@@ -49,16 +49,20 @@ func runEventRetention(p *Pass, f *ast.File) {
 	})
 }
 
-// holdsEvent reports whether t structurally contains sim.Event (by value
-// or through pointers, slices, arrays, maps, or channels). Named
-// non-Event types are not descended into: their own declarations are
-// checked where they are defined.
-func holdsEvent(t types.Type) bool {
+// holdsEvent reports whether t structurally contains sim.Event.
+func holdsEvent(t types.Type) bool { return holdsNamed(t, "internal/sim", "Event") }
+
+// holdsNamed reports whether t structurally contains the named type
+// pkgSuffix.name (by value or through pointers, slices, arrays, maps, or
+// channels). Other named types are not descended into: their own
+// declarations are checked where they are defined. Shared by the
+// event-retention and span-retention checks.
+func holdsNamed(t types.Type, pkgSuffix, name string) bool {
 	for range 64 { // depth guard; composite nesting is tiny in practice
 		switch u := t.(type) {
 		case *types.Named:
 			obj := u.Obj()
-			return obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/sim") && obj.Name() == "Event"
+			return obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), pkgSuffix) && obj.Name() == name
 		case *types.Pointer:
 			t = u.Elem()
 		case *types.Slice:
@@ -68,7 +72,7 @@ func holdsEvent(t types.Type) bool {
 		case *types.Chan:
 			t = u.Elem()
 		case *types.Map:
-			if holdsEvent(u.Key()) {
+			if holdsNamed(u.Key(), pkgSuffix, name) {
 				return true
 			}
 			t = u.Elem()

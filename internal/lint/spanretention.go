@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// runSpanRetention flags struct fields and package-level variables that
+// hold obs.Span handles outside internal/obs. A Span returns to its
+// tracer's free-list at End() and is handed out again by a later Begin,
+// so a stored handle silently becomes a different, live span — the same
+// dead-handle class of bug that event-retention guards against for the
+// kernel's events.
+func runSpanRetention(p *Pass, f *ast.File) {
+	const hint = "span handles die at End() (free-list reuse); keep the *obs.Span in a local and End it on every exit path, or annotate //ddbmlint:allow span-retention <why> after auditing the lifecycle"
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, fld := range n.Fields.List {
+				if holdsNamed(p.TypeOf(fld.Type), "internal/obs", "Span") {
+					p.Report(fld.Pos(), "struct field retains *obs.Span past End", hint)
+				}
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := p.ObjectOf(name)
+					// Only package-level vars: locals come and go with
+					// their span.
+					if obj == nil || obj.Parent() != p.Unit.Pkg.Scope() {
+						continue
+					}
+					if holdsNamed(obj.Type(), "internal/obs", "Span") {
+						p.Report(name.Pos(), "package variable retains *obs.Span past End", hint)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

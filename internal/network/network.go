@@ -5,6 +5,7 @@
 package network
 
 import (
+	"ddbm/internal/obs"
 	"ddbm/internal/resource"
 	"ddbm/internal/sim"
 )
@@ -16,6 +17,7 @@ type Network struct {
 	cpus       []*resource.CPU
 	instPerMsg float64
 	sent       int64
+	tr         *obs.Tracer
 }
 
 // New creates a network over the given per-node CPUs.
@@ -37,6 +39,16 @@ func (n *Network) Send(from, to int, deliver func()) {
 		return
 	}
 	n.sent++
+	if n.tr != nil {
+		// Wrap delivery to record the transit span (send to delivery,
+		// both ends' message-processing CPU included). Observation only;
+		// the wrapper preserves delivery order exactly.
+		tr, start, inner := n.tr, n.sim.Now(), deliver
+		deliver = func() {
+			tr.Message(from, to, start)
+			inner()
+		}
+	}
 	if n.instPerMsg <= 0 {
 		// Free messages still traverse the event queue so that delivery
 		// never reenters the sender's current operation.
@@ -47,6 +59,10 @@ func (n *Network) Send(from, to int, deliver func()) {
 		n.cpus[to].UseMsg(n.instPerMsg, deliver)
 	})
 }
+
+// SetTracer attaches an observability tracer recording one span per
+// inter-node message transit. Must be set before the simulation runs.
+func (n *Network) SetTracer(t *obs.Tracer) { n.tr = t }
 
 // Sent returns the number of inter-node messages transmitted.
 func (n *Network) Sent() int64 { return n.sent }

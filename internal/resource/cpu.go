@@ -6,6 +6,7 @@
 package resource
 
 import (
+	"ddbm/internal/obs"
 	"ddbm/internal/sim"
 )
 
@@ -41,6 +42,13 @@ type CPU struct {
 	markPS  float64 // snapshots taken at warmup
 	markMsg float64
 	markT   sim.Time
+
+	// tr, when non-nil, records one obs span per busy period (first job
+	// arrival to queue drain); node tags the spans. busyStart is a plain
+	// timestamp, not a span handle, so nothing here outlives its span.
+	tr        *obs.Tracer
+	node      int
+	busyStart sim.Time
 }
 
 // NewCPU creates a CPU executing at the given MIPS rating.
@@ -53,6 +61,21 @@ func NewCPU(s *sim.Sim, mips float64) *CPU {
 
 // Rate returns the CPU speed in instructions per millisecond.
 func (c *CPU) Rate() float64 { return c.rate }
+
+// SetTrace attaches an observability tracer recording this CPU's busy
+// periods, tagged with the given node id. Tracing is observation only and
+// must be configured before the simulation runs.
+func (c *CPU) SetTrace(t *obs.Tracer, node int) {
+	c.tr = t
+	c.node = node
+}
+
+// noteArrival opens a busy period when a job arrives at an idle CPU.
+func (c *CPU) noteArrival() {
+	if c.tr != nil && len(c.ps)+len(c.msgs) == 1 {
+		c.busyStart = c.sim.Now()
+	}
+}
 
 // Use consumes inst instructions of processor-sharing service, blocking the
 // calling process until the work completes. Zero or negative cost returns
@@ -76,6 +99,7 @@ func (c *CPU) UseAsync(inst float64, done func()) {
 	}
 	c.advance()
 	c.ps = append(c.ps, &cpuJob{remaining: inst, done: done})
+	c.noteArrival()
 	c.reschedule()
 }
 
@@ -91,6 +115,7 @@ func (c *CPU) UseMsg(inst float64, done func()) {
 	}
 	c.advance()
 	c.msgs = append(c.msgs, &cpuJob{remaining: inst, done: done})
+	c.noteArrival()
 	c.reschedule()
 }
 
@@ -180,6 +205,9 @@ func (c *CPU) complete() {
 		}
 		c.ps = kept
 	}
+	if c.tr != nil && len(c.msgs)+len(c.ps) == 0 {
+		c.tr.CPUBusy(c.node, c.busyStart)
+	}
 	c.reschedule()
 	for _, f := range finished {
 		if f != nil {
@@ -190,6 +218,20 @@ func (c *CPU) complete() {
 
 // QueueLen returns the number of in-progress jobs (messages + PS).
 func (c *CPU) QueueLen() int { return len(c.msgs) + len(c.ps) }
+
+// BusyTime returns the busy milliseconds (messages plus PS work)
+// accumulated since the start of the run, including credit for the
+// currently elapsing interval. Unlike Utilization it is a pure read: it
+// does NOT fold the in-progress interval into the accumulators, so the
+// probe sampler can call it without perturbing float-summation order —
+// the run stays bit-identical with sampling on. Not warmup-adjusted.
+func (c *CPU) BusyTime() float64 {
+	busy := c.busyPS + c.busyMsg
+	if dt := c.sim.Now() - c.lastT; dt > 0 && len(c.msgs)+len(c.ps) > 0 {
+		busy += dt
+	}
+	return busy
+}
 
 // MarkWarmup snapshots busy-time counters so Utilization measures only the
 // post-warmup window.

@@ -1,6 +1,7 @@
 package resource
 
 import (
+	"ddbm/internal/obs"
 	"ddbm/internal/sim"
 )
 
@@ -12,6 +13,7 @@ type diskReq struct {
 // disk is a single spindle with one FIFO queue per class; writes are served
 // before reads (non-preemptively), per paper §3.4.
 type disk struct {
+	idx      int // spindle index within the array (trace lane)
 	busy     bool
 	reads    []diskReq
 	writes   []diskReq
@@ -31,6 +33,11 @@ type DiskArray struct {
 
 	markBusy float64
 	markT    sim.Time
+
+	// tr, when non-nil, records one obs span per disk access; node tags
+	// the spans and the spindle index becomes the lane.
+	tr   *obs.Tracer
+	node int
 }
 
 // NewDiskArray creates n disks with access times uniform on [minTime,
@@ -44,13 +51,21 @@ func NewDiskArray(s *sim.Sim, n int, minTime, maxTime float64) *DiskArray {
 	}
 	d := &DiskArray{sim: s, minTime: minTime, maxTime: maxTime}
 	for i := 0; i < n; i++ {
-		d.disks = append(d.disks, &disk{})
+		d.disks = append(d.disks, &disk{idx: i})
 	}
 	return d
 }
 
 // NumDisks returns the number of spindles.
 func (d *DiskArray) NumDisks() int { return len(d.disks) }
+
+// SetTrace attaches an observability tracer recording this array's disk
+// accesses, tagged with the given node id. Must be configured before the
+// simulation runs; tracing is observation only.
+func (d *DiskArray) SetTrace(t *obs.Tracer, node int) {
+	d.tr = t
+	d.node = node
+}
 
 // Read performs a synchronous page read, blocking the calling process until
 // the disk completes it.
@@ -109,6 +124,10 @@ func (d *DiskArray) serve(dk *disk) {
 	dk.busy = true
 	dur := sim.Uniform(d.sim.Rand(), d.minTime, d.maxTime)
 	d.sim.After(dur, func() {
+		if d.tr != nil {
+			// The service period began exactly dur before this completion.
+			d.tr.DiskAccess(d.node, dk.idx, req.write, d.sim.Now()-dur)
+		}
 		dk.busyTime += dur
 		if req.done != nil {
 			req.done()
@@ -142,6 +161,13 @@ func (d *DiskArray) MarkWarmup() {
 	d.markBusy = d.totalBusy()
 	d.markT = d.sim.Now()
 }
+
+// BusyTime returns the busy milliseconds summed across the array's disks
+// since the start of the run. A pure read for the probe sampler: busy time
+// for an in-flight access is credited at its completion, so one sampling
+// window can read slightly above 1 when a long access completes in it.
+// Not warmup-adjusted.
+func (d *DiskArray) BusyTime() float64 { return d.totalBusy() }
 
 func (d *DiskArray) totalBusy() float64 {
 	var b float64

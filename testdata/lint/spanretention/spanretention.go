@@ -1,0 +1,37 @@
+// Package spanretention exercises the span-retention check: storing
+// *obs.Span in a struct field or package variable outside internal/obs
+// violates the tracer's free-list dead-handle contract (spans are reused
+// after End). It also pins that no-wall-clock covers obs-consuming code —
+// the simulated-time-only discipline has no carve-out outside cmd/.
+package spanretention
+
+import (
+	"time"
+
+	"ddbm/internal/obs"
+)
+
+type holder struct {
+	sp *obs.Span // want "struct field retains"
+}
+
+type nested struct {
+	sps []*obs.Span // want "struct field retains"
+}
+
+var open *obs.Span // want "package variable retains"
+
+type audited struct {
+	//ddbmlint:allow span-retention fixture: ended and nilled on every exit path
+	sp *obs.Span
+}
+
+// Locals track a live handle only briefly: clean.
+func use(t *obs.Tracer) {
+	sp := t.Begin(obs.KindTxn, "attempt", 0, 1, 1)
+	sp.End()
+}
+
+func wallClock() float64 {
+	return float64(time.Now().UnixNano()) // want "wall-clock time.Now"
+}
