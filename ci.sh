@@ -41,6 +41,14 @@ echo "== kernel benchmark smoke"
 go test -run '^$' -bench 'BenchmarkEventThroughput|BenchmarkProcessSwitch|BenchmarkMailbox' \
   -benchtime 0.1s -benchmem ./internal/sim/
 
+echo "== lock-manager benchmark smoke"
+# The contention hot path must stay allocation-free: TestSteadyStateAllocFree
+# pins acquire/release, block/promote, waits-for extraction, withdrawal and
+# victim selection at 0 allocs/op; the benchmarks catch gross slowdowns.
+go test -run 'TestSteadyStateAllocFree' \
+  -bench 'BenchmarkWaitsForEdges|BenchmarkReleaseAll|BenchmarkFindVictims' \
+  -benchtime 0.1s -benchmem ./internal/cc/
+
 echo "== commit-protocol sweep smoke"
 # All three 2PC variants end-to-end at a tiny time scale: a wedged protocol
 # (lost vote, missing ack) deadlocks the simulation and fails loudly here.

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ddbm/internal/cc"
+	"ddbm/internal/db"
+)
+
+// CCReport is the BENCH_cc.json schema: microbenchmarks of the lock-manager
+// contention hot path — acquire/release, waits-for extraction and deadlock
+// victim selection — at the paper's high-contention scale. Allocs/op is the
+// headline number: every path here is expected to hold at zero once warm.
+type CCReport struct {
+	GeneratedAt string                 `json:"generated_at"`
+	GoVersion   string                 `json:"go_version"`
+	GOOS        string                 `json:"goos"`
+	GOARCH      string                 `json:"goarch"`
+	Micro       map[string]MicroResult `json:"micro"`
+}
+
+// The benchmark bodies mirror internal/cc/lock_bench_test.go; they live
+// here as well because _test.go files cannot be imported.
+
+func ccCohort(id int64) *cc.CohortMeta {
+	return &cc.CohortMeta{Txn: &cc.TxnMeta{ID: id, TS: id}}
+}
+
+// ccContendedTable builds a lock table at the paper's high-contention
+// scale: 128 holder transactions each pinning one exclusively held page
+// plus 15 uncontended shared pages, and 128 more transactions queued
+// behind the exclusive pages — 256 active transactions, 2176 live locks,
+// 128 contended pages, 128 waits-for edges.
+func ccContendedTable() *cc.LockTable {
+	lt := cc.NewLockTable()
+	for i := 0; i < 128; i++ {
+		h := ccCohort(int64(i + 1))
+		lt.Lock(h, db.PageID{File: i % 8, Page: i / 8}, cc.LockX)
+		for j := 0; j < 15; j++ {
+			lt.Lock(h, db.PageID{File: i % 8, Page: 40 + (i/8)*15 + j}, cc.LockS)
+		}
+	}
+	for i := 0; i < 128; i++ {
+		w := ccCohort(int64(200 + i))
+		lt.Lock(w, db.PageID{File: i % 8, Page: i / 8}, cc.LockX)
+	}
+	return lt
+}
+
+func benchCCLockUnlockUncontended(b *testing.B) {
+	b.ReportAllocs()
+	lt := cc.NewLockTable()
+	co := ccCohort(1)
+	page := db.PageID{File: 0, Page: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lt.Lock(co, page, cc.LockX)
+		lt.ReleaseAll(co)
+	}
+}
+
+func benchCCLockManyPages(b *testing.B) {
+	b.ReportAllocs()
+	lt := cc.NewLockTable()
+	co := ccCohort(1)
+	pages := make([]db.PageID, 64)
+	for i := range pages {
+		pages[i] = db.PageID{File: i % 8, Page: i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pages {
+			lt.Lock(co, p, cc.LockS)
+		}
+		lt.ReleaseAll(co)
+	}
+}
+
+func benchCCWaitsForEdges(b *testing.B) {
+	b.ReportAllocs()
+	lt := ccContendedTable()
+	buf := lt.AppendWaitsForEdges(0, nil)
+	if len(buf) != 128 {
+		b.Fatalf("expected 128 edges, got %d", len(buf))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = lt.AppendWaitsForEdges(0, buf[:0])
+	}
+}
+
+func benchCCReleaseAll(b *testing.B) {
+	b.ReportAllocs()
+	lt := ccContendedTable()
+	co := ccCohort(999)
+	pages := make([]db.PageID, 64)
+	for i := range pages {
+		pages[i] = db.PageID{File: i % 8, Page: 500 + i/8}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pages {
+			lt.Lock(co, p, cc.LockX)
+		}
+		lt.ReleaseAll(co)
+	}
+}
+
+func benchCCFindVictims(b *testing.B) {
+	b.ReportAllocs()
+	txns := make([]*cc.TxnMeta, 32)
+	for i := range txns {
+		txns[i] = &cc.TxnMeta{ID: int64(i + 1), TS: int64(i + 1)}
+	}
+	var es []cc.Edge
+	for i := 0; i+1 < len(txns); i++ {
+		es = append(es, cc.Edge{Waiter: txns[i], Blocker: txns[i+1]})
+	}
+	es = append(es, cc.Edge{Waiter: txns[len(txns)-1], Blocker: txns[0]})
+	var det cc.Detector
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range txns {
+			t.AbortRequested = false
+		}
+		det.FindVictims(es)
+	}
+}
+
+// runCCSuite runs the lock-manager microbenchmarks and reports them.
+func runCCSuite() map[string]MicroResult {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"LockUnlockUncontended", benchCCLockUnlockUncontended},
+		{"LockManyPages", benchCCLockManyPages},
+		{"WaitsForEdges", benchCCWaitsForEdges},
+		{"ReleaseAll", benchCCReleaseAll},
+		{"FindVictims", benchCCFindVictims},
+	}
+	out := make(map[string]MicroResult, len(benches))
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		m := micro(r)
+		out[bm.name] = m
+		fmt.Fprintf(os.Stderr, "cc %-22s %10d iters  %8.1f ns/op  %4d B/op  %3d allocs/op  %12.0f ops/s\n",
+			bm.name, m.Iterations, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.OpsPerSecond)
+	}
+	return out
+}

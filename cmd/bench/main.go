@@ -9,12 +9,15 @@
 // abort paths of every commit protocol — and writes BENCH_core.json, so the
 // trajectory covers the protocol layer as well as the kernel. A third
 // suite measures the observability layer — the same run with tracing and
-// probes off and on — and writes BENCH_obs.json.
+// probes off and on — and writes BENCH_obs.json. A fourth suite measures
+// the lock-manager contention hot path — acquire/release, waits-for
+// extraction, victim selection — and writes BENCH_cc.json.
 //
-//	go run ./cmd/bench                 # writes BENCH_kernel.json + BENCH_core.json + BENCH_obs.json
+//	go run ./cmd/bench                 # writes BENCH_kernel.json + BENCH_core.json + BENCH_obs.json + BENCH_cc.json
 //	go run ./cmd/bench -o out.json -benchtime 2s
 //	go run ./cmd/bench -suite core     # only the transaction-path suite
 //	go run ./cmd/bench -suite obs      # only the tracer-overhead suite
+//	go run ./cmd/bench -suite cc       # only the lock-manager suite
 package main
 
 import (
@@ -169,6 +172,7 @@ func main() {
 	out := flag.String("o", "BENCH_kernel.json", "kernel-suite output file ('-' for stdout)")
 	coreOut := flag.String("coreo", "BENCH_core.json", "core-suite output file ('-' for stdout)")
 	obsOut := flag.String("obso", "BENCH_obs.json", "obs-suite output file ('-' for stdout)")
+	ccOut := flag.String("cco", "BENCH_cc.json", "cc-suite output file ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target duration per microbenchmark")
 	macroSec := flag.Float64("macrosec", 240, "simulated seconds for the macro-benchmark run")
 	coreSec := flag.Float64("coresec", 120, "simulated seconds per core transaction-path run")
@@ -179,9 +183,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *suite != "all" && *suite != "kernel" && *suite != "core" && *suite != "obs" {
-		fmt.Fprintf(os.Stderr, "unknown suite %q (want kernel, core, obs or all)\n", *suite)
+	if *suite != "all" && *suite != "kernel" && *suite != "core" && *suite != "obs" && *suite != "cc" {
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want kernel, core, obs, cc or all)\n", *suite)
 		os.Exit(2)
+	}
+
+	if *suite == "all" || *suite == "cc" {
+		rep := CCReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			Micro:       runCCSuite(),
+		}
+		if err := writeJSON(*ccOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *suite == "cc" {
+		return
 	}
 
 	if *suite == "all" || *suite == "obs" {

@@ -17,8 +17,9 @@
 package audit
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"ddbm/internal/db"
 )
@@ -65,7 +66,7 @@ func Check(records []TxnRecord) []Violation {
 	for i := range records {
 		sorted[i] = &records[i]
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Stamp < sorted[j].Stamp })
+	slices.SortFunc(sorted, func(a, b *TxnRecord) int { return cmp.Compare(a.Stamp, b.Stamp) })
 
 	version := make(map[db.PageID]int64)
 	var violations []Violation

@@ -1,6 +1,16 @@
 package cc
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
+
+// txnIDLess orders transactions by ID for the deterministic visit orders
+// below. All sort call sites use slices.SortFunc (generic, no
+// reflectlite.Swapper); the permutation is identical to the former
+// sort.Slice calls because both are generated from the same pdqsort
+// template.
+func txnIDLess(a, b *TxnMeta) int { return cmp.Compare(a.ID, b.ID) }
 
 // WaitsForProvider is implemented by managers that can report their node's
 // waits-for graph (the locking algorithms); the Snoop gathers these.
@@ -15,6 +25,32 @@ type Edge struct {
 	Node    int
 }
 
+// Detector runs deadlock detection over waits-for graphs, reusing all of
+// its scratch (graph arrays, DFS stack, colouring) across calls. Local 2PL
+// detection runs on every block, so the holder of a long-lived Detector
+// pays zero steady-state allocations; the zero value is ready to use. A
+// Detector is not safe for concurrent use — hold one per manager (or per
+// Snoop process), never share across simulations.
+type Detector struct {
+	// rank maps each transaction to its first-seen position; the adjacency
+	// rows and the colouring/removal arrays are indexed by that rank, which
+	// is stable across the ID-order sort of txns below.
+	rank    map[*TxnMeta]int
+	txns    []*TxnMeta
+	adj     [][]*TxnMeta
+	removed []bool
+	color   []int8
+	stack   []dfsFrame
+	cycle   []*TxnMeta
+	victims []*TxnMeta
+}
+
+type dfsFrame struct {
+	t    *TxnMeta
+	r    int // rank of t: adjacency row index
+	next int
+}
+
 // FindVictims detects every cycle in the waits-for graph described by edges
 // and selects, per cycle, the member with the most recent initial startup
 // time (largest TS) that is still abortable — the paper's deadlock
@@ -24,47 +60,151 @@ type Edge struct {
 // themselves and yield no victim.
 //
 // The result is deterministic: nodes are visited in transaction-ID order.
-func FindVictims(edges []Edge) []*TxnMeta {
-	adj := make(map[*TxnMeta][]*TxnMeta)
-	var txns []*TxnMeta
-	seen := make(map[*TxnMeta]bool)
-	note := func(t *TxnMeta) {
-		if !seen[t] {
-			seen[t] = true
-			txns = append(txns, t)
-		}
+// The returned slice is the detector's own buffer, valid until the next
+// call on this Detector.
+func (d *Detector) FindVictims(edges []Edge) []*TxnMeta {
+	d.victims = d.victims[:0]
+	if len(edges) == 0 {
+		return nil
 	}
-	for _, e := range edges {
-		if e.Waiter == e.Blocker {
-			continue
-		}
-		note(e.Waiter)
-		note(e.Blocker)
-		adj[e.Waiter] = append(adj[e.Waiter], e.Blocker)
+	d.load(edges)
+	n := len(d.txns)
+	if cap(d.removed) < n {
+		d.removed = make([]bool, n)
+	} else {
+		d.removed = d.removed[:n]
+		clear(d.removed)
 	}
-	sort.Slice(txns, func(i, j int) bool { return txns[i].ID < txns[j].ID })
-	//ddbmlint:ordered each adjacency list is sorted in place independently; no state crosses iterations
-	for _, succ := range adj {
-		sort.Slice(succ, func(i, j int) bool { return succ[i].ID < succ[j].ID })
-	}
-
-	removed := make(map[*TxnMeta]bool)
-	var victims []*TxnMeta
 	for {
-		cycle := findCycle(txns, adj, removed)
+		cycle := d.findCycle()
 		if cycle == nil {
-			return victims
+			return d.victims
 		}
 		victim := pickVictim(cycle)
 		if victim == nil {
 			// Every member is already dying or committing; the cycle will
 			// break on its own. Drop one member so detection terminates.
-			removed[cycle[0]] = true
+			d.removed[d.rank[cycle[0]]] = true
 			continue
 		}
-		removed[victim] = true
-		victims = append(victims, victim)
+		d.removed[d.rank[victim]] = true
+		d.victims = append(d.victims, victim)
 	}
+}
+
+// load rebuilds the graph arrays from edges: txns in first-seen order then
+// sorted by ID, adjacency rows in edge order then each sorted by ID —
+// exactly the orders the former map-based construction produced, so the
+// victim sequence is unchanged.
+func (d *Detector) load(edges []Edge) {
+	if d.rank == nil {
+		d.rank = make(map[*TxnMeta]int)
+	} else {
+		clear(d.rank)
+	}
+	d.txns = d.txns[:0]
+	for i := range d.adj {
+		d.adj[i] = d.adj[i][:0]
+	}
+	for _, e := range edges {
+		if e.Waiter == e.Blocker {
+			continue
+		}
+		w := d.note(e.Waiter)
+		d.note(e.Blocker)
+		d.adj[w] = append(d.adj[w], e.Blocker)
+	}
+	slices.SortFunc(d.txns, txnIDLess)
+	for i := range d.adj[:len(d.txns)] {
+		slices.SortFunc(d.adj[i], txnIDLess)
+	}
+}
+
+// note assigns t its first-seen rank (growing the adjacency table in step)
+// and returns it.
+func (d *Detector) note(t *TxnMeta) int {
+	if r, ok := d.rank[t]; ok {
+		return r
+	}
+	r := len(d.txns)
+	d.rank[t] = r
+	d.txns = append(d.txns, t)
+	if len(d.adj) < len(d.txns) {
+		d.adj = append(d.adj, nil)
+	}
+	return r
+}
+
+// findCycle returns the transactions on some cycle of the graph, or nil if
+// the graph (minus removed nodes) is acyclic. Iterative DFS with the
+// classic white/grey/black colouring. The returned slice is the detector's
+// cycle buffer, valid until the next findCycle call.
+func (d *Detector) findCycle() []*TxnMeta {
+	const (
+		white = int8(0)
+		grey  = int8(1)
+		black = int8(2)
+	)
+	n := len(d.txns)
+	if cap(d.color) < n {
+		d.color = make([]int8, n)
+	} else {
+		d.color = d.color[:n]
+		clear(d.color)
+	}
+	for _, start := range d.txns {
+		sr := d.rank[start]
+		if d.removed[sr] || d.color[sr] != white {
+			continue
+		}
+		d.stack = append(d.stack[:0], dfsFrame{t: start, r: sr})
+		d.color[sr] = grey
+		for len(d.stack) > 0 {
+			f := &d.stack[len(d.stack)-1]
+			succ := d.adj[f.r]
+			advanced := false
+			for f.next < len(succ) {
+				t := succ[f.next]
+				f.next++
+				nr := d.rank[t]
+				if d.removed[nr] {
+					continue
+				}
+				switch d.color[nr] {
+				case white:
+					d.color[nr] = grey
+					d.stack = append(d.stack, dfsFrame{t: t, r: nr})
+					advanced = true
+				case grey:
+					// Found a back edge: the cycle is t ... f.t on the stack.
+					d.cycle = d.cycle[:0]
+					for i := len(d.stack) - 1; i >= 0; i-- {
+						d.cycle = append(d.cycle, d.stack[i].t)
+						if d.stack[i].t == t {
+							break
+						}
+					}
+					return d.cycle
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced {
+				d.color[f.r] = black
+				d.stack = d.stack[:len(d.stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// FindVictims is the one-shot form of Detector.FindVictims for callers
+// without a detection hot path (tests, invariant checks): it pays the
+// scratch allocations every call and returns a slice the caller owns.
+func FindVictims(edges []Edge) []*TxnMeta {
+	var d Detector
+	return d.FindVictims(edges)
 }
 
 // pickVictim chooses the abortable cycle member with the largest startup
@@ -82,86 +222,14 @@ func pickVictim(cycle []*TxnMeta) *TxnMeta {
 	return victim
 }
 
-// findCycle returns the transactions on some cycle of the graph, or nil if
-// the graph (minus removed nodes) is acyclic. Iterative DFS with the
-// classic white/grey/black colouring.
-func findCycle(txns []*TxnMeta, adj map[*TxnMeta][]*TxnMeta, removed map[*TxnMeta]bool) []*TxnMeta {
-	const (
-		white = 0
-		grey  = 1
-		black = 2
-	)
-	color := make(map[*TxnMeta]int, len(txns))
-	type frame struct {
-		t    *TxnMeta
-		next int
-	}
-	for _, start := range txns {
-		if removed[start] || color[start] != white {
-			continue
-		}
-		stack := []frame{{t: start}}
-		color[start] = grey
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			succ := adj[f.t]
-			advanced := false
-			for f.next < len(succ) {
-				n := succ[f.next]
-				f.next++
-				if removed[n] {
-					continue
-				}
-				switch color[n] {
-				case white:
-					color[n] = grey
-					stack = append(stack, frame{t: n})
-					advanced = true
-				case grey:
-					// Found a back edge: the cycle is n ... f.t on the stack.
-					var cycle []*TxnMeta
-					i := len(stack) - 1
-					for ; i >= 0; i-- {
-						cycle = append(cycle, stack[i].t)
-						if stack[i].t == n {
-							break
-						}
-					}
-					return cycle
-				}
-				if advanced {
-					break
-				}
-			}
-			if !advanced {
-				color[f.t] = black
-				stack = stack[:len(stack)-1]
-			}
-		}
-	}
-	return nil
-}
-
 // HasCycle reports whether the waits-for graph contains any cycle,
 // ignoring no nodes. Exposed for tests and invariant checks.
 func HasCycle(edges []Edge) bool {
-	adj := make(map[*TxnMeta][]*TxnMeta)
-	var txns []*TxnMeta
-	seen := make(map[*TxnMeta]bool)
-	for _, e := range edges {
-		if e.Waiter == e.Blocker {
-			continue
-		}
-		if !seen[e.Waiter] {
-			seen[e.Waiter] = true
-			txns = append(txns, e.Waiter)
-		}
-		if !seen[e.Blocker] {
-			seen[e.Blocker] = true
-			txns = append(txns, e.Blocker)
-		}
-		adj[e.Waiter] = append(adj[e.Waiter], e.Blocker)
+	if len(edges) == 0 {
+		return false
 	}
-	sort.Slice(txns, func(i, j int) bool { return txns[i].ID < txns[j].ID })
-	return findCycle(txns, adj, map[*TxnMeta]bool{}) != nil
+	var d Detector
+	d.load(edges)
+	d.removed = make([]bool, len(d.txns))
+	return d.findCycle() != nil
 }

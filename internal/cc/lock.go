@@ -1,8 +1,6 @@
 package cc
 
 import (
-	"sort"
-
 	"ddbm/internal/db"
 )
 
@@ -32,16 +30,26 @@ type lockHolder struct {
 	mode LockMode
 }
 
+// lockReq is one queued request: a node in its entry's intrusive FIFO wait
+// list. Nodes are recycled through the table's free list so steady-state
+// enqueue/dequeue never allocates.
 type lockReq struct {
 	co      *CohortMeta
 	mode    LockMode
 	upgrade bool
+	next    *lockReq
 }
 
+// lockEntry is the lock state of one page: the holder set and an intrusive
+// singly-linked wait queue (upgrades at the front). Entries are recycled
+// through the table's free list when a page's last holder and waiter leave.
 type lockEntry struct {
-	page    db.PageID
-	holders []lockHolder
-	queue   []*lockReq
+	page     db.PageID
+	holders  []lockHolder
+	qhead    *lockReq
+	qtail    *lockReq
+	qlen     int
+	nextFree *lockEntry
 }
 
 func (e *lockEntry) holderMode(co *CohortMeta) (LockMode, bool) {
@@ -53,22 +61,224 @@ func (e *lockEntry) holderMode(co *CohortMeta) (LockMode, bool) {
 	return 0, false
 }
 
+// dropHolder removes co from the holder set, zeroing the vacated tail slot
+// so the backing array does not pin dead cohorts.
+func (e *lockEntry) dropHolder(co *CohortMeta) {
+	for i := range e.holders {
+		if e.holders[i].co == co {
+			last := len(e.holders) - 1
+			copy(e.holders[i:], e.holders[i+1:])
+			e.holders[last] = lockHolder{}
+			e.holders = e.holders[:last]
+			return
+		}
+	}
+}
+
+// pushBack appends q to the wait queue.
+func (e *lockEntry) pushBack(q *lockReq) {
+	if e.qtail == nil {
+		e.qhead = q
+	} else {
+		e.qtail.next = q
+	}
+	e.qtail = q
+	e.qlen++
+}
+
+// insertUpgrade places q behind earlier upgrades but ahead of ordinary
+// requests.
+func (e *lockEntry) insertUpgrade(q *lockReq) {
+	var prev *lockReq
+	cur := e.qhead
+	for cur != nil && cur.upgrade {
+		prev, cur = cur, cur.next
+	}
+	q.next = cur
+	if prev == nil {
+		e.qhead = q
+	} else {
+		prev.next = q
+	}
+	if cur == nil {
+		e.qtail = q
+	}
+	e.qlen++
+}
+
+// heldLock is one (page, mode) pair a cohort holds.
+type heldLock struct {
+	page db.PageID
+	mode LockMode
+}
+
+// cohortLocks is one cohort's held set, kept sorted by pageLess at all
+// times (ordered insertion on acquire) so ReleaseAll walks the
+// deterministic total order without sorting. Recycled through the table's
+// free list.
+type cohortLocks struct {
+	locks    []heldLock
+	nextFree *cohortLocks
+}
+
+// search returns the insertion index of page: the first position whose
+// page is not below it.
+func (cl *cohortLocks) search(page db.PageID) int {
+	lo, hi := 0, len(cl.locks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pageLess(cl.locks[mid].page, page) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (cl *cohortLocks) get(page db.PageID) (LockMode, bool) {
+	i := cl.search(page)
+	if i < len(cl.locks) && cl.locks[i].page == page {
+		return cl.locks[i].mode, true
+	}
+	return 0, false
+}
+
+// set records page at mode, inserting in sorted position or updating in
+// place.
+func (cl *cohortLocks) set(page db.PageID, mode LockMode) {
+	i := cl.search(page)
+	if i < len(cl.locks) && cl.locks[i].page == page {
+		cl.locks[i].mode = mode
+		return
+	}
+	cl.locks = append(cl.locks, heldLock{})
+	copy(cl.locks[i+1:], cl.locks[i:])
+	cl.locks[i] = heldLock{page: page, mode: mode}
+}
+
 // LockTable is the per-node lock manager shared by the 2PL and wound-wait
 // algorithms: shared/exclusive page locks, FIFO wait queues, and
 // read-to-write upgrades that jump to the head of the queue.
+//
+// The contention paths are allocation-free in steady state and never scan
+// or sort the whole table: entries, queue nodes and per-cohort held lists
+// are free-listed, held sets are kept in page order incrementally, and the
+// set of contended pages (non-empty wait queue) is maintained as a sorted
+// slice on first-waiter/last-waiter transitions so waits-for extraction is
+// O(waiters), not O(locks held).
 type LockTable struct {
 	entries map[db.PageID]*lockEntry
-	held    map[*CohortMeta]map[db.PageID]LockMode
+	held    map[*CohortMeta]*cohortLocks
 	waiting map[*CohortMeta]db.PageID
+
+	// contended holds every entry with a non-empty wait queue, sorted by
+	// pageLess — the incremental replacement for sorting all entries on
+	// every WaitsForEdges call.
+	contended []*lockEntry
+
+	freeEntries *lockEntry
+	freeReqs    *lockReq
+	freeCohorts *cohortLocks
+
+	// conflictBuf backs the conflicts slice Lock returns; it is valid only
+	// until the next Lock call.
+	conflictBuf []*CohortMeta
 }
 
 // NewLockTable creates an empty lock table.
 func NewLockTable() *LockTable {
 	return &LockTable{
 		entries: make(map[db.PageID]*lockEntry),
-		held:    make(map[*CohortMeta]map[db.PageID]LockMode),
+		held:    make(map[*CohortMeta]*cohortLocks),
 		waiting: make(map[*CohortMeta]db.PageID),
 	}
+}
+
+func (lt *LockTable) newEntry(page db.PageID) *lockEntry {
+	e := lt.freeEntries
+	if e == nil {
+		e = &lockEntry{}
+	} else {
+		lt.freeEntries = e.nextFree
+		e.nextFree = nil
+	}
+	e.page = page
+	return e
+}
+
+func (lt *LockTable) freeEntry(e *lockEntry) {
+	e.page = db.PageID{}
+	e.nextFree = lt.freeEntries
+	lt.freeEntries = e
+}
+
+func (lt *LockTable) newReq(co *CohortMeta, mode LockMode, upgrade bool) *lockReq {
+	q := lt.freeReqs
+	if q == nil {
+		q = &lockReq{}
+	} else {
+		lt.freeReqs = q.next
+	}
+	q.co, q.mode, q.upgrade, q.next = co, mode, upgrade, nil
+	return q
+}
+
+func (lt *LockTable) freeReq(q *lockReq) {
+	q.co = nil
+	q.next = lt.freeReqs
+	lt.freeReqs = q
+}
+
+func (lt *LockTable) newCohortLocks() *cohortLocks {
+	cl := lt.freeCohorts
+	if cl == nil {
+		cl = &cohortLocks{}
+	} else {
+		lt.freeCohorts = cl.nextFree
+		cl.nextFree = nil
+	}
+	return cl
+}
+
+func (lt *LockTable) freeCohortLocks(cl *cohortLocks) {
+	cl.locks = cl.locks[:0]
+	cl.nextFree = lt.freeCohorts
+	lt.freeCohorts = cl
+}
+
+// contendedSearch returns the position of page in the contended list (its
+// index if present, else its insertion point).
+func (lt *LockTable) contendedSearch(page db.PageID) int {
+	lo, hi := 0, len(lt.contended)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pageLess(lt.contended[mid].page, page) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// markContended inserts e into the contended set; called exactly when its
+// queue length goes 0 -> 1.
+func (lt *LockTable) markContended(e *lockEntry) {
+	i := lt.contendedSearch(e.page)
+	lt.contended = append(lt.contended, nil)
+	copy(lt.contended[i+1:], lt.contended[i:])
+	lt.contended[i] = e
+}
+
+// unmarkContended removes e from the contended set; called exactly when
+// its queue length goes 1 -> 0.
+func (lt *LockTable) unmarkContended(e *lockEntry) {
+	i := lt.contendedSearch(e.page)
+	last := len(lt.contended) - 1
+	copy(lt.contended[i:], lt.contended[i+1:])
+	lt.contended[last] = nil
+	lt.contended = lt.contended[:last]
 }
 
 // Lock requests a lock on page in the given mode for co. If the lock is
@@ -77,11 +287,12 @@ func NewLockTable() *LockTable {
 // cohorts currently standing in the way — conflicting holders plus
 // conflicting queued requests ahead of ours — are returned so the caller
 // can apply its conflict policy (wait, wound, detect deadlock). The caller
-// must then call co.Block().
+// must then call co.Block(). The conflicts slice is shared scratch, valid
+// only until the next Lock call on this table.
 func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (granted bool, conflicts []*CohortMeta) {
 	e := lt.entries[page]
 	if e == nil {
-		e = &lockEntry{page: page}
+		e = lt.newEntry(page)
 		lt.entries[page] = e
 	}
 
@@ -94,32 +305,31 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 			lt.setHolder(e, co, LockX)
 			return true, nil
 		}
-		req := &lockReq{co: co, mode: LockX, upgrade: true}
 		// Upgrades queue ahead of ordinary requests, behind earlier upgrades.
-		pos := 0
-		for pos < len(e.queue) && e.queue[pos].upgrade {
-			pos++
+		req := lt.newReq(co, LockX, true)
+		e.insertUpgrade(req)
+		if e.qlen == 1 {
+			lt.markContended(e)
 		}
-		e.queue = append(e.queue, nil)
-		copy(e.queue[pos+1:], e.queue[pos:])
-		e.queue[pos] = req
 		lt.waiting[co] = page
+		buf := lt.conflictBuf[:0]
 		for _, h := range e.holders {
 			if h.co != co {
-				conflicts = append(conflicts, h.co)
+				buf = append(buf, h.co)
 			}
 		}
 		// Conflicting upgrades queued ahead of ours also stand in the way.
-		for i := 0; i < pos; i++ {
-			conflicts = append(conflicts, e.queue[i].co)
+		for q := e.qhead; q != req; q = q.next {
+			buf = append(buf, q.co)
 		}
-		return false, conflicts
+		lt.conflictBuf = buf
+		return false, buf
 	}
 
 	// New request: FIFO — grantable only with an empty queue and no
 	// conflicting holder (compatible requests may not overtake waiters,
 	// which would starve queued upgrades and X requests).
-	if len(e.queue) == 0 {
+	if e.qlen == 0 {
 		ok := true
 		for _, h := range e.holders {
 			if !Compatible(mode, h.mode) {
@@ -132,69 +342,62 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 			return true, nil
 		}
 	}
-	req := &lockReq{co: co, mode: mode}
-	e.queue = append(e.queue, req)
+	req := lt.newReq(co, mode, false)
+	e.pushBack(req)
+	if e.qlen == 1 {
+		lt.markContended(e)
+	}
 	lt.waiting[co] = page
+	buf := lt.conflictBuf[:0]
 	for _, h := range e.holders {
 		if !Compatible(mode, h.mode) {
-			conflicts = append(conflicts, h.co)
+			buf = append(buf, h.co)
 		}
 	}
-	for _, q := range e.queue {
-		if q == req {
-			break
-		}
+	for q := e.qhead; q != req; q = q.next {
 		if q.co != co && (!Compatible(mode, q.mode) || q.upgrade) {
-			conflicts = append(conflicts, q.co)
+			buf = append(buf, q.co)
 		}
 	}
-	return false, conflicts
+	lt.conflictBuf = buf
+	return false, buf
 }
 
 func (lt *LockTable) setHolder(e *lockEntry, co *CohortMeta, mode LockMode) {
 	for i, h := range e.holders {
 		if h.co == co {
 			e.holders[i].mode = mode
-			lt.held[co][e.page] = mode
+			lt.held[co].set(e.page, mode)
 			return
 		}
 	}
 	e.holders = append(e.holders, lockHolder{co: co, mode: mode})
-	m := lt.held[co]
-	if m == nil {
-		m = make(map[db.PageID]LockMode)
-		lt.held[co] = m
+	cl := lt.held[co]
+	if cl == nil {
+		cl = lt.newCohortLocks()
+		lt.held[co] = cl
 	}
-	m[e.page] = mode
+	cl.set(e.page, mode)
 }
 
 // ReleaseAll drops every lock co holds and removes any queued request,
-// promoting newly grantable waiters. It is idempotent.
+// promoting newly grantable waiters. It is idempotent. Releases happen in
+// (file, page) order — the cohort's held list is kept sorted incrementally,
+// so the deterministic order (promotions schedule resume events, whose
+// order must not depend on map iteration) costs no sort here.
 func (lt *LockTable) ReleaseAll(co *CohortMeta) {
 	lt.RemoveWaiter(co)
-	pages := lt.held[co]
-	if pages == nil {
+	cl := lt.held[co]
+	if cl == nil {
 		return
 	}
 	delete(lt.held, co)
-	// Release in a deterministic order: promotions resume waiters, and the
-	// order those resume events are scheduled must not depend on map
-	// iteration order or runs with identical seeds would diverge.
-	sorted := make([]db.PageID, 0, len(pages))
-	for page := range pages {
-		sorted = append(sorted, page)
+	for _, hl := range cl.locks {
+		e := lt.entries[hl.page]
+		e.dropHolder(co)
+		lt.promote(hl.page, e)
 	}
-	sort.Slice(sorted, func(i, j int) bool { return pageLess(sorted[i], sorted[j]) })
-	for _, page := range sorted {
-		e := lt.entries[page]
-		for i, h := range e.holders {
-			if h.co == co {
-				e.holders = append(e.holders[:i], e.holders[i+1:]...)
-				break
-			}
-		}
-		lt.promote(page, e)
-	}
+	lt.freeCohortLocks(cl)
 }
 
 // RemoveWaiter cancels co's queued request (if any) without resuming it;
@@ -206,9 +409,22 @@ func (lt *LockTable) RemoveWaiter(co *CohortMeta) {
 	}
 	delete(lt.waiting, co)
 	e := lt.entries[page]
-	for i, q := range e.queue {
+	var prev *lockReq
+	for q := e.qhead; q != nil; prev, q = q, q.next {
 		if q.co == co {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			if prev == nil {
+				e.qhead = q.next
+			} else {
+				prev.next = q.next
+			}
+			if e.qtail == q {
+				e.qtail = prev
+			}
+			e.qlen--
+			lt.freeReq(q)
+			if e.qlen == 0 {
+				lt.unmarkContended(e)
+			}
 			break
 		}
 	}
@@ -218,14 +434,14 @@ func (lt *LockTable) RemoveWaiter(co *CohortMeta) {
 // promote grants queued requests that have become compatible, in FIFO order
 // (with upgrades at the front), resuming each granted cohort.
 func (lt *LockTable) promote(page db.PageID, e *lockEntry) {
-	for len(e.queue) > 0 {
-		head := e.queue[0]
+	for e.qhead != nil {
+		head := e.qhead
 		if head.upgrade {
 			if len(e.holders) != 1 || e.holders[0].co != head.co {
 				return
 			}
 			e.holders[0].mode = LockX
-			lt.held[head.co][page] = LockX
+			lt.held[head.co].set(page, LockX)
 		} else {
 			ok := true
 			for _, h := range e.holders {
@@ -238,30 +454,49 @@ func (lt *LockTable) promote(page db.PageID, e *lockEntry) {
 				return
 			}
 			e.holders = append(e.holders, lockHolder{co: head.co, mode: head.mode})
-			m := lt.held[head.co]
-			if m == nil {
-				m = make(map[db.PageID]LockMode)
-				lt.held[head.co] = m
+			cl := lt.held[head.co]
+			if cl == nil {
+				cl = lt.newCohortLocks()
+				lt.held[head.co] = cl
 			}
-			m[page] = head.mode
+			cl.set(page, head.mode)
 		}
-		e.queue = e.queue[1:]
-		delete(lt.waiting, head.co)
-		head.co.Grant()
+		granted := head.co
+		e.qhead = head.next
+		if e.qhead == nil {
+			e.qtail = nil
+		}
+		e.qlen--
+		lt.freeReq(head)
+		if e.qlen == 0 {
+			lt.unmarkContended(e)
+		}
+		delete(lt.waiting, granted)
+		granted.Grant()
 	}
-	if len(e.holders) == 0 && len(e.queue) == 0 {
+	if len(e.holders) == 0 && e.qlen == 0 {
 		delete(lt.entries, page)
+		lt.freeEntry(e)
 	}
 }
 
 // Holds reports the mode co holds on page.
 func (lt *LockTable) Holds(co *CohortMeta, page db.PageID) (LockMode, bool) {
-	m, ok := lt.held[co][page]
-	return m, ok
+	cl := lt.held[co]
+	if cl == nil {
+		return 0, false
+	}
+	return cl.get(page)
 }
 
 // HeldCount returns the number of locks co holds.
-func (lt *LockTable) HeldCount(co *CohortMeta) int { return len(lt.held[co]) }
+func (lt *LockTable) HeldCount(co *CohortMeta) int {
+	cl := lt.held[co]
+	if cl == nil {
+		return 0
+	}
+	return len(cl.locks)
+}
 
 // Size returns the number of pages with lock state (held or queued) —
 // the probe sampler's lock-table-size gauge.
@@ -271,6 +506,9 @@ func (lt *LockTable) Size() int { return len(lt.entries) }
 // conflicting lock — the probe sampler's blocked-txn gauge.
 func (lt *LockTable) WaiterCount() int { return len(lt.waiting) }
 
+// ContendedCount returns the number of pages with a non-empty wait queue.
+func (lt *LockTable) ContendedCount() int { return len(lt.contended) }
+
 // Empty reports whether the table holds no locks and no waiters — the
 // quiescence invariant checked at the end of simulations.
 func (lt *LockTable) Empty() bool {
@@ -278,7 +516,7 @@ func (lt *LockTable) Empty() bool {
 }
 
 // pageLess is the total order (file, then page) used wherever lock-table
-// maps must be iterated deterministically.
+// state must be kept or iterated deterministically.
 func pageLess(a, b db.PageID) bool {
 	if a.File != b.File {
 		return a.File < b.File
@@ -286,50 +524,53 @@ func pageLess(a, b db.PageID) bool {
 	return a.Page < b.Page
 }
 
-// WaitsForEdges returns this node's waits-for graph: one edge per
-// (waiter, blocker) pair where the blocker is a conflicting holder or a
-// conflicting request queued ahead of the waiter. Edges are emitted in
-// sorted page order, not map order: FindVictims canonicalizes whatever it
-// receives, but a stable order keeps every downstream consumer (tracing,
+// AppendWaitsForEdges appends this node's waits-for graph to edges and
+// returns the extended slice: one edge per (waiter, blocker) pair where
+// the blocker is a conflicting holder or a conflicting request queued
+// ahead of the waiter. Only the contended pages — maintained incrementally
+// as queues gain and lose their waiters — are visited, in (file, page)
+// order: the same total order the former sort-the-whole-table
+// implementation produced, at O(waiters) cost independent of the number of
+// locks held. A stable order keeps every downstream consumer (tracing,
 // tests, future victim policies) independent of map iteration.
-func (lt *LockTable) WaitsForEdges(node int) []Edge {
-	pages := make([]db.PageID, 0, len(lt.entries))
-	for page := range lt.entries {
-		pages = append(pages, page)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pageLess(pages[i], pages[j]) })
-	var edges []Edge
-	for _, page := range pages {
-		e := lt.entries[page]
-		for qi, q := range e.queue {
-			add := func(other *CohortMeta) {
-				if other.Txn != q.co.Txn {
-					edges = append(edges, Edge{Waiter: q.co.Txn, Blocker: other.Txn, Node: node})
-				}
-			}
+func (lt *LockTable) AppendWaitsForEdges(node int, edges []Edge) []Edge {
+	for _, e := range lt.contended {
+		qi := 0
+		for q := e.qhead; q != nil; q, qi = q.next, qi+1 {
+			waiter := q.co.Txn
 			if q.upgrade {
 				for _, h := range e.holders {
-					if h.co != q.co {
-						add(h.co)
+					if h.co != q.co && h.co.Txn != waiter {
+						edges = append(edges, Edge{Waiter: waiter, Blocker: h.co.Txn, Node: node})
 					}
 				}
-				for i := 0; i < qi; i++ {
-					add(e.queue[i].co)
+				for p := e.qhead; p != q; p = p.next {
+					if p.co.Txn != waiter {
+						edges = append(edges, Edge{Waiter: waiter, Blocker: p.co.Txn, Node: node})
+					}
 				}
 				continue
 			}
 			for _, h := range e.holders {
-				if !Compatible(q.mode, h.mode) {
-					add(h.co)
+				if !Compatible(q.mode, h.mode) && h.co.Txn != waiter {
+					edges = append(edges, Edge{Waiter: waiter, Blocker: h.co.Txn, Node: node})
 				}
 			}
-			for i := 0; i < qi; i++ {
-				prev := e.queue[i]
-				if prev.upgrade || !Compatible(q.mode, prev.mode) {
-					add(prev.co)
+			for p := e.qhead; p != q; p = p.next {
+				if (p.upgrade || !Compatible(q.mode, p.mode)) && p.co.Txn != waiter {
+					edges = append(edges, Edge{Waiter: waiter, Blocker: p.co.Txn, Node: node})
 				}
 			}
 		}
 	}
 	return edges
+}
+
+// WaitsForEdges returns this node's waits-for graph in a fresh slice. Hot
+// callers (local detection on every block) should prefer
+// AppendWaitsForEdges with a reused buffer; this allocating form is for
+// the Snoop — whose result travels through a mailbox and must not alias
+// scratch — and for tests.
+func (lt *LockTable) WaitsForEdges(node int) []Edge {
+	return lt.AppendWaitsForEdges(node, nil)
 }

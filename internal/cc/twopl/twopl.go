@@ -69,6 +69,11 @@ type manager struct {
 	timeout  float64 // 0: detection; >0: timeout scheme
 	waitSeq  map[*cc.CohortMeta]int64
 	timeouts int64
+	// edgeBuf backs the waits-for snapshot local detection takes on every
+	// block; the detector consumes it synchronously, so one buffer and one
+	// detector per manager make the block path allocation-free.
+	edgeBuf []cc.Edge
+	det     cc.Detector
 }
 
 // Timeouts returns how many lock-wait timeouts this node fired (only in
@@ -77,7 +82,10 @@ func (m *manager) Timeouts() int64 { return m.timeouts }
 
 func (m *manager) Kind() cc.Kind { return m.kind }
 
-// WaitsForEdges exposes the node's waits-for graph to the Snoop.
+// WaitsForEdges exposes the node's waits-for graph to the Snoop. It
+// allocates a fresh slice: the Snoop's snapshot travels through a mailbox
+// and must survive later lock-table activity on this node, so it cannot
+// alias the local-detection scratch buffer.
 func (m *manager) WaitsForEdges() []cc.Edge { return m.lt.WaitsForEdges(m.env.Node) }
 
 // LockTable exposes the underlying table for invariant checks in tests.
@@ -115,7 +123,8 @@ func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outco
 		return co.Block()
 	}
 	// Local deadlock detection occurs whenever a cohort blocks.
-	for _, v := range cc.FindVictims(m.lt.WaitsForEdges(m.env.Node)) {
+	m.edgeBuf = m.lt.AppendWaitsForEdges(m.env.Node, m.edgeBuf[:0])
+	for _, v := range m.det.FindVictims(m.edgeBuf) {
 		v.RequestAbort(m.env.Node, "local deadlock")
 	}
 	if co.Txn.AbortRequested {
@@ -174,6 +183,7 @@ func (a *Algorithm) StartGlobal(g cc.GlobalEnv) {
 	g.Sim().Spawn("snoop", func(p *sim.Proc) {
 		mail := g.Sim().NewMailbox()
 		node := 0
+		var det cc.Detector // reused across rounds; victims are consumed before the next one
 		for {
 			p.Delay(a.DetectionIntervalMs)
 			snoopAt := node
@@ -193,7 +203,7 @@ func (a *Algorithm) StartGlobal(g cc.GlobalEnv) {
 			for i := 0; i < expect; i++ {
 				all = append(all, mail.Recv(p).([]cc.Edge)...)
 			}
-			for _, v := range cc.FindVictims(all) {
+			for _, v := range det.FindVictims(all) {
 				v.RequestAbort(snoopAt, "global deadlock")
 			}
 			node = (node + 1) % g.NumProcNodes()

@@ -80,6 +80,11 @@ func (c Config) policy(check string) Policy {
 //     internal/obs are already barred by no-wall-clock, whose allowlist
 //     covers only cmd/... — simulated-time-only discipline extends to the
 //     observability layer with no extra policy.
+//   - no-reflect-sort: library code under internal/ must sort with the
+//     generic slices helpers, not reflection-based sort.Slice — the
+//     reflectlite.Swapper cost is what made the pre-incremental lock
+//     manager the simulator's bottleneck. Tests and cmd/ tooling are
+//     exempt: they are off the simulation hot path.
 func DefaultConfig(module string) Config {
 	return NewConfig(
 		Policy{Check: "no-wall-clock", SkipTests: true, Skip: []string{module + "/cmd"}},
@@ -88,5 +93,6 @@ func DefaultConfig(module string) Config {
 		Policy{Check: "no-naked-goroutine", SkipTests: true, Skip: []string{module + "/internal/sim"}},
 		Policy{Check: "event-retention", SkipTests: true, Skip: []string{module + "/internal/sim"}},
 		Policy{Check: "span-retention", SkipTests: true, Skip: []string{module + "/internal/obs"}},
+		Policy{Check: "no-reflect-sort", SkipTests: true, Only: []string{module + "/internal"}},
 	)
 }

@@ -5,7 +5,7 @@
 // tests guard that property dynamically, this package guards it
 // statically.
 //
-// Six checks (see the check files for details):
+// Seven checks (see the check files for details):
 //
 //	no-wall-clock       time.Now/Since/Sleep/... in simulation code
 //	no-global-rand      package-level math/rand functions
@@ -13,6 +13,7 @@
 //	no-naked-goroutine  go statements outside internal/sim
 //	event-retention     *sim.Event stored in a field or package var
 //	span-retention      *obs.Span stored in a field or package var
+//	no-reflect-sort     sort.Slice/sort.SliceStable in internal/ code
 //
 // A finding can be suppressed with an annotation comment on the flagged
 // line or the line directly above it:
@@ -26,11 +27,12 @@
 package lint
 
 import (
+	"cmp"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
+	"slices"
 )
 
 // Diagnostic is one finding: position, the check that fired, the message,
@@ -66,6 +68,7 @@ var Checks = []Check{
 	{Name: "no-naked-goroutine", Doc: "goroutines outside the sim scheduler", Run: runNakedGoroutine},
 	{Name: "event-retention", Doc: "retained *sim.Event handles", Run: runEventRetention},
 	{Name: "span-retention", Doc: "retained *obs.Span handles", Run: runSpanRetention},
+	{Name: "no-reflect-sort", Doc: "reflection-based sort.Slice in hot library code", Run: runReflectSort},
 }
 
 func checkNameValid(name string) bool {
@@ -144,18 +147,17 @@ func (r *Runner) LintDir(dir, pkgPath string) ([]Diagnostic, error) {
 	for _, u := range units {
 		diags = append(diags, r.lintUnit(u)...)
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	slices.SortFunc(diags, func(a, b Diagnostic) int {
+		if c := cmp.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
+			return c
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if c := cmp.Compare(a.Pos.Line, b.Pos.Line); c != 0 {
+			return c
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if c := cmp.Compare(a.Pos.Column, b.Pos.Column); c != 0 {
+			return c
 		}
-		return a.Check < b.Check
+		return cmp.Compare(a.Check, b.Check)
 	})
 	return diags, nil
 }

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// runReflectSort flags sort.Slice and sort.SliceStable in non-test
+// internal/ code. Both route every comparison and swap through
+// reflectlite.Swapper, which a CPU profile of the contention-heavy lock
+// path showed costing more than the simulation model itself
+// (sort.pdqsort_func + reflectlite at ~35% of total CPU before the
+// sort-free lock manager). The generic slices.SortFunc performs the
+// identical pdqsort permutation — both are generated from the same
+// template — with direct element moves, so the swap is behaviour-
+// preserving even for equal keys. Interface-based sort.Sort and the hot
+// path's incremental ordered structures are not flagged.
+func runReflectSort(p *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+			return true
+		}
+		if name := fn.Name(); name == "Slice" || name == "SliceStable" {
+			p.Report(sel.Pos(),
+				fmt.Sprintf("reflection-based sort.%s", name),
+				"use slices.SortFunc (or slices.Sort for ordered element types): same pdqsort permutation, no reflectlite.Swapper")
+		}
+		return true
+	})
+}

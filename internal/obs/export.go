@@ -3,10 +3,11 @@ package obs
 import (
 	"bufio"
 	"bytes"
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Exporters. Both formats are deterministic byte-for-byte given the same
@@ -103,7 +104,7 @@ func WriteChromeTrace(w io.Writer, events []Event, host int) error {
 	for n := range nodes {
 		ids = append(ids, n)
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	for _, n := range ids {
 		m := chromeMeta{Name: "process_name", Ph: "M", Pid: n}
 		if n == host {
@@ -310,19 +311,19 @@ func CheckChromeTrace(data []byte) error {
 	for key := range tracks {
 		keys = append(keys, key)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+	slices.SortFunc(keys, func(a, b [2]int64) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
 		}
-		return keys[i][1] < keys[j][1]
+		return cmp.Compare(a[1], b[1])
 	})
 	for _, key := range keys {
 		spans := tracks[key]
-		sort.Slice(spans, func(i, j int) bool {
-			if spans[i].start != spans[j].start {
-				return spans[i].start < spans[j].start
+		slices.SortFunc(spans, func(a, b span) int {
+			if c := cmp.Compare(a.start, b.start); c != 0 {
+				return c
 			}
-			return spans[i].end > spans[j].end
+			return cmp.Compare(b.end, a.end)
 		})
 		var stack []span
 		for _, s := range spans {

@@ -1,10 +1,16 @@
 // Command tool stands in for cmd/...: harnesses measure real work, so
 // wall-clock use under fixture/cmd is allowlisted and nothing here is
-// flagged.
+// flagged. Reflection-based sorting is likewise fine off the hot path:
+// no-reflect-sort is scoped to fixture/internal only.
 package main
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 func main() {
 	_ = time.Now()
+	xs := []int{2, 1}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 }

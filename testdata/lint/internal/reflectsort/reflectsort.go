@@ -1,0 +1,33 @@
+// Package reflectsort exercises the no-reflect-sort check: reflection-based
+// sort.Slice/sort.SliceStable are flagged in internal/ library code, while
+// the generic slices helpers and interface-based sort.Sort are not.
+package reflectsort
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
+
+func Bad(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "reflection-based sort.Slice"
+}
+
+func BadStable(xs []string) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "reflection-based sort.SliceStable"
+}
+
+func FineGeneric(xs []int) {
+	slices.SortFunc(xs, func(a, b int) int { return cmp.Compare(a, b) })
+	slices.Sort(xs)
+}
+
+func FineInterface(xs sort.Interface) {
+	sort.Sort(xs)
+}
+
+// Audited escapes must keep working for this check like any other.
+func FineAnnotated(xs []int) {
+	//ddbmlint:allow no-reflect-sort exercising the annotation escape for this check
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

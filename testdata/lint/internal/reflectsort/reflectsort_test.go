@@ -1,0 +1,16 @@
+// Test files are exempt from no-reflect-sort via the scope table: test
+// helpers may sort however is convenient, so nothing here is flagged.
+package reflectsort
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestHelperMaySortReflectively(t *testing.T) {
+	xs := []int{3, 1, 2}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	if xs[0] != 1 {
+		t.Fatal("sorted wrong")
+	}
+}
