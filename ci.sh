@@ -26,7 +26,20 @@ echo "== go vet ./..."
 go vet ./...
 
 echo "== ddbmlint (determinism invariants)"
+# The full check suite: the per-file checks plus the interprocedural ones —
+# taint-wall-clock and taint-rand (exempt-scope helpers that transitively
+# read the host clock or the global rand source are findings at the
+# boundary call into simulation scope) and hotpath-alloc (//ddbmlint:hotpath
+# functions must be statically allocation-free, transitively).
 go run ./cmd/ddbmlint ./...
+
+echo "== ddbmlint fixture harness"
+# The // want-comment fixtures under testdata/lint and testdata/interp pin
+# every check's exact finding set, including both taint checks and
+# hotpath-alloc, plus the output-determinism guarantee and the CLI's -json
+# round-trip.
+go test -run 'TestFixtures|TestInterprocFixtures|TestLintDeterminism|TestLoaderFailures' ./internal/lint/
+go test -run 'TestRunJSONRoundTrip|TestRunExitCodes' ./cmd/ddbmlint/
 
 echo "== go build ./..."
 go build ./...

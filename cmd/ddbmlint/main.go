@@ -1,19 +1,28 @@
 // Command ddbmlint statically enforces the simulator's determinism
 // invariants: no wall-clock time, no global math/rand, no order-sensitive
-// map iteration, no goroutines outside internal/sim, and no retained
-// *sim.Event handles. See internal/lint and DESIGN.md ("Statically-
-// enforced determinism invariants").
+// map iteration, no goroutines outside internal/sim, no retained
+// *sim.Event handles — and, interprocedurally, no tainted helpers
+// reaching simulation code (taint-wall-clock, taint-rand) and no
+// allocations reachable from //ddbmlint:hotpath functions
+// (hotpath-alloc). See internal/lint and DESIGN.md ("Statically-enforced
+// determinism invariants", "Interprocedural analysis").
 //
 // Usage:
 //
 //	go run ./cmd/ddbmlint ./...
-//	go run ./cmd/ddbmlint ./internal/cc ./experiments
+//	go run ./cmd/ddbmlint -json ./internal/cc ./experiments
+//
+// With -json, each finding is one JSON object per line with the stable
+// field order file, line, col, check, msg, hint.
 //
 // Exit status: 0 clean, 1 findings, 2 load or usage error.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,51 +31,81 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// jsonDiagnostic is the machine-readable rendering of one finding. The
+// field order is part of the tool's interface: CI annotation tooling
+// parses these lines positionally diff-stable.
+type jsonDiagnostic struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+	Hint  string `json:"hint,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ddbmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding instead of text")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	args = fs.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ddbmlint:", err)
+		fmt.Fprintln(stderr, "ddbmlint:", err)
 		return 2
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ddbmlint:", err)
+		fmt.Fprintln(stderr, "ddbmlint:", err)
 		return 2
 	}
 	dirs, err := expandArgs(root, args)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ddbmlint:", err)
+		fmt.Fprintln(stderr, "ddbmlint:", err)
 		return 2
 	}
-	runner := &lint.Runner{Loader: loader, Config: lint.DefaultConfig(loader.Module)}
-	findings := 0
+	var targets []lint.Target
 	for _, rel := range dirs {
 		pkgPath := loader.Module
 		if rel != "." {
 			pkgPath += "/" + rel
 		}
-		diags, err := runner.LintDir(filepath.Join(root, filepath.FromSlash(rel)), pkgPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ddbmlint:", err)
-			return 2
+		targets = append(targets, lint.Target{
+			Dir:  filepath.Join(root, filepath.FromSlash(rel)),
+			Path: pkgPath,
+		})
+	}
+	runner := &lint.Runner{Loader: loader, Config: lint.DefaultConfig(loader.Module)}
+	diags, err := runner.Lint(targets)
+	if err != nil {
+		fmt.Fprintln(stderr, "ddbmlint:", err)
+		return 2
+	}
+	enc := json.NewEncoder(stdout)
+	for _, d := range diags {
+		// Print module-relative paths: stable across machines.
+		if p, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(p)
 		}
-		for _, d := range diags {
-			// Print module-relative paths: stable across machines.
-			if p, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-				d.Pos.Filename = filepath.ToSlash(p)
-			}
-			fmt.Println(d)
-			findings++
+		if *jsonOut {
+			enc.Encode(jsonDiagnostic{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Check: d.Check, Msg: d.Msg, Hint: d.Hint,
+			})
+		} else {
+			fmt.Fprintln(stdout, d)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "ddbmlint: %d finding(s)\n", findings)
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "ddbmlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
@@ -123,10 +162,30 @@ func expandArgs(root string, args []string) ([]string, error) {
 			}
 		}
 		if !matched {
+			// An explicit (non-pattern) directory outside the default
+			// walk — e.g. a fixture package under testdata/ — is still a
+			// valid target if it holds Go files.
+			if !recursive && hasGoFiles(filepath.Join(root, filepath.FromSlash(rel))) {
+				add(rel)
+				continue
+			}
 			return nil, fmt.Errorf("pattern %q matched no packages", arg)
 		}
 	}
 	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
 }
 
 func relToRoot(root, dir string) (string, error) {

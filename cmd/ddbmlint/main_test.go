@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ddbm/internal/lint"
+)
+
+// fixtureDir resolves a testdata path relative to the module root. The
+// test's working directory is cmd/ddbmlint, so walk up two levels.
+func fixtureDir(t *testing.T, rel string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", "..", filepath.FromSlash(rel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestRunJSONRoundTrip drives the full binary entry point against the
+// wallclock fixture package and asserts that -json output carries the
+// stable field order and round-trips losslessly to the text rendering.
+func TestRunJSONRoundTrip(t *testing.T) {
+	target := fixtureDir(t, "testdata/lint/wallclock")
+
+	var text, jsonOut, errBuf bytes.Buffer
+	if code := run([]string{target}, &text, &errBuf); code != 1 {
+		t.Fatalf("text run: exit %d, want 1 (findings); stderr: %s", code, errBuf.String())
+	}
+	errBuf.Reset()
+	if code := run([]string{"-json", target}, &jsonOut, &errBuf); code != 1 {
+		t.Fatalf("json run: exit %d, want 1 (findings); stderr: %s", code, errBuf.String())
+	}
+
+	lines := strings.Split(strings.TrimRight(jsonOut.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("json run produced no output")
+	}
+	var rendered strings.Builder
+	for _, line := range lines {
+		// The documented stable field order is part of the interface.
+		if !strings.HasPrefix(line, `{"file":`) {
+			t.Errorf("json line does not lead with the file field: %s", line)
+		}
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("json line does not parse: %v\n%s", err, line)
+		}
+		if d.File == "" || d.Line == 0 || d.Check == "" || d.Msg == "" {
+			t.Errorf("json diagnostic missing required fields: %s", line)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("json file path is not module-relative: %s", d.File)
+		}
+		td := lint.Diagnostic{Check: d.Check, Msg: d.Msg, Hint: d.Hint}
+		td.Pos.Filename = d.File
+		td.Pos.Line = d.Line
+		td.Pos.Column = d.Col
+		fmt.Fprintf(&rendered, "%s\n", td)
+	}
+	if rendered.String() != text.String() {
+		t.Errorf("json output does not round-trip to the text rendering:\n--- from json ---\n%s--- text mode ---\n%s",
+			rendered.String(), text.String())
+	}
+
+	// Same invocation twice must be byte-identical: the CLI inherits the
+	// analysis's determinism guarantee.
+	var again bytes.Buffer
+	if code := run([]string{"-json", target}, &again, &errBuf); code != 1 {
+		t.Fatalf("repeat json run: exit %d, want 1", code)
+	}
+	if again.String() != jsonOut.String() {
+		t.Errorf("repeated -json runs diverged:\n%s\nvs\n%s", jsonOut.String(), again.String())
+	}
+}
+
+// TestRunExitCodes pins the documented exit statuses: 0 clean, 1
+// findings, 2 load or usage error.
+func TestRunExitCodes(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean package", []string{fixtureDir(t, "testdata/lint/clean")}, 0},
+		{"findings", []string{fixtureDir(t, "testdata/lint/wallclock")}, 1},
+		{"nonexistent target", []string{fixtureDir(t, "testdata/lint/no-such-dir")}, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out.Reset()
+			errBuf.Reset()
+			if code := run(c.args, &out, &errBuf); code != c.want {
+				t.Fatalf("run(%v) = %d, want %d; stderr: %s", c.args, code, c.want, errBuf.String())
+			}
+		})
+	}
+}

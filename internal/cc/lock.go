@@ -152,7 +152,7 @@ func (cl *cohortLocks) set(page db.PageID, mode LockMode) {
 		cl.locks[i].mode = mode
 		return
 	}
-	cl.locks = append(cl.locks, heldLock{})
+	cl.locks = append(cl.locks, heldLock{}) //ddbmlint:allow hotpath-alloc sorted-insert growth; capacity survives free-list recycling
 	copy(cl.locks[i+1:], cl.locks[i:])
 	cl.locks[i] = heldLock{page: page, mode: mode}
 }
@@ -198,7 +198,7 @@ func NewLockTable() *LockTable {
 func (lt *LockTable) newEntry(page db.PageID) *lockEntry {
 	e := lt.freeEntries
 	if e == nil {
-		e = &lockEntry{}
+		e = &lockEntry{} //ddbmlint:allow hotpath-alloc free-list warmup; steady state reuses entries
 	} else {
 		lt.freeEntries = e.nextFree
 		e.nextFree = nil
@@ -216,7 +216,7 @@ func (lt *LockTable) freeEntry(e *lockEntry) {
 func (lt *LockTable) newReq(co *CohortMeta, mode LockMode, upgrade bool) *lockReq {
 	q := lt.freeReqs
 	if q == nil {
-		q = &lockReq{}
+		q = &lockReq{} //ddbmlint:allow hotpath-alloc free-list warmup; steady state reuses queue nodes
 	} else {
 		lt.freeReqs = q.next
 	}
@@ -233,7 +233,7 @@ func (lt *LockTable) freeReq(q *lockReq) {
 func (lt *LockTable) newCohortLocks() *cohortLocks {
 	cl := lt.freeCohorts
 	if cl == nil {
-		cl = &cohortLocks{}
+		cl = &cohortLocks{} //ddbmlint:allow hotpath-alloc free-list warmup; steady state reuses held lists
 	} else {
 		lt.freeCohorts = cl.nextFree
 		cl.nextFree = nil
@@ -266,7 +266,7 @@ func (lt *LockTable) contendedSearch(page db.PageID) int {
 // queue length goes 0 -> 1.
 func (lt *LockTable) markContended(e *lockEntry) {
 	i := lt.contendedSearch(e.page)
-	lt.contended = append(lt.contended, nil)
+	lt.contended = append(lt.contended, nil) //ddbmlint:allow hotpath-alloc contended-set scratch grows to its high-water mark
 	copy(lt.contended[i+1:], lt.contended[i:])
 	lt.contended[i] = e
 }
@@ -289,6 +289,8 @@ func (lt *LockTable) unmarkContended(e *lockEntry) {
 // can apply its conflict policy (wait, wound, detect deadlock). The caller
 // must then call co.Block(). The conflicts slice is shared scratch, valid
 // only until the next Lock call on this table.
+//
+//ddbmlint:hotpath steady-state acquire pinned by TestSteadyStateAllocFree
 func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (granted bool, conflicts []*CohortMeta) {
 	e := lt.entries[page]
 	if e == nil {
@@ -315,12 +317,12 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 		buf := lt.conflictBuf[:0]
 		for _, h := range e.holders {
 			if h.co != co {
-				buf = append(buf, h.co)
+				buf = append(buf, h.co) //ddbmlint:allow hotpath-alloc conflict scratch grows to its high-water mark
 			}
 		}
 		// Conflicting upgrades queued ahead of ours also stand in the way.
 		for q := e.qhead; q != req; q = q.next {
-			buf = append(buf, q.co)
+			buf = append(buf, q.co) //ddbmlint:allow hotpath-alloc conflict scratch grows to its high-water mark
 		}
 		lt.conflictBuf = buf
 		return false, buf
@@ -351,12 +353,12 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 	buf := lt.conflictBuf[:0]
 	for _, h := range e.holders {
 		if !Compatible(mode, h.mode) {
-			buf = append(buf, h.co)
+			buf = append(buf, h.co) //ddbmlint:allow hotpath-alloc conflict scratch grows to its high-water mark
 		}
 	}
 	for q := e.qhead; q != req; q = q.next {
 		if q.co != co && (!Compatible(mode, q.mode) || q.upgrade) {
-			buf = append(buf, q.co)
+			buf = append(buf, q.co) //ddbmlint:allow hotpath-alloc conflict scratch grows to its high-water mark
 		}
 	}
 	lt.conflictBuf = buf
@@ -371,7 +373,7 @@ func (lt *LockTable) setHolder(e *lockEntry, co *CohortMeta, mode LockMode) {
 			return
 		}
 	}
-	e.holders = append(e.holders, lockHolder{co: co, mode: mode})
+	e.holders = append(e.holders, lockHolder{co: co, mode: mode}) //ddbmlint:allow hotpath-alloc holder array capacity survives entry free-list recycling
 	cl := lt.held[co]
 	if cl == nil {
 		cl = lt.newCohortLocks()
@@ -385,6 +387,8 @@ func (lt *LockTable) setHolder(e *lockEntry, co *CohortMeta, mode LockMode) {
 // (file, page) order — the cohort's held list is kept sorted incrementally,
 // so the deterministic order (promotions schedule resume events, whose
 // order must not depend on map iteration) costs no sort here.
+//
+//ddbmlint:hotpath steady-state release pinned by TestSteadyStateAllocFree
 func (lt *LockTable) ReleaseAll(co *CohortMeta) {
 	lt.RemoveWaiter(co)
 	cl := lt.held[co]
@@ -402,6 +406,8 @@ func (lt *LockTable) ReleaseAll(co *CohortMeta) {
 
 // RemoveWaiter cancels co's queued request (if any) without resuming it;
 // the caller is responsible for Deny()ing the cohort if it is blocked.
+//
+//ddbmlint:hotpath waiter withdrawal pinned by TestSteadyStateAllocFree
 func (lt *LockTable) RemoveWaiter(co *CohortMeta) {
 	page, ok := lt.waiting[co]
 	if !ok {
@@ -453,7 +459,7 @@ func (lt *LockTable) promote(page db.PageID, e *lockEntry) {
 			if !ok {
 				return
 			}
-			e.holders = append(e.holders, lockHolder{co: head.co, mode: head.mode})
+			e.holders = append(e.holders, lockHolder{co: head.co, mode: head.mode}) //ddbmlint:allow hotpath-alloc holder array capacity survives entry free-list recycling
 			cl := lt.held[head.co]
 			if cl == nil {
 				cl = lt.newCohortLocks()
@@ -533,6 +539,8 @@ func pageLess(a, b db.PageID) bool {
 // implementation produced, at O(waiters) cost independent of the number of
 // locks held. A stable order keeps every downstream consumer (tracing,
 // tests, future victim policies) independent of map iteration.
+//
+//ddbmlint:hotpath waits-for extraction pinned by TestSteadyStateAllocFree
 func (lt *LockTable) AppendWaitsForEdges(node int, edges []Edge) []Edge {
 	for _, e := range lt.contended {
 		qi := 0

@@ -63,9 +63,11 @@ func (c Config) policy(check string) Policy {
 //   - no-wall-clock: simulation code must run on simulated time only.
 //     cmd/... (benchmark harnesses time real work) and _test.go files are
 //     allowlisted.
-//   - no-global-rand: nothing, tests included, may draw from the global
-//     math/rand source; all randomness flows through the per-Simulation
-//     seeded *rand.Rand so runs are a pure function of the seed.
+//   - no-global-rand: nothing under internal/ or experiments/, tests
+//     included, may draw from the global math/rand source; all
+//     randomness flows through the per-Simulation seeded *rand.Rand so
+//     runs are a pure function of the seed. cmd/... harness tooling is
+//     exempt from the direct check — taint-rand guards the boundary.
 //   - map-order: non-test simulation code must not let Go's randomized
 //     map iteration order reach anything order-sensitive.
 //   - no-naked-goroutine: internal/sim owns the run-to-block scheduler;
@@ -85,14 +87,25 @@ func (c Config) policy(check string) Policy {
 //     reflectlite.Swapper cost is what made the pre-incremental lock
 //     manager the simulator's bottleneck. Tests and cmd/ tooling are
 //     exempt: they are off the simulation hot path.
+//   - taint-wall-clock / taint-rand: the interprocedural complements of
+//     no-wall-clock and no-global-rand. Reported in the same scope as
+//     the base checks: a call from simulation code into an exempt-scope
+//     helper that (transitively) reads the host clock or the global
+//     rand source is a finding at the boundary call site.
+//   - hotpath-alloc: //ddbmlint:hotpath functions everywhere (tests
+//     exempt) must be statically allocation-free transitively — the
+//     static twin of TestSteadyStateAllocFree's runtime pins.
 func DefaultConfig(module string) Config {
 	return NewConfig(
 		Policy{Check: "no-wall-clock", SkipTests: true, Skip: []string{module + "/cmd"}},
-		Policy{Check: "no-global-rand"},
+		Policy{Check: "no-global-rand", Skip: []string{module + "/cmd"}},
 		Policy{Check: "map-order", SkipTests: true},
 		Policy{Check: "no-naked-goroutine", SkipTests: true, Skip: []string{module + "/internal/sim"}},
 		Policy{Check: "event-retention", SkipTests: true, Skip: []string{module + "/internal/sim"}},
 		Policy{Check: "span-retention", SkipTests: true, Skip: []string{module + "/internal/obs"}},
 		Policy{Check: "no-reflect-sort", SkipTests: true, Only: []string{module + "/internal"}},
+		Policy{Check: "taint-wall-clock", SkipTests: true, Skip: []string{module + "/cmd"}},
+		Policy{Check: "taint-rand", SkipTests: true, Skip: []string{module + "/cmd"}},
+		Policy{Check: "hotpath-alloc", SkipTests: true},
 	)
 }

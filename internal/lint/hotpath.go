@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// runHotpathAlloc enforces the static twin of the runtime AllocsPerRun
+// pins: every function marked //ddbmlint:hotpath must be allocation-free
+// transitively. The walk starts at each marked root in the lint targets
+// and follows static module-internal edges in source order; every
+// definite allocation site is a finding, and every dynamic or
+// unaudited-external call is a finding too, because a path the analysis
+// cannot see through cannot be proven allocation-free. Audited cold
+// branches (free-list refills, growth fallbacks, panic formatting) carry
+// //ddbmlint:allow hotpath-alloc <why> on the site line.
+func runHotpathAlloc(mp *ModulePass) {
+	pol := mp.Config.policy(mp.check)
+	g := mp.Graph
+	reported := map[token.Pos]bool{}
+	var chain []string
+
+	var walk func(n *FuncNode, visited map[*FuncNode]bool)
+	walk = func(n *FuncNode, visited map[*FuncNode]bool) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		chain = append(chain, n.Name)
+		via := strings.Join(chain, " -> ")
+		for _, site := range n.allocs {
+			if reported[site.pos] {
+				continue
+			}
+			reported[site.pos] = true
+			mp.Report(site.pos,
+				fmt.Sprintf("allocation on hot path: %s", site.what),
+				fmt.Sprintf("reached via %s; free-list or precompute it, or annotate an audited cold branch with //ddbmlint:allow hotpath-alloc <why>", via))
+		}
+		for _, site := range n.opaque {
+			if reported[site.pos] {
+				continue
+			}
+			reported[site.pos] = true
+			mp.Report(site.pos,
+				fmt.Sprintf("hot path not statically verifiable: %s", site.what),
+				fmt.Sprintf("reached via %s; devirtualize the call, extend the audited-external allowlist, or annotate //ddbmlint:allow hotpath-alloc <why>", via))
+		}
+		for _, site := range n.Calls {
+			if site.Kind != callStatic {
+				continue // flagged as opaque above, not followed
+			}
+			for _, callee := range site.Callees {
+				walk(callee, visited)
+			}
+		}
+		chain = chain[:len(chain)-1]
+	}
+
+	for _, root := range g.Nodes {
+		if !root.Hotpath || root.Unit.Imported || !nodeInScope(pol, root) {
+			continue
+		}
+		walk(root, map[*FuncNode]bool{})
+	}
+}

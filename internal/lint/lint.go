@@ -5,7 +5,7 @@
 // tests guard that property dynamically, this package guards it
 // statically.
 //
-// Seven checks (see the check files for details):
+// Seven intra-unit checks (see the check files for details):
 //
 //	no-wall-clock       time.Now/Since/Sleep/... in simulation code
 //	no-global-rand      package-level math/rand functions
@@ -15,11 +15,25 @@
 //	span-retention      *obs.Span stored in a field or package var
 //	no-reflect-sort     sort.Slice/sort.SliceStable in internal/ code
 //
+// Three interprocedural checks run over a whole-module call graph with
+// per-function determinism summaries (see callgraph.go, summary.go):
+//
+//	taint-wall-clock    simulation code reaching a wall-clock read
+//	                    through helpers outside the base check's scope
+//	taint-rand          simulation code reaching the global rand source
+//	                    through helpers outside the base check's scope
+//	hotpath-alloc       //ddbmlint:hotpath functions must be statically
+//	                    allocation-free, transitively
+//
 // A finding can be suppressed with an annotation comment on the flagged
-// line or the line directly above it:
+// line or stacked comment lines directly above it:
 //
 //	//ddbmlint:ordered <why iteration order cannot matter>
 //	//ddbmlint:allow <check-name> <why this use is audited and safe>
+//
+// and a function is pinned as an allocation-free hot path with
+//
+//	//ddbmlint:hotpath [why this path is hot]
 //
 // Annotations must state their justification; an annotation with no
 // reason, for an unknown check, or that suppresses nothing is itself a
@@ -52,15 +66,15 @@ func (d Diagnostic) String() string {
 	return s
 }
 
-// Check is one analyzer. Run is invoked once per file that the config
-// leaves in scope.
+// Check is one intra-unit analyzer. Run is invoked once per file that the
+// config leaves in scope.
 type Check struct {
 	Name string
 	Doc  string
 	Run  func(p *Pass, f *ast.File)
 }
 
-// Checks is the full suite, in reporting order.
+// Checks is the intra-unit suite, in reporting order.
 var Checks = []Check{
 	{Name: "no-wall-clock", Doc: "wall-clock time in simulation code", Run: runWallClock},
 	{Name: "no-global-rand", Doc: "global math/rand functions", Run: runGlobalRand},
@@ -71,8 +85,28 @@ var Checks = []Check{
 	{Name: "no-reflect-sort", Doc: "reflection-based sort.Slice in hot library code", Run: runReflectSort},
 }
 
+// ModuleCheck is one interprocedural analyzer: it sees the whole call
+// graph and the computed summaries rather than one file.
+type ModuleCheck struct {
+	Name string
+	Doc  string
+	Run  func(mp *ModulePass)
+}
+
+// ModuleChecks is the interprocedural suite, in reporting order.
+var ModuleChecks = []ModuleCheck{
+	{Name: "taint-wall-clock", Doc: "wall-clock reads reached through out-of-scope helpers", Run: runTaintWallClock},
+	{Name: "taint-rand", Doc: "global rand draws reached through out-of-scope helpers", Run: runTaintRand},
+	{Name: "hotpath-alloc", Doc: "allocation sites reachable from //ddbmlint:hotpath functions", Run: runHotpathAlloc},
+}
+
 func checkNameValid(name string) bool {
 	for _, c := range Checks {
+		if c.Name == name {
+			return true
+		}
+	}
+	for _, c := range ModuleChecks {
 		if c.Name == name {
 			return true
 		}
@@ -80,7 +114,7 @@ func checkNameValid(name string) bool {
 	return false
 }
 
-// Pass hands one check everything it needs for one unit.
+// Pass hands one intra-unit check everything it needs for one unit.
 type Pass struct {
 	Fset  *token.FileSet
 	Unit  *Unit
@@ -99,7 +133,20 @@ func (p *Pass) Report(pos token.Pos, msg, hint string) {
 	p.run.report(p.check, pos, msg, hint)
 }
 
-// run is the mutable state of linting one unit.
+// ModulePass hands one interprocedural check the whole-run state.
+type ModulePass struct {
+	Config Config
+	Graph  *CallGraph
+	check  string
+	run    *run
+}
+
+// Report files a diagnostic unless an annotation suppresses it.
+func (mp *ModulePass) Report(pos token.Pos, msg, hint string) {
+	mp.run.report(mp.check, pos, msg, hint)
+}
+
+// run is the mutable state of one whole lint invocation.
 type run struct {
 	fset  *token.FileSet
 	anns  map[string]*fileAnns // filename -> annotations
@@ -115,19 +162,42 @@ func (r *run) report(check string, pos token.Pos, msg, hint string) {
 	r.diags = append(r.diags, Diagnostic{Pos: position, Check: check, Msg: msg, Hint: hint})
 }
 
-// annotationFor finds an annotation for check on line or the line above.
+// annotationFor finds an unshadowed annotation for check on line or on
+// the contiguous run of annotation-bearing lines directly above it, so
+// several single-annotation comment lines can stack over one site.
 func (r *run) annotationFor(file string, line int, check string) *annotation {
 	fa := r.anns[file]
 	if fa == nil {
 		return nil
 	}
-	if a := fa.byLine[line]; a != nil && a.check == check {
+	if a := matchAnnotation(fa.byLine[line], check); a != nil {
 		return a
 	}
-	if a := fa.byLine[line-1]; a != nil && a.check == check {
-		return a
+	for l := line - 1; ; l-- {
+		anns := fa.byLine[l]
+		if len(anns) == 0 {
+			return nil
+		}
+		if a := matchAnnotation(anns, check); a != nil {
+			return a
+		}
+	}
+}
+
+func matchAnnotation(anns []*annotation, check string) *annotation {
+	for _, a := range anns {
+		if a.check == check {
+			return a
+		}
 	}
 	return nil
+}
+
+// Target is one directory to lint, with the import path used for config
+// scope decisions.
+type Target struct {
+	Dir  string
+	Path string
 }
 
 // Runner applies a Config's worth of checks to loaded packages.
@@ -136,18 +206,83 @@ type Runner struct {
 	Config Config
 }
 
-// LintDir lints every unit (package, plus external test package if any)
-// in dir. pkgPath is the import path used for config scope decisions.
+// LintDir lints every unit in a single directory; a convenience wrapper
+// around Lint for one target.
 func (r *Runner) LintDir(dir, pkgPath string) ([]Diagnostic, error) {
-	units, err := r.Loader.LoadDir(dir, pkgPath)
-	if err != nil {
-		return nil, err
+	return r.Lint([]Target{{Dir: dir, Path: pkgPath}})
+}
+
+// Lint runs the whole suite over the target directories as one analysis:
+// intra-unit checks per target unit, then the call graph and summaries
+// over the targets plus every module package they transitively import,
+// then the interprocedural checks. Diagnostics are reported only against
+// target units and returned in deterministic order.
+func (r *Runner) Lint(targets []Target) ([]Diagnostic, error) {
+	var targetUnits []*Unit
+	targetDirs := map[string]bool{}
+	for _, t := range targets {
+		units, err := r.Loader.LoadDir(t.Dir, t.Path)
+		if err != nil {
+			return nil, err
+		}
+		targetUnits = append(targetUnits, units...)
+		for _, u := range units {
+			targetDirs[u.Dir] = true
+		}
 	}
-	var diags []Diagnostic
-	for _, u := range units {
-		diags = append(diags, r.lintUnit(u)...)
+	allUnits := append(slices.Clip(targetUnits), r.Loader.ImportedUnits(targetDirs)...)
+
+	rn := &run{fset: r.Loader.Fset, anns: map[string]*fileAnns{}}
+	// Annotations are collected for every loaded unit so suppression works
+	// wherever a finding lands, but malformed-annotation reporting and the
+	// unused sweep cover only the lint targets.
+	for _, u := range allUnits {
+		for _, f := range u.Files {
+			name := r.Loader.Fset.Position(f.Pos()).Filename
+			if rn.anns[name] != nil {
+				continue
+			}
+			rn.anns[name] = collectAnnotations(r.Loader.Fset, f, rn, !u.Imported)
+		}
 	}
-	slices.SortFunc(diags, func(a, b Diagnostic) int {
+
+	for _, u := range targetUnits {
+		r.lintUnit(u, rn)
+	}
+
+	graph := buildCallGraph(r.Loader.Fset, allUnits, rn)
+	computeSummaries(graph)
+	for _, chk := range ModuleChecks {
+		mp := &ModulePass{Config: r.Config, Graph: graph, check: chk.Name, run: rn}
+		chk.Run(mp)
+	}
+
+	// Stale escapes are findings too: an annotation that suppressed
+	// nothing means the code it excused was fixed (or never needed it).
+	for _, u := range targetUnits {
+		for _, f := range u.Files {
+			name := r.Loader.Fset.Position(f.Pos()).Filename
+			for _, a := range rn.anns[name].list {
+				if a.used {
+					continue
+				}
+				msg := fmt.Sprintf("unused ddbmlint annotation for %q", a.check)
+				hint := "the annotated construct no longer triggers the check; delete the annotation"
+				if a.check == "hotpath" {
+					msg = "ddbmlint:hotpath annotation not attached to a function declaration"
+					hint = "place //ddbmlint:hotpath on the line directly above the func declaration it pins"
+				}
+				rn.diags = append(rn.diags, Diagnostic{
+					Pos:   token.Position{Filename: name, Line: a.line, Column: 1},
+					Check: "annotation",
+					Msg:   msg,
+					Hint:  hint,
+				})
+			}
+		}
+	}
+
+	slices.SortFunc(rn.diags, func(a, b Diagnostic) int {
 		if c := cmp.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
 			return c
 		}
@@ -159,15 +294,10 @@ func (r *Runner) LintDir(dir, pkgPath string) ([]Diagnostic, error) {
 		}
 		return cmp.Compare(a.Check, b.Check)
 	})
-	return diags, nil
+	return rn.diags, nil
 }
 
-func (r *Runner) lintUnit(u *Unit) []Diagnostic {
-	rn := &run{fset: r.Loader.Fset, anns: map[string]*fileAnns{}}
-	for _, f := range u.Files {
-		name := r.Loader.Fset.Position(f.Pos()).Filename
-		rn.anns[name] = collectAnnotations(r.Loader.Fset, f, rn)
-	}
+func (r *Runner) lintUnit(u *Unit, rn *run) {
 	for _, chk := range Checks {
 		pol := r.Config.policy(chk.Name)
 		if !pol.inScope(u.Path) {
@@ -181,20 +311,4 @@ func (r *Runner) lintUnit(u *Unit) []Diagnostic {
 			chk.Run(pass, f)
 		}
 	}
-	// Stale escapes are findings too: an annotation that suppressed
-	// nothing means the code it excused was fixed (or never needed it).
-	for _, f := range u.Files {
-		name := r.Loader.Fset.Position(f.Pos()).Filename
-		for _, a := range rn.anns[name].list {
-			if !a.used {
-				rn.diags = append(rn.diags, Diagnostic{
-					Pos:   token.Position{Filename: name, Line: a.line, Column: 1},
-					Check: "annotation",
-					Msg:   fmt.Sprintf("unused ddbmlint annotation for %q", a.check),
-					Hint:  "the annotated construct no longer triggers the check; delete the annotation",
-				})
-			}
-		}
-	}
-	return rn.diags
 }

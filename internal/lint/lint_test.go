@@ -90,38 +90,48 @@ func TestFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			wants := collectWants(t, dir)
-			for _, d := range diags {
-				key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
-				rendered := fmt.Sprintf("[%s] %s", d.Check, d.Msg)
-				matched := -1
-				for i, w := range wants[key] {
-					if strings.Contains(rendered, w) {
-						matched = i
-						break
-					}
-				}
-				if matched < 0 {
-					t.Errorf("unexpected diagnostic at %s: %s", key, rendered)
-					continue
-				}
-				wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
-				if len(wants[key]) == 0 {
-					delete(wants, key)
-				}
-			}
-			for key, subs := range wants {
-				for _, w := range subs {
-					t.Errorf("missing diagnostic at %s: want %q", key, w)
-				}
-			}
+			matchWants(t, diags, collectWants(t, dir))
 		})
+	}
+}
+
+// matchWants asserts the exact diagnostic set: each // want comment must
+// be hit on its line, and nothing unexpected may fire.
+func matchWants(t *testing.T, diags []Diagnostic, wants map[string][]string) {
+	t.Helper()
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		rendered := fmt.Sprintf("[%s] %s", d.Check, d.Msg)
+		matched := -1
+		for i, w := range wants[key] {
+			if strings.Contains(rendered, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s", key, rendered)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+		if len(wants[key]) == 0 {
+			delete(wants, key)
+		}
+	}
+	for key, subs := range wants {
+		for _, w := range subs {
+			t.Errorf("missing diagnostic at %s: want %q", key, w)
+		}
 	}
 }
 
 // TestRepoLintClean asserts the repository itself carries zero findings —
 // the same gate ci.sh applies via cmd/ddbmlint, enforced from the test
-// suite so a bare `go test ./...` also guards the invariants.
+// suite so a bare `go test ./...` also guards the invariants. All package
+// directories go into one Lint call, exactly like `ddbmlint ./...`: the
+// interprocedural checks need the whole module in a single call graph
+// (a hot path rooted in internal/cc reaches allocation sites, and their
+// audited annotations, in internal/sim).
 func TestRepoLintClean(t *testing.T) {
 	root := findModuleRoot(t)
 	loader, err := NewLoader(root)
@@ -133,18 +143,20 @@ func TestRepoLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var targets []Target
 	for _, rel := range dirs {
 		pkgPath := loader.Module
 		if rel != "." {
 			pkgPath += "/" + rel
 		}
-		diags, err := runner.LintDir(filepath.Join(root, filepath.FromSlash(rel)), pkgPath)
-		if err != nil {
-			t.Fatalf("%s: %v", pkgPath, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
+		targets = append(targets, Target{Dir: filepath.Join(root, filepath.FromSlash(rel)), Path: pkgPath})
+	}
+	diags, err := runner.Lint(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }
 

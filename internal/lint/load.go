@@ -10,19 +10,47 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 )
 
 // Unit is one type-checked body of files: a package together with its
-// in-package _test.go files, or an external (package foo_test) test
-// package. Test membership is tracked per file so policies can exempt
-// tests without a second load path.
+// in-package _test.go files, an external (package foo_test) test package,
+// or — for packages pulled in only as dependencies of the lint targets —
+// the import view of the package (non-test files only). Test membership
+// is tracked per file so policies can exempt tests without a second load
+// path.
 type Unit struct {
 	Path  string // import path used for scope decisions
+	Dir   string // directory the files were parsed from
 	Files []*ast.File
 	Test  map[*ast.File]bool
 	Pkg   *types.Package
 	Info  *types.Info
+	// Imported marks units synthesized from the import view of a
+	// dependency rather than loaded as a lint target: their bodies feed
+	// the call graph, but intra-unit checks and diagnostics do not run
+	// on them.
+	Imported bool
+}
+
+// parsedDir caches one directory's parse so that the import view and the
+// unit view of a package share identical *ast.File values (and therefore
+// identical token positions for every declared object, which is what lets
+// the call graph bridge objects across the two type-checking views).
+type parsedDir struct {
+	files     []*ast.File // non-test files, sorted filename order
+	testFiles []*ast.File // _test.go files, sorted filename order
+}
+
+// impView is the cached import view of one module package: non-test
+// files only, exactly like the go toolchain compiles an imported package,
+// with the type info retained so dependency bodies can feed the call
+// graph.
+type impView struct {
+	pkg   *types.Package
+	info  *types.Info
+	files []*ast.File
 }
 
 // Loader parses and type-checks packages with nothing outside the
@@ -35,8 +63,9 @@ type Loader struct {
 	Module string // module path from go.mod
 
 	std     types.ImporterFrom
-	cache   map[string]*types.Package // import view: non-test files only
+	imports map[string]*impView // import view per module package path
 	loading map[string]bool
+	parsed  map[string]*parsedDir // keyed by cleaned directory path
 }
 
 // NewLoader creates a loader for the module rooted at root.
@@ -65,19 +94,37 @@ func NewLoader(root string) (*Loader, error) {
 		Root:    root,
 		Module:  module,
 		std:     std,
-		cache:   map[string]*types.Package{},
+		imports: map[string]*impView{},
 		loading: map[string]bool{},
+		parsed:  map[string]*parsedDir{},
 	}, nil
 }
 
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	return filepath.Clean(filepath.Join(l.Root, filepath.FromSlash(rel)))
+}
+
 // Import resolves one import path: module packages from source under the
-// module root, anything else via the stdlib source importer.
+// module root, anything else via the stdlib source importer. Module
+// packages are checked as the go toolchain would compile them for an
+// importer — non-test files only — so in-package test files can never
+// manufacture an import cycle.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if !pathMatch(path, l.Module) {
 		return l.std.Import(path)
 	}
-	if pkg, ok := l.cache[path]; ok {
-		return pkg, nil
+	v, err := l.importView(path)
+	if err != nil {
+		return nil, err
+	}
+	return v.pkg, nil
+}
+
+func (l *Loader) importView(path string) (*impView, error) {
+	if v, ok := l.imports[path]; ok {
+		return v, nil
 	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("lint: import cycle through %q", path)
@@ -85,20 +132,20 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
-	dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")))
-	files, _, err := l.parseDir(dir)
+	pd, err := l.parseDir(l.dirFor(path))
 	if err != nil {
 		return nil, err
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s for import %q", dir, path)
+	if len(pd.files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s for import %q", l.dirFor(path), path)
 	}
-	pkg, _, err := l.typecheck(path, files)
+	pkg, info, err := l.typecheck(path, pd.files)
 	if err != nil {
 		return nil, err
 	}
-	l.cache[path] = pkg
-	return pkg, nil
+	v := &impView{pkg: pkg, info: info, files: pd.files}
+	l.imports[path] = v
+	return v, nil
 }
 
 // ImportFrom implements types.ImporterFrom; vendoring is not supported.
@@ -107,12 +154,19 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 }
 
 // parseDir parses every .go file in dir, split into non-test files and
-// _test.go files, in sorted filename order.
-func (l *Loader) parseDir(dir string) (files, testFiles []*ast.File, err error) {
+// _test.go files, in sorted filename order. Each directory is parsed at
+// most once per loader, so every view of a package shares the same
+// *ast.File values and token positions.
+func (l *Loader) parseDir(dir string) (*parsedDir, error) {
+	dir = filepath.Clean(dir)
+	if pd, ok := l.parsed[dir]; ok {
+		return pd, nil
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, fmt.Errorf("lint: %w", err)
+		return nil, fmt.Errorf("lint: %w", err)
 	}
+	pd := &parsedDir{}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
@@ -120,15 +174,16 @@ func (l *Loader) parseDir(dir string) (files, testFiles []*ast.File, err error) 
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, nil, fmt.Errorf("lint: %w", err)
+			return nil, fmt.Errorf("lint: %w", err)
 		}
 		if strings.HasSuffix(name, "_test.go") {
-			testFiles = append(testFiles, f)
+			pd.testFiles = append(pd.testFiles, f)
 		} else {
-			files = append(files, f)
+			pd.files = append(pd.files, f)
 		}
 	}
-	return files, testFiles, nil
+	l.parsed[dir] = pd
+	return pd, nil
 }
 
 // typecheck checks one set of files as a package.
@@ -160,22 +215,24 @@ func (l *Loader) typecheck(path string, files []*ast.File) (*types.Package, *typ
 }
 
 // LoadDir loads the lint units of one directory: the package (with its
-// in-package test files) and, if present, the external test package.
+// in-package test files) and, if present, the external test package. A
+// directory with no Go files is an error — a lint target that silently
+// checks nothing would let a typo in a package pattern pass CI.
 func (l *Loader) LoadDir(dir, pkgPath string) ([]*Unit, error) {
-	files, testFiles, err := l.parseDir(dir)
+	pd, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(files)+len(testFiles) == 0 {
-		return nil, nil
+	if len(pd.files)+len(pd.testFiles) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in lint target %s", dir)
 	}
 	// Split test files into in-package and external (package foo_test).
 	pkgName := ""
-	if len(files) > 0 {
-		pkgName = files[0].Name.Name
+	if len(pd.files) > 0 {
+		pkgName = pd.files[0].Name.Name
 	}
 	var inPkg, external []*ast.File
-	for _, f := range testFiles {
+	for _, f := range pd.testFiles {
 		if pkgName != "" && f.Name.Name == pkgName+"_test" {
 			external = append(external, f)
 		} else {
@@ -183,8 +240,8 @@ func (l *Loader) LoadDir(dir, pkgPath string) ([]*Unit, error) {
 		}
 	}
 	var units []*Unit
-	if len(files)+len(inPkg) > 0 {
-		u, err := l.unit(pkgPath, append(append([]*ast.File{}, files...), inPkg...), inPkg)
+	if len(pd.files)+len(inPkg) > 0 {
+		u, err := l.unit(pkgPath, dir, append(append([]*ast.File{}, pd.files...), inPkg...), inPkg)
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +250,7 @@ func (l *Loader) LoadDir(dir, pkgPath string) ([]*Unit, error) {
 	if len(external) > 0 {
 		// A distinct path: checking "p_test" while importing "p" must not
 		// look like a self-import.
-		u, err := l.unit(pkgPath+"_test", external, external)
+		u, err := l.unit(pkgPath+"_test", dir, external, external)
 		if err != nil {
 			return nil, err
 		}
@@ -202,16 +259,42 @@ func (l *Loader) LoadDir(dir, pkgPath string) ([]*Unit, error) {
 	return units, nil
 }
 
-func (l *Loader) unit(path string, files, testFiles []*ast.File) (*Unit, error) {
+func (l *Loader) unit(path, dir string, files, testFiles []*ast.File) (*Unit, error) {
 	pkg, info, err := l.typecheck(path, files)
 	if err != nil {
 		return nil, err
 	}
-	u := &Unit{Path: path, Files: files, Test: map[*ast.File]bool{}, Pkg: pkg, Info: info}
+	u := &Unit{Path: path, Dir: filepath.Clean(dir), Files: files, Test: map[*ast.File]bool{}, Pkg: pkg, Info: info}
 	for _, f := range testFiles {
 		u.Test[f] = true
 	}
 	return u, nil
+}
+
+// ImportedUnits wraps every module-internal import view loaded so far as
+// an analysis-only Unit, excluding directories already loaded as lint
+// targets. Called after the targets are loaded, it hands the call graph
+// the bodies of every dependency the targets reach, in deterministic
+// (import path) order.
+func (l *Loader) ImportedUnits(excludeDirs map[string]bool) []*Unit {
+	paths := make([]string, 0, len(l.imports))
+	for p := range l.imports {
+		paths = append(paths, p)
+	}
+	slices.Sort(paths)
+	var units []*Unit
+	for _, p := range paths {
+		dir := l.dirFor(p)
+		if excludeDirs[dir] {
+			continue
+		}
+		v := l.imports[p]
+		units = append(units, &Unit{
+			Path: p, Dir: dir, Files: v.files, Test: map[*ast.File]bool{},
+			Pkg: v.pkg, Info: v.info, Imported: true,
+		})
+	}
+	return units
 }
 
 // PackageDirs walks the module tree and returns every directory holding a

@@ -32,27 +32,13 @@ import (
 // //ddbmlint:ordered <why> next to their explicit ordering argument.
 func runMapOrder(p *Pass, f *ast.File) {
 	ast.Inspect(f, func(n ast.Node) bool {
-		var list []ast.Stmt
-		switch n := n.(type) {
-		case *ast.BlockStmt:
-			list = n.List
-		case *ast.CaseClause:
-			list = n.Body
-		case *ast.CommClause:
-			list = n.Body
-		default:
+		list := stmtList(n)
+		if list == nil {
 			return true
 		}
-		for i, s := range list {
-			rs, ok := s.(*ast.RangeStmt)
-			if !ok {
-				continue
-			}
-			if _, isMap := typeUnder(p, rs.X).(*types.Map); !isMap {
-				continue
-			}
-			c := &mapOrderLoop{pass: p, appended: map[types.Object]bool{}}
-			if c.insensitive(rs.Body.List) && c.sortedAfter(list[i+1:]) {
+		for i := range list {
+			rs, bad := sensitiveMapRange(p.Unit.Info, list, i)
+			if !bad {
 				continue
 			}
 			p.Report(rs.For,
@@ -63,8 +49,40 @@ func runMapOrder(p *Pass, f *ast.File) {
 	})
 }
 
-func typeUnder(p *Pass, e ast.Expr) types.Type {
-	t := p.TypeOf(e)
+// stmtList returns the statement list a node carries, or nil.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// sensitiveMapRange reports whether list[i] is a for-range over a map
+// whose body is order-sensitive (and not cleared by the collect-then-sort
+// idiom against the statements that follow it). Shared by the intra-unit
+// map-order check and the interprocedural summary extraction.
+func sensitiveMapRange(info *types.Info, list []ast.Stmt, i int) (*ast.RangeStmt, bool) {
+	rs, ok := list[i].(*ast.RangeStmt)
+	if !ok {
+		return nil, false
+	}
+	if _, isMap := typeUnder(info, rs.X).(*types.Map); !isMap {
+		return nil, false
+	}
+	c := &mapOrderLoop{info: info, appended: map[types.Object]bool{}}
+	if c.insensitive(rs.Body.List) && c.sortedAfter(list[i+1:]) {
+		return nil, false
+	}
+	return rs, true
+}
+
+func typeUnder(info *types.Info, e ast.Expr) types.Type {
+	t := info.TypeOf(e)
 	if t == nil {
 		return nil
 	}
@@ -73,7 +91,7 @@ func typeUnder(p *Pass, e ast.Expr) types.Type {
 
 // mapOrderLoop carries the analysis state of a single map-range loop.
 type mapOrderLoop struct {
-	pass *Pass
+	info *types.Info
 	// appended collects slice variables grown with x = append(x, ...);
 	// the loop is only cleared if each is sorted after the loop.
 	appended map[types.Object]bool
@@ -188,7 +206,7 @@ func (c *mapOrderLoop) appendTarget(s *ast.AssignStmt) types.Object {
 	if !ok || arg.Name != id.Name {
 		return nil
 	}
-	return c.pass.ObjectOf(id)
+	return c.info.ObjectOf(id)
 }
 
 // lhsOK accepts write targets whose iteration-order effects cancel out:
@@ -199,7 +217,7 @@ func (c *mapOrderLoop) lhsOK(e ast.Expr) bool {
 		return id.Name == "_"
 	}
 	if ix, ok := e.(*ast.IndexExpr); ok {
-		_, isMap := typeUnder(c.pass, ix.X).(*types.Map)
+		_, isMap := typeUnder(c.info, ix.X).(*types.Map)
 		return isMap
 	}
 	return false
@@ -210,14 +228,14 @@ func (c *mapOrderLoop) isBuiltin(fun ast.Expr, name string) bool {
 	if !ok {
 		return false
 	}
-	b, ok := c.pass.ObjectOf(id).(*types.Builtin)
+	b, ok := c.info.ObjectOf(id).(*types.Builtin)
 	return ok && b.Name() == name
 }
 
 // isConst reports whether e is a compile-time constant or nil — a value
 // that is the same no matter which iteration returns it.
 func (c *mapOrderLoop) isConst(e ast.Expr) bool {
-	tv, ok := c.pass.Unit.Info.Types[e]
+	tv, ok := c.info.Types[e]
 	return ok && (tv.Value != nil || tv.IsNil())
 }
 
@@ -243,7 +261,7 @@ func (c *mapOrderLoop) sortedAfter(following []ast.Stmt) bool {
 			for _, arg := range call.Args {
 				ast.Inspect(arg, func(an ast.Node) bool {
 					if id, ok := an.(*ast.Ident); ok {
-						if obj := c.pass.ObjectOf(id); obj != nil {
+						if obj := c.info.ObjectOf(id); obj != nil {
 							sorted[obj] = true
 						}
 					}
@@ -267,7 +285,7 @@ var sortFns = map[string]bool{
 }
 
 func (c *mapOrderLoop) isSortCall(sel *ast.SelectorExpr) bool {
-	fn, ok := c.pass.ObjectOf(sel.Sel).(*types.Func)
+	fn, ok := c.info.ObjectOf(sel.Sel).(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return false
 	}

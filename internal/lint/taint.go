@@ -1,0 +1,85 @@
+package lint
+
+import "fmt"
+
+// The taint checks close the cross-scope hole the intra-unit checks
+// leave open: no-wall-clock and no-global-rand exempt some scopes (cmd/
+// harnesses, test files), so a helper there can legally read the host
+// clock — but the moment simulation code calls such a helper, the run is
+// no longer a pure function of the seed, and no single file shows it.
+//
+// A node's taint "escapes" when (a) it directly exhibits the fact while
+// sitting outside the base check's scope (the base check was never going
+// to see it), or (b) it sits outside the taint check's reporting scope
+// and calls a node whose taint escapes (it passes the taint along
+// unreported). The finding fires exactly once, at the boundary: an
+// in-scope function calling an escaped callee. In-scope direct uses are
+// the base check's findings (or its audited annotations), not ours —
+// taint never double-reports them.
+
+func runTaintWallClock(mp *ModulePass) {
+	runTaint(mp, factWallClock, "no-wall-clock", "wall-clock time",
+		"simulation code runs on virtual time: route the work through Sim.Now/Sim.After or move the helper into checked scope")
+}
+
+func runTaintRand(mp *ModulePass) {
+	runTaint(mp, factRand, "no-global-rand", "the global math/rand source",
+		"thread the per-Simulation seeded *rand.Rand into the helper so runs stay a pure function of the seed")
+}
+
+// nodeInScope applies a policy to a graph node.
+func nodeInScope(pol Policy, n *FuncNode) bool {
+	return pol.inScope(n.PkgPath) && !(pol.SkipTests && n.TestFile)
+}
+
+func runTaint(mp *ModulePass, fact factSet, baseCheck, noun, fix string) {
+	g := mp.Graph
+	base := mp.Config.policy(baseCheck)
+	pol := mp.Config.policy(mp.check)
+
+	escaped := make([]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.direct.has(fact) && !nodeInScope(base, n) {
+			escaped[n.Index] = true
+		}
+	}
+	// Propagate escape through out-of-scope intermediaries. Monotone over
+	// a finite bool lattice, nodes visited in index order: deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if escaped[n.Index] || nodeInScope(pol, n) {
+				continue
+			}
+			for _, site := range n.Calls {
+				for _, c := range site.Callees {
+					if escaped[c.Index] {
+						escaped[n.Index] = true
+						changed = true
+						break
+					}
+				}
+				if escaped[n.Index] {
+					break
+				}
+			}
+		}
+	}
+	// Report at the boundary call sites of the lint targets.
+	for _, n := range g.Nodes {
+		if n.Unit.Imported || !nodeInScope(pol, n) {
+			continue
+		}
+		for _, site := range n.Calls {
+			for _, c := range site.Callees {
+				if !escaped[c.Index] {
+					continue
+				}
+				mp.Report(site.Pos,
+					fmt.Sprintf("call to %s reaches %s outside %s scope", c.Name, noun, baseCheck),
+					fmt.Sprintf("call chain: %s -> %s; %s", n.Name, factChain(g, c, fact), fix))
+				break // one finding per call site
+			}
+		}
+	}
+}

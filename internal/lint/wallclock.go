@@ -15,6 +15,20 @@ var wallClockFns = map[string]bool{
 	"NewTimer": true, "NewTicker": true,
 }
 
+// wallClockRef returns the package time function sel refers to when it
+// reads or waits on the host clock, or nil. Shared by the intra-unit
+// check and the interprocedural summary extraction.
+func wallClockRef(info *types.Info, sel *ast.SelectorExpr) *types.Func {
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return nil
+	}
+	if wallClockFns[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+		return fn
+	}
+	return nil
+}
+
 // runWallClock flags wall-clock time in simulation code: the simulator is
 // a virtual-time machine, and a single time.Now or time.Sleep couples a
 // run to the host scheduler and destroys seed determinism.
@@ -24,11 +38,7 @@ func runWallClock(p *Pass, f *ast.File) {
 		if !ok {
 			return true
 		}
-		fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-			return true
-		}
-		if wallClockFns[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+		if fn := wallClockRef(p.Unit.Info, sel); fn != nil {
 			p.Report(sel.Pos(),
 				fmt.Sprintf("wall-clock time.%s in simulation code", fn.Name()),
 				"simulation code runs on virtual time: use Sim.Now, Sim.After, or Proc.Delay")

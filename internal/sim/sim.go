@@ -110,7 +110,7 @@ func (s *Sim) releaseEvent(e *Event) {
 // order a pure function of the call sequence.
 func (s *Sim) enqueue(e *Event, at Time) {
 	if at < s.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now)) //ddbmlint:allow hotpath-alloc kernel-bug panic path; the run is already dead
 	}
 	s.seq++
 	e.at = at
@@ -142,7 +142,7 @@ func (s *Sim) After(d Time, fn func()) *Event {
 // corrupting the queue.
 func (s *Sim) scheduleProc(at Time, p *Proc) {
 	if p.ev.index >= 0 {
-		panic(fmt.Sprintf("sim: process %q already has a pending resume", p.name))
+		panic(fmt.Sprintf("sim: process %q already has a pending resume", p.name)) //ddbmlint:allow hotpath-alloc kernel-bug panic path; the run is already dead
 	}
 	p.ev.canceled = false
 	s.enqueue(&p.ev, at)

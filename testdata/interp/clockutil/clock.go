@@ -1,0 +1,23 @@
+// Package clockutil stands in for exempt-scope tooling (the cmd/
+// harnesses of the real module): the base no-wall-clock check does not
+// cover it, so its taint must be caught at the boundary by any caller in
+// simulation scope.
+package clockutil
+
+import "time"
+
+// Stamp reads the host clock; legal here, tainted for callers.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Elapsed is a transitive wrapper: the taint flows through it.
+func Elapsed() int64 { return Stamp() }
+
+// Pure is clock-free; calling it from simulation scope is fine.
+func Pure(x int) int { return x + 1 }
+
+// Clock matches simcode.Ticker by method name and signature, so the
+// over-approximated interface dispatch reaches its wall-clock read.
+type Clock struct{}
+
+// Tick reads the host clock behind an interface.
+func (Clock) Tick() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,78 @@
+// Package hot exercises hotpath-alloc: //ddbmlint:hotpath functions must
+// be statically allocation-free, transitively, with //ddbmlint:allow
+// escapes for audited cold branches.
+package hot
+
+import "fmt"
+
+type entry struct{ v int }
+
+type table struct {
+	scratch []int
+	free    []*entry
+}
+
+//ddbmlint:hotpath fixture steady-state fill path
+func (t *table) fill(buf []int, n int) []int {
+	for i := 0; i < n; i++ {
+		buf = append(buf, i) // caller-owned buffer: exempt
+	}
+	t.scratch = append(t.scratch[:0], n) // explicit [:0] reuse: exempt
+	return buf
+}
+
+//ddbmlint:hotpath fixture free-listed lookup path
+func (t *table) lookup(k int) *entry {
+	if len(t.free) == 0 {
+		return refill(k)
+	}
+	e := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	e.v = k
+	return e
+}
+
+// refill is reached from the hot lookup path, so its allocation is a
+// finding even though refill itself carries no mark.
+func refill(k int) *entry {
+	return &entry{v: k} // want "allocation on hot path: composite literal escaping to the heap"
+}
+
+//ddbmlint:hotpath fixture enumerates every definite site kind
+func sites(t *table, s string, k int) {
+	_ = new(entry)                   // want "allocation on hot path: new"
+	_ = make([]int, 4)               // want "allocation on hot path: make"
+	t.scratch = append(t.scratch, k) // want "allocation on hot path: append growth beyond capacity"
+	_ = s + "!"                      // want "allocation on hot path: string concatenation"
+	var box any
+	box = entry{v: k} // want "interface boxing in assignment"
+	_ = box
+	f := func() int { return k } // want "function literal"
+	_ = f
+}
+
+// Ticker2 has no implementation anywhere; the dispatch is opaque anyway.
+type Ticker2 interface{ Tick2() }
+
+//ddbmlint:hotpath fixture opaque call kinds
+func opaque(tk Ticker2, f func() int) {
+	tk.Tick2()        // want "dynamic dispatch through interface method"
+	f()               // want "dynamic call through a function value"
+	_ = fmt.Sprint(1) // want "call to external function"
+}
+
+//ddbmlint:hotpath fixture audited cold branch
+func cold(t *table) {
+	if cap(t.scratch) == 0 {
+		t.scratch = make([]int, 0, 64) //ddbmlint:allow hotpath-alloc fixture cold warmup branch
+	}
+}
+
+//ddbmlint:hotpath not attached to a declaration // want "not attached to a function declaration"
+var Unattached = 0
+
+var _ = (*table).fill
+var _ = (*table).lookup
+var _ = sites
+var _ = opaque
+var _ = cold

@@ -1,0 +1,47 @@
+// Package simcode stands in for simulation scope: every path by which
+// the host clock or the global rand source can reach it must be a
+// finding at the boundary call site, with the chain in the hint.
+package simcode
+
+import (
+	"ddbm/testdata/interp/clockutil"
+	"ddbm/testdata/interp/randutil"
+)
+
+// Ticker is dispatched over an interface; candidates are matched by
+// method name and signature, so clockutil.Clock's wall-clock Tick is
+// reachable here even without an explicit conversion.
+type Ticker interface {
+	Tick() int64
+}
+
+func direct() int64 {
+	return clockutil.Stamp() // want "reaches wall-clock time outside no-wall-clock scope"
+}
+
+func transitive() int64 {
+	return clockutil.Elapsed() // want "reaches wall-clock time outside no-wall-clock scope"
+}
+
+func viaInterface(t Ticker) int64 {
+	return t.Tick() // want "reaches wall-clock time outside no-wall-clock scope"
+}
+
+func clean(x int) int {
+	return clockutil.Pure(x)
+}
+
+func seeded(n int) int {
+	return randutil.Draw(n) // want "reaches the global math/rand source outside no-global-rand scope"
+}
+
+func audited() int64 {
+	return clockutil.Stamp() //ddbmlint:allow taint-wall-clock fixture audits this boundary
+}
+
+var _ = direct
+var _ = transitive
+var _ = viaInterface
+var _ = clean
+var _ = seeded
+var _ = audited

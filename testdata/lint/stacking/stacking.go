@@ -1,0 +1,33 @@
+// Package stacking exercises annotation stacking: one site flagged by
+// two different checks suppresses both, either with two clauses chained
+// in one comment or with separate comment lines stacked above the site.
+package stacking
+
+import "time"
+
+// twoChecksOneLine hits no-naked-goroutine and no-wall-clock on the same
+// line; one chained comment suppresses both.
+func twoChecksOneLine() {
+	go time.Sleep(1) //ddbmlint:allow no-naked-goroutine fixture audits stacking ddbmlint:allow no-wall-clock fixture audits stacking
+}
+
+// stackedLines suppresses the same double finding with two comment lines
+// stacked above the site.
+func stackedLines() {
+	//ddbmlint:allow no-naked-goroutine fixture audits stacked lines
+	//ddbmlint:allow no-wall-clock fixture audits stacked lines
+	go time.Sleep(1)
+}
+
+// halfUsedStack has a stacked annotation that suppresses nothing: the
+// goroutine is real, the wall-clock read is not. Each clause is tracked
+// independently, so the stale one is still a finding.
+func halfUsedStack() {
+	//ddbmlint:allow no-wall-clock nothing here reads the clock // want "unused ddbmlint annotation"
+	//ddbmlint:allow no-naked-goroutine fixture audits a naked goroutine
+	go func() {}()
+}
+
+var _ = twoChecksOneLine
+var _ = stackedLines
+var _ = halfUsedStack
