@@ -62,6 +62,14 @@ go test -run 'TestSteadyStateAllocFree' \
   -bench 'BenchmarkWaitsForEdges|BenchmarkReleaseAll|BenchmarkFindVictims' \
   -benchtime 0.1s -benchmem ./internal/cc/
 
+echo "== transaction-path allocation pin"
+# The end-to-end transaction path (terminals, plans, attempts, envelopes,
+# commit fan-out, locks, CPU/disk queues, metrics) must stay allocation-free
+# in steady state across every commit-protocol variant, and the packages it
+# spans must keep their hot paths statically auditable by ddbmlint.
+go test -run 'TestTxnPathAllocFree' -count=1 ./internal/core/
+go run ./cmd/ddbmlint ./internal/core/ ./internal/commit/ ./internal/network/ ./internal/workload/
+
 echo "== commit-protocol sweep smoke"
 # All three 2PC variants end-to-end at a tiny time scale: a wedged protocol
 # (lost vote, missing ack) deadlocks the simulation and fails loudly here.

@@ -10,8 +10,6 @@
 package bto
 
 import (
-	"sort"
-
 	"ddbm/internal/cc"
 	"ddbm/internal/db"
 )
@@ -121,7 +119,19 @@ func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outco
 			return cc.Granted
 		}
 		cs := m.cohort(co)
-		i := sort.Search(len(ps.pending), func(i int) bool { return ps.pending[i].ts >= ts })
+		// Insertion point: first pending write at or above ts (the pending
+		// list is kept sorted by timestamp). An open-coded binary search —
+		// sort.Search's closure would be this function's only allocation.
+		lo, hi := 0, len(ps.pending)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ps.pending[mid].ts < ts {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		i := lo
 		if i < len(ps.pending) && ps.pending[i].co == co {
 			return cc.Granted // idempotent re-write by the same cohort
 		}

@@ -119,6 +119,17 @@ type TxnMeta struct {
 	// is the node where the decision was made (the notification travels
 	// from there to the coordinator). Installed by the transaction manager.
 	OnAbort func(fromNode int, reason string)
+
+	// detGen/detRank are the deadlock detectors' scratch slot on the
+	// transaction: its rank (graph array index) in the waits-for graph
+	// currently being analysed. Each detection pass draws a globally
+	// unique generation, so a stamp is valid exactly when detGen matches
+	// the asking pass — the per-node detectors and the Snoop's can stamp
+	// the same transaction without any clearing between passes, and no
+	// detector needs a rank map (whose bucket churn allocated under
+	// steady insert/delete).
+	detGen  uint64
+	detRank int32
 }
 
 // RequestAbort asks the transaction manager to abort this attempt. It is
@@ -174,6 +185,19 @@ type CohortMeta struct {
 	resolved    bool // verdict arrived before the cohort parked
 	waitOutcome Outcome
 	blockedAt   sim.Time
+
+	// queuedAt/queued and heldLocks are the cohort's slots in its node's
+	// lock table (the page its queued request waits on, and its held set).
+	// They live on the meta rather than in table-side maps so the
+	// contention path has no map churn: a cohort only ever acquires locks
+	// from the one table of the node it runs on, recorded in lockOwner.
+	// Calls against any other table (a coordinator broadcasting an abort
+	// to every node, say) see foreign state and must treat the cohort as
+	// unknown — exactly what the former map lookups did.
+	lockOwner *LockTable
+	queuedAt  db.PageID
+	queued    bool
+	heldLocks *cohortLocks
 
 	// OnBlocked, if set, observes every blocking episode's duration
 	// (the paper's "average blocking time" metric for 2PL).

@@ -3,6 +3,7 @@ package cc
 import (
 	"cmp"
 	"slices"
+	"sync/atomic"
 )
 
 // txnIDLess orders transactions by ID for the deterministic visit orders
@@ -32,12 +33,21 @@ type Edge struct {
 // Detector is not safe for concurrent use — hold one per manager (or per
 // Snoop process), never share across simulations.
 type Detector struct {
-	// rank maps each transaction to its first-seen position; the adjacency
-	// rows and the colouring/removal arrays are indexed by that rank, which
-	// is stable across the ID-order sort of txns below.
-	rank    map[*TxnMeta]int
-	txns    []*TxnMeta
+	// gen is the globally unique generation of the current detection pass
+	// (drawn from detPass in load). Transactions carry their first-seen
+	// rank stamped with this generation (TxnMeta.detGen/detRank); the
+	// adjacency rows and the colouring/removal arrays are indexed by that
+	// rank, which is stable across the ID-order sort of txns below.
+	gen  uint64
+	txns []*TxnMeta
+	// adj's rows are carved out of the single backing array flat (deg
+	// holds the out-degree counts the carving is planned from): the only
+	// growth quantities are the total node and edge high-water marks,
+	// which converge quickly — per-row capacities, which depend on which
+	// transaction lands on which rank, never would.
 	adj     [][]*TxnMeta
+	flat    []*TxnMeta
+	deg     []int32
 	removed []bool
 	color   []int8
 	stack   []dfsFrame
@@ -49,6 +59,50 @@ type dfsFrame struct {
 	t    *TxnMeta
 	r    int // rank of t: adjacency row index
 	next int
+}
+
+// detPass issues globally unique detection-pass generations (atomic so
+// detectors in concurrently running simulations — parallel tests — never
+// share one). Uniqueness is all that matters: a stack-allocated one-shot
+// Detector at a reused address must not mistake a previous detector's
+// stamps for its own.
+var detPass atomic.Uint64
+
+// Reserve pre-sizes the detector's scratch for graphs of up to nodes
+// transactions and edgeCount waits-for edges, retiring the guarded growth
+// allocations below for any graph within those bounds. The growth sites
+// are self-amortising, but record-sized graphs arrive too rarely for a
+// warmup to retire them deterministically (high-water records thin out as
+// 1/t), so holders with a pinned allocation budget pre-size from their
+// concurrency bound instead.
+func (d *Detector) Reserve(nodes, edgeCount int) {
+	if cap(d.txns) < nodes {
+		d.txns = make([]*TxnMeta, 0, nodes)
+	}
+	if cap(d.deg) < nodes {
+		d.deg = make([]int32, 0, nodes)
+	}
+	if cap(d.adj) < nodes {
+		d.adj = make([][]*TxnMeta, 0, nodes)
+	}
+	if cap(d.removed) < nodes {
+		d.removed = make([]bool, 0, nodes)
+	}
+	if cap(d.color) < nodes {
+		d.color = make([]int8, 0, nodes)
+	}
+	if cap(d.stack) < nodes {
+		d.stack = make([]dfsFrame, 0, nodes)
+	}
+	if cap(d.cycle) < nodes {
+		d.cycle = make([]*TxnMeta, 0, nodes)
+	}
+	if cap(d.victims) < nodes {
+		d.victims = make([]*TxnMeta, 0, nodes)
+	}
+	if cap(d.flat) < edgeCount {
+		d.flat = make([]*TxnMeta, 0, edgeCount)
+	}
 }
 
 // FindVictims detects every cycle in the waits-for graph described by edges
@@ -86,10 +140,10 @@ func (d *Detector) FindVictims(edges []Edge) []*TxnMeta {
 		if victim == nil {
 			// Every member is already dying or committing; the cycle will
 			// break on its own. Drop one member so detection terminates.
-			d.removed[d.rank[cycle[0]]] = true
+			d.removed[cycle[0].detRank] = true
 			continue
 		}
-		d.removed[d.rank[victim]] = true
+		d.removed[victim.detRank] = true
 		d.victims = append(d.victims, victim) //ddbmlint:allow hotpath-alloc victim scratch grows to its high-water mark
 	}
 }
@@ -97,44 +151,70 @@ func (d *Detector) FindVictims(edges []Edge) []*TxnMeta {
 // load rebuilds the graph arrays from edges: txns in first-seen order then
 // sorted by ID, adjacency rows in edge order then each sorted by ID —
 // exactly the orders the former map-based construction produced, so the
-// victim sequence is unchanged.
+// victim sequence is unchanged. Rows are carved from one flat backing
+// array sized by counting out-degrees first.
 func (d *Detector) load(edges []Edge) {
-	if d.rank == nil {
-		d.rank = make(map[*TxnMeta]int) //ddbmlint:allow hotpath-alloc first call on this Detector only
-	} else {
-		clear(d.rank)
-	}
+	d.gen = detPass.Add(1)
 	d.txns = d.txns[:0]
-	for i := range d.adj {
-		d.adj[i] = d.adj[i][:0]
+	total := 0
+	for _, e := range edges {
+		if e.Waiter == e.Blocker {
+			continue
+		}
+		d.note(e.Waiter)
+		d.note(e.Blocker)
+		total++
+	}
+	n := len(d.txns)
+	if cap(d.deg) < n {
+		d.deg = make([]int32, n) //ddbmlint:allow hotpath-alloc guarded growth to the graph's high-water size
+	} else {
+		d.deg = d.deg[:n]
+		clear(d.deg)
+	}
+	for _, e := range edges {
+		if e.Waiter != e.Blocker {
+			d.deg[e.Waiter.detRank]++
+		}
+	}
+	if cap(d.flat) < total {
+		d.flat = make([]*TxnMeta, total) //ddbmlint:allow hotpath-alloc guarded growth to the edge-count high-water mark
+	} else {
+		d.flat = d.flat[:total]
+	}
+	if cap(d.adj) < n {
+		d.adj = make([][]*TxnMeta, n) //ddbmlint:allow hotpath-alloc guarded growth to the graph's high-water size
+	} else {
+		d.adj = d.adj[:n]
+	}
+	off := 0
+	for r := 0; r < n; r++ {
+		end := off + int(d.deg[r])
+		d.adj[r] = d.flat[off:off:end]
+		off = end
 	}
 	for _, e := range edges {
 		if e.Waiter == e.Blocker {
 			continue
 		}
-		w := d.note(e.Waiter)
-		d.note(e.Blocker)
-		d.adj[w] = append(d.adj[w], e.Blocker) //ddbmlint:allow hotpath-alloc adjacency rows grow to their high-water mark
+		w := e.Waiter.detRank
+		d.adj[w] = append(d.adj[w], e.Blocker) //ddbmlint:allow hotpath-alloc never grows: rows are carved with capacity for each row's counted out-degree
 	}
 	slices.SortFunc(d.txns, txnIDLess)
-	for i := range d.adj[:len(d.txns)] {
+	for i := range d.adj {
 		slices.SortFunc(d.adj[i], txnIDLess)
 	}
 }
 
-// note assigns t its first-seen rank (growing the adjacency table in step)
-// and returns it.
-func (d *Detector) note(t *TxnMeta) int {
-	if r, ok := d.rank[t]; ok {
-		return r
+// note assigns t its first-seen rank for this pass, stamping it with the
+// pass generation.
+func (d *Detector) note(t *TxnMeta) {
+	if t.detGen == d.gen {
+		return
 	}
-	r := len(d.txns)
-	d.rank[t] = r
+	t.detGen = d.gen
+	t.detRank = int32(len(d.txns))
 	d.txns = append(d.txns, t) //ddbmlint:allow hotpath-alloc node scratch grows to its high-water mark
-	if len(d.adj) < len(d.txns) {
-		d.adj = append(d.adj, nil) //ddbmlint:allow hotpath-alloc adjacency table grows to its high-water mark
-	}
-	return r
 }
 
 // findCycle returns the transactions on some cycle of the graph, or nil if
@@ -155,7 +235,7 @@ func (d *Detector) findCycle() []*TxnMeta {
 		clear(d.color)
 	}
 	for _, start := range d.txns {
-		sr := d.rank[start]
+		sr := int(start.detRank)
 		if d.removed[sr] || d.color[sr] != white {
 			continue
 		}
@@ -168,7 +248,7 @@ func (d *Detector) findCycle() []*TxnMeta {
 			for f.next < len(succ) {
 				t := succ[f.next]
 				f.next++
-				nr := d.rank[t]
+				nr := int(t.detRank)
 				if d.removed[nr] {
 					continue
 				}

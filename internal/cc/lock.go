@@ -25,9 +25,16 @@ func (m LockMode) String() string {
 // can coexist.
 func Compatible(a, b LockMode) bool { return a == LockS && b == LockS }
 
+// lockHolder is one member of an entry's holder set: a node in the
+// intrusive singly-linked holder list, kept in grant order (append at the
+// tail). Nodes are recycled through the table's free list — a linked list
+// rather than a slice because holder counts vary wildly across pages, so
+// per-entry array capacities never converge under free-list reuse and the
+// occasional regrowth kept the steady state from being allocation-free.
 type lockHolder struct {
 	co   *CohortMeta
 	mode LockMode
+	next *lockHolder
 }
 
 // lockReq is one queued request: a node in its entry's intrusive FIFO wait
@@ -45,7 +52,9 @@ type lockReq struct {
 // through the table's free list when a page's last holder and waiter leave.
 type lockEntry struct {
 	page     db.PageID
-	holders  []lockHolder
+	hhead    *lockHolder
+	htail    *lockHolder
+	hlen     int
 	qhead    *lockReq
 	qtail    *lockReq
 	qlen     int
@@ -53,7 +62,7 @@ type lockEntry struct {
 }
 
 func (e *lockEntry) holderMode(co *CohortMeta) (LockMode, bool) {
-	for _, h := range e.holders {
+	for h := e.hhead; h != nil; h = h.next {
 		if h.co == co {
 			return h.mode, true
 		}
@@ -61,18 +70,14 @@ func (e *lockEntry) holderMode(co *CohortMeta) (LockMode, bool) {
 	return 0, false
 }
 
-// dropHolder removes co from the holder set, zeroing the vacated tail slot
-// so the backing array does not pin dead cohorts.
-func (e *lockEntry) dropHolder(co *CohortMeta) {
-	for i := range e.holders {
-		if e.holders[i].co == co {
-			last := len(e.holders) - 1
-			copy(e.holders[i:], e.holders[i+1:])
-			e.holders[last] = lockHolder{}
-			e.holders = e.holders[:last]
-			return
+// findHolder returns co's holder node, or nil.
+func (e *lockEntry) findHolder(co *CohortMeta) *lockHolder {
+	for h := e.hhead; h != nil; h = h.next {
+		if h.co == co {
+			return h
 		}
 	}
+	return nil
 }
 
 // pushBack appends q to the wait queue.
@@ -169,8 +174,13 @@ func (cl *cohortLocks) set(page db.PageID, mode LockMode) {
 // O(waiters), not O(locks held).
 type LockTable struct {
 	entries map[db.PageID]*lockEntry
-	held    map[*CohortMeta]*cohortLocks
-	waiting map[*CohortMeta]db.PageID
+
+	// holders and waiters count the cohorts with held locks and with a
+	// queued request; the state itself lives on the CohortMeta (see
+	// queuedAt/heldLocks there), keeping table-side maps — and their
+	// bucket churn — off the contention path.
+	holders int
+	waiters int
 
 	// contended holds every entry with a non-empty wait queue, sorted by
 	// pageLess — the incremental replacement for sorting all entries on
@@ -180,6 +190,7 @@ type LockTable struct {
 	freeEntries *lockEntry
 	freeReqs    *lockReq
 	freeCohorts *cohortLocks
+	freeHolders *lockHolder
 
 	// conflictBuf backs the conflicts slice Lock returns; it is valid only
 	// until the next Lock call.
@@ -188,10 +199,41 @@ type LockTable struct {
 
 // NewLockTable creates an empty lock table.
 func NewLockTable() *LockTable {
-	return &LockTable{
-		entries: make(map[db.PageID]*lockEntry),
-		held:    make(map[*CohortMeta]*cohortLocks),
-		waiting: make(map[*CohortMeta]db.PageID),
+	return &LockTable{entries: make(map[db.PageID]*lockEntry)}
+}
+
+// Reserve pre-sizes the table's scratch and free lists for up to txns
+// concurrently active cohorts each holding up to locksPerCohort locks.
+// The free lists and scratch buffers below are self-amortising, but their
+// growth is driven by high-water records (widest conflict set, most locks
+// held at once) that arrive too rarely for a warmup to retire
+// deterministically — holders with a pinned allocation budget pre-size
+// from their concurrency bounds instead. Reserve performs no locking work,
+// so it is golden-trace safe at any point before the simulation runs.
+func (lt *LockTable) Reserve(txns, locksPerCohort int) {
+	if cap(lt.conflictBuf) < txns {
+		lt.conflictBuf = make([]*CohortMeta, 0, txns)
+	}
+	if cap(lt.contended) < txns {
+		c := make([]*lockEntry, len(lt.contended), txns)
+		copy(c, lt.contended)
+		lt.contended = c
+	}
+	// One queued request per cohort, at most.
+	for i := 0; i < txns; i++ {
+		lt.freeReq(&lockReq{})
+	}
+	// Held sets: one per cohort, each sized for its worst-case lock count.
+	for i := 0; i < txns; i++ {
+		lt.freeCohortLocks(&cohortLocks{locks: make([]heldLock, 0, locksPerCohort)})
+	}
+	// Holder nodes and entries: bounded by the total locks held plus the
+	// queued requests.
+	total := txns*locksPerCohort + txns
+	for i := 0; i < total; i++ {
+		lt.freeEntry(&lockEntry{})
+		h := &lockHolder{next: lt.freeHolders}
+		lt.freeHolders = h
 	}
 }
 
@@ -228,6 +270,46 @@ func (lt *LockTable) freeReq(q *lockReq) {
 	q.co = nil
 	q.next = lt.freeReqs
 	lt.freeReqs = q
+}
+
+// addHolder appends co to e's holder list in grant order.
+func (lt *LockTable) addHolder(e *lockEntry, co *CohortMeta, mode LockMode) {
+	h := lt.freeHolders
+	if h == nil {
+		h = &lockHolder{} //ddbmlint:allow hotpath-alloc free-list warmup; steady state reuses holder nodes
+	} else {
+		lt.freeHolders = h.next
+	}
+	h.co, h.mode, h.next = co, mode, nil
+	if e.htail == nil {
+		e.hhead = h
+	} else {
+		e.htail.next = h
+	}
+	e.htail = h
+	e.hlen++
+}
+
+// dropHolder removes co from e's holder set, recycling the node so dead
+// cohorts are not pinned.
+func (lt *LockTable) dropHolder(e *lockEntry, co *CohortMeta) {
+	var prev *lockHolder
+	for h := e.hhead; h != nil; prev, h = h, h.next {
+		if h.co == co {
+			if prev == nil {
+				e.hhead = h.next
+			} else {
+				prev.next = h.next
+			}
+			if e.htail == h {
+				e.htail = prev
+			}
+			e.hlen--
+			h.co, h.next = nil, lt.freeHolders
+			lt.freeHolders = h
+			return
+		}
+	}
 }
 
 func (lt *LockTable) newCohortLocks() *cohortLocks {
@@ -292,6 +374,12 @@ func (lt *LockTable) unmarkContended(e *lockEntry) {
 //
 //ddbmlint:hotpath steady-state acquire pinned by TestSteadyStateAllocFree
 func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (granted bool, conflicts []*CohortMeta) {
+	if co.lockOwner != lt {
+		// First contact: claim the cohort, abandoning any state a previous
+		// table left on it (tests reuse metas across tables; real cohorts
+		// lock at exactly one node).
+		co.lockOwner, co.heldLocks, co.queued = lt, nil, false
+	}
 	e := lt.entries[page]
 	if e == nil {
 		e = lt.newEntry(page)
@@ -303,7 +391,7 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 			return true, nil // already strong enough
 		}
 		// Upgrade S -> X: grantable only as sole holder.
-		if len(e.holders) == 1 {
+		if e.hlen == 1 {
 			lt.setHolder(e, co, LockX)
 			return true, nil
 		}
@@ -313,9 +401,10 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 		if e.qlen == 1 {
 			lt.markContended(e)
 		}
-		lt.waiting[co] = page
+		co.queuedAt, co.queued = page, true
+		lt.waiters++
 		buf := lt.conflictBuf[:0]
-		for _, h := range e.holders {
+		for h := e.hhead; h != nil; h = h.next {
 			if h.co != co {
 				buf = append(buf, h.co) //ddbmlint:allow hotpath-alloc conflict scratch grows to its high-water mark
 			}
@@ -333,7 +422,7 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 	// which would starve queued upgrades and X requests).
 	if e.qlen == 0 {
 		ok := true
-		for _, h := range e.holders {
+		for h := e.hhead; h != nil; h = h.next {
 			if !Compatible(mode, h.mode) {
 				ok = false
 				break
@@ -349,9 +438,10 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 	if e.qlen == 1 {
 		lt.markContended(e)
 	}
-	lt.waiting[co] = page
+	co.queuedAt, co.queued = page, true
+	lt.waiters++
 	buf := lt.conflictBuf[:0]
-	for _, h := range e.holders {
+	for h := e.hhead; h != nil; h = h.next {
 		if !Compatible(mode, h.mode) {
 			buf = append(buf, h.co) //ddbmlint:allow hotpath-alloc conflict scratch grows to its high-water mark
 		}
@@ -366,18 +456,17 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 }
 
 func (lt *LockTable) setHolder(e *lockEntry, co *CohortMeta, mode LockMode) {
-	for i, h := range e.holders {
-		if h.co == co {
-			e.holders[i].mode = mode
-			lt.held[co].set(e.page, mode)
-			return
-		}
+	if h := e.findHolder(co); h != nil {
+		h.mode = mode
+		co.heldLocks.set(e.page, mode)
+		return
 	}
-	e.holders = append(e.holders, lockHolder{co: co, mode: mode}) //ddbmlint:allow hotpath-alloc holder array capacity survives entry free-list recycling
-	cl := lt.held[co]
+	lt.addHolder(e, co, mode)
+	cl := co.heldLocks
 	if cl == nil {
 		cl = lt.newCohortLocks()
-		lt.held[co] = cl
+		co.heldLocks = cl
+		lt.holders++
 	}
 	cl.set(e.page, mode)
 }
@@ -390,15 +479,19 @@ func (lt *LockTable) setHolder(e *lockEntry, co *CohortMeta, mode LockMode) {
 //
 //ddbmlint:hotpath steady-state release pinned by TestSteadyStateAllocFree
 func (lt *LockTable) ReleaseAll(co *CohortMeta) {
+	if co.lockOwner != lt {
+		return // the cohort never locked anything here
+	}
 	lt.RemoveWaiter(co)
-	cl := lt.held[co]
+	cl := co.heldLocks
 	if cl == nil {
 		return
 	}
-	delete(lt.held, co)
+	co.heldLocks = nil
+	lt.holders--
 	for _, hl := range cl.locks {
 		e := lt.entries[hl.page]
-		e.dropHolder(co)
+		lt.dropHolder(e, co)
 		lt.promote(hl.page, e)
 	}
 	lt.freeCohortLocks(cl)
@@ -409,11 +502,15 @@ func (lt *LockTable) ReleaseAll(co *CohortMeta) {
 //
 //ddbmlint:hotpath waiter withdrawal pinned by TestSteadyStateAllocFree
 func (lt *LockTable) RemoveWaiter(co *CohortMeta) {
-	page, ok := lt.waiting[co]
-	if !ok {
+	if co.lockOwner != lt {
+		return // the cohort never locked anything here
+	}
+	if !co.queued {
 		return
 	}
-	delete(lt.waiting, co)
+	page := co.queuedAt
+	co.queued = false
+	lt.waiters--
 	e := lt.entries[page]
 	var prev *lockReq
 	for q := e.qhead; q != nil; prev, q = q, q.next {
@@ -443,14 +540,14 @@ func (lt *LockTable) promote(page db.PageID, e *lockEntry) {
 	for e.qhead != nil {
 		head := e.qhead
 		if head.upgrade {
-			if len(e.holders) != 1 || e.holders[0].co != head.co {
+			if e.hlen != 1 || e.hhead.co != head.co {
 				return
 			}
-			e.holders[0].mode = LockX
-			lt.held[head.co].set(page, LockX)
+			e.hhead.mode = LockX
+			head.co.heldLocks.set(page, LockX)
 		} else {
 			ok := true
-			for _, h := range e.holders {
+			for h := e.hhead; h != nil; h = h.next {
 				if !Compatible(head.mode, h.mode) {
 					ok = false
 					break
@@ -459,11 +556,12 @@ func (lt *LockTable) promote(page db.PageID, e *lockEntry) {
 			if !ok {
 				return
 			}
-			e.holders = append(e.holders, lockHolder{co: head.co, mode: head.mode}) //ddbmlint:allow hotpath-alloc holder array capacity survives entry free-list recycling
-			cl := lt.held[head.co]
+			lt.addHolder(e, head.co, head.mode)
+			cl := head.co.heldLocks
 			if cl == nil {
 				cl = lt.newCohortLocks()
-				lt.held[head.co] = cl
+				head.co.heldLocks = cl
+				lt.holders++
 			}
 			cl.set(page, head.mode)
 		}
@@ -477,10 +575,11 @@ func (lt *LockTable) promote(page db.PageID, e *lockEntry) {
 		if e.qlen == 0 {
 			lt.unmarkContended(e)
 		}
-		delete(lt.waiting, granted)
+		granted.queued = false
+		lt.waiters--
 		granted.Grant()
 	}
-	if len(e.holders) == 0 && e.qlen == 0 {
+	if e.hlen == 0 && e.qlen == 0 {
 		delete(lt.entries, page)
 		lt.freeEntry(e)
 	}
@@ -488,7 +587,10 @@ func (lt *LockTable) promote(page db.PageID, e *lockEntry) {
 
 // Holds reports the mode co holds on page.
 func (lt *LockTable) Holds(co *CohortMeta, page db.PageID) (LockMode, bool) {
-	cl := lt.held[co]
+	if co.lockOwner != lt {
+		return 0, false
+	}
+	cl := co.heldLocks
 	if cl == nil {
 		return 0, false
 	}
@@ -497,7 +599,10 @@ func (lt *LockTable) Holds(co *CohortMeta, page db.PageID) (LockMode, bool) {
 
 // HeldCount returns the number of locks co holds.
 func (lt *LockTable) HeldCount(co *CohortMeta) int {
-	cl := lt.held[co]
+	if co.lockOwner != lt {
+		return 0
+	}
+	cl := co.heldLocks
 	if cl == nil {
 		return 0
 	}
@@ -510,7 +615,7 @@ func (lt *LockTable) Size() int { return len(lt.entries) }
 
 // WaiterCount returns the number of cohorts currently queued behind a
 // conflicting lock — the probe sampler's blocked-txn gauge.
-func (lt *LockTable) WaiterCount() int { return len(lt.waiting) }
+func (lt *LockTable) WaiterCount() int { return lt.waiters }
 
 // ContendedCount returns the number of pages with a non-empty wait queue.
 func (lt *LockTable) ContendedCount() int { return len(lt.contended) }
@@ -518,7 +623,7 @@ func (lt *LockTable) ContendedCount() int { return len(lt.contended) }
 // Empty reports whether the table holds no locks and no waiters — the
 // quiescence invariant checked at the end of simulations.
 func (lt *LockTable) Empty() bool {
-	return len(lt.held) == 0 && len(lt.waiting) == 0
+	return lt.holders == 0 && lt.waiters == 0
 }
 
 // pageLess is the total order (file, then page) used wherever lock-table
@@ -547,7 +652,7 @@ func (lt *LockTable) AppendWaitsForEdges(node int, edges []Edge) []Edge {
 		for q := e.qhead; q != nil; q, qi = q.next, qi+1 {
 			waiter := q.co.Txn
 			if q.upgrade {
-				for _, h := range e.holders {
+				for h := e.hhead; h != nil; h = h.next {
 					if h.co != q.co && h.co.Txn != waiter {
 						edges = append(edges, Edge{Waiter: waiter, Blocker: h.co.Txn, Node: node})
 					}
@@ -559,7 +664,7 @@ func (lt *LockTable) AppendWaitsForEdges(node int, edges []Edge) []Edge {
 				}
 				continue
 			}
-			for _, h := range e.holders {
+			for h := e.hhead; h != nil; h = h.next {
 				if !Compatible(q.mode, h.mode) && h.co.Txn != waiter {
 					edges = append(edges, Edge{Waiter: waiter, Blocker: h.co.Txn, Node: node})
 				}

@@ -334,7 +334,7 @@ func TestLockTableRandomOpsInvariants(t *testing.T) {
 			for page, e := range lt.entries {
 				x := 0
 				holders := map[*CohortMeta]bool{}
-				for _, h := range e.holders {
+				for h := e.hhead; h != nil; h = h.next {
 					if h.mode == LockX {
 						x++
 					}
@@ -348,14 +348,16 @@ func TestLockTableRandomOpsInvariants(t *testing.T) {
 					t.Errorf("%d X holders on %v", x, page)
 					ok = false
 				}
-				if x == 1 && len(e.holders) != 1 {
+				if x == 1 && e.hlen != 1 {
 					t.Errorf("X shared with others on %v", page)
 					ok = false
 				}
 			}
 		}
+		var cohorts []*CohortMeta
 		for i := 0; i < nCohorts; i++ {
 			co := fakeCohort(int64(i + 1))
+			cohorts = append(cohorts, co)
 			s.Spawn("cohort", func(p *sim.Proc) {
 				co.Proc = p
 				for j := 0; j < 10; j++ {
@@ -389,20 +391,14 @@ func TestLockTableRandomOpsInvariants(t *testing.T) {
 				victims := FindVictims(lt.WaitsForEdges(0))
 				for _, v := range victims {
 					v.AbortRequested = true
-					// Find the victim's cohort and deny it.
-					for co := range lt.waiting {
+					// Find the victim's cohort, deny it and release its locks.
+					for _, co := range cohorts {
 						if co.Txn == v {
 							lt.RemoveWaiter(co)
 							if co.Waiting() {
 								co.Deny()
 							}
-						}
-					}
-					// Release its held locks too.
-					for co := range lt.held {
-						if co.Txn == v {
 							lt.ReleaseAll(co)
-							break
 						}
 					}
 				}

@@ -28,6 +28,17 @@ type Algorithm struct {
 	// phase of commit (via PrepareDeferred). Locking mechanics, deadlock
 	// detection and the Snoop are identical to 2PL.
 	Optimistic bool
+	// MaxTxns and MaxLocksPerCohort, when positive, pre-size every
+	// manager's lock table, detection scratch and the Snoop's gather
+	// buffers for MaxTxns concurrently active transaction attempts each
+	// holding at most MaxLocksPerCohort locks per node. All of those
+	// buffers are self-amortising, but their growth chases high-water
+	// records (widest conflict set, biggest waits-for graph) that arrive
+	// too rarely for a warmup to retire deterministically; pre-sizing from
+	// the machine's concurrency bound makes the steady state
+	// allocation-free outright. Zero leaves the buffers to grow on demand.
+	MaxTxns           int
+	MaxLocksPerCohort int
 }
 
 // NewO2PL creates the O2PL variant: read locks at access time, write locks
@@ -56,10 +67,20 @@ func (a *Algorithm) Kind() cc.Kind {
 	return cc.TwoPL
 }
 
+// maxEdges bounds one node's waits-for graph: at most MaxTxns waiting
+// cohorts, each blocked by at most MaxTxns others.
+func (a *Algorithm) maxEdges() int { return a.MaxTxns * a.MaxTxns }
+
 // NewManager creates the per-node lock manager.
 func (a *Algorithm) NewManager(env cc.Env) cc.Manager {
-	return &manager{env: env, kind: a.Kind(), lt: cc.NewLockTable(), timeout: a.WaitTimeoutMs,
+	m := &manager{env: env, kind: a.Kind(), lt: cc.NewLockTable(), timeout: a.WaitTimeoutMs,
 		waitSeq: make(map[*cc.CohortMeta]int64)}
+	if a.MaxTxns > 0 {
+		m.lt.Reserve(a.MaxTxns, max(1, a.MaxLocksPerCohort))
+		m.det.Reserve(a.MaxTxns, a.maxEdges())
+		m.edgeBuf = make([]cc.Edge, 0, a.maxEdges())
+	}
+	return m
 }
 
 type manager struct {
@@ -169,44 +190,85 @@ func (m *manager) PrepareDeferred(co *cc.CohortMeta, pages []db.PageID, done fun
 	})
 }
 
+// snoopNode is the Snoop's per-node state: the node's manager and the
+// reused buffer its waits-for snapshot is collected into. The buffer is
+// refilled at most once per round and the snoop copies every reply out
+// before the next round begins, so reuse cannot alias live data.
+type snoopNode struct {
+	mgr   *manager
+	edges []cc.Edge
+}
+
 // StartGlobal launches the Snoop process: each node in turn waits
 // DetectionIntervalMs, gathers waits-for edges from all other nodes via
 // real (CPU-costed) messages, resolves global cycles, and passes the role
 // to the next node round-robin.
+//
+// The request and reply continuations for every (snoop node, polled node)
+// pair are bound once at startup and each node's snapshot lives in a
+// reused buffer, so the rounds themselves — which run for the whole
+// simulation at the detection interval — are allocation-free in steady
+// state.
 func (a *Algorithm) StartGlobal(g cc.GlobalEnv) {
 	if a.WaitTimeoutMs > 0 {
 		return // timeout scheme: no Snoop
 	}
-	if g.NumProcNodes() < 2 {
+	n := g.NumProcNodes()
+	if n < 2 {
 		return // local detection already sees the whole graph
 	}
 	g.Sim().Spawn("snoop", func(p *sim.Proc) {
 		mail := g.Sim().NewMailbox()
+		nodes := make([]snoopNode, n)
+		for o := range nodes {
+			nodes[o].mgr = g.ManagerAt(o).(*manager)
+		}
+		requests := make([][]func(), n)
+		for at := 0; at < n; at++ {
+			requests[at] = make([]func(), n)
+			for o := 0; o < n; o++ {
+				if o == at {
+					continue
+				}
+				at, o, nd := at, o, &nodes[o]
+				reply := func() { mail.Send(&nd.edges) }
+				requests[at][o] = func() {
+					nd.edges = nd.mgr.lt.AppendWaitsForEdges(o, nd.edges[:0])
+					g.SendControl(o, at, reply)
+				}
+			}
+		}
+		var all []cc.Edge
 		node := 0
 		var det cc.Detector // reused across rounds; victims are consumed before the next one
+		if a.MaxTxns > 0 {
+			e := a.maxEdges()
+			for o := range nodes {
+				nodes[o].edges = make([]cc.Edge, 0, e)
+			}
+			all = make([]cc.Edge, 0, n*e)
+			det.Reserve(a.MaxTxns, n*e)
+		}
 		for {
 			p.Delay(a.DetectionIntervalMs)
 			snoopAt := node
 			expect := 0
-			for o := 0; o < g.NumProcNodes(); o++ {
+			for o := 0; o < n; o++ {
 				if o == snoopAt {
 					continue
 				}
-				o := o
 				expect++
-				g.SendControl(snoopAt, o, func() {
-					edges := g.ManagerAt(o).(cc.WaitsForProvider).WaitsForEdges()
-					g.SendControl(o, snoopAt, func() { mail.Send(edges) })
-				})
+				g.SendControl(snoopAt, o, requests[snoopAt][o])
 			}
-			all := g.ManagerAt(snoopAt).(cc.WaitsForProvider).WaitsForEdges()
+			self := &nodes[snoopAt]
+			all = self.mgr.lt.AppendWaitsForEdges(snoopAt, all[:0])
 			for i := 0; i < expect; i++ {
-				all = append(all, mail.Recv(p).([]cc.Edge)...)
+				all = append(all, *mail.Recv(p).(*[]cc.Edge)...)
 			}
 			for _, v := range det.FindVictims(all) {
 				v.RequestAbort(snoopAt, "global deadlock")
 			}
-			node = (node + 1) % g.NumProcNodes()
+			node = (node + 1) % n
 		}
 	})
 }

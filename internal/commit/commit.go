@@ -21,6 +21,7 @@ import (
 
 	"ddbm/internal/cc"
 	"ddbm/internal/db"
+	"ddbm/internal/network"
 	"ddbm/internal/sim"
 )
 
@@ -98,10 +99,27 @@ type Ack struct{ Idx int }
 // phase.
 type AbortSignal interface{ CommitAbortSignal() }
 
-// Cohort is the protocol layer's handle on one cohort of one attempt.
+// Message tags for the typed network envelopes the protocol exchanges.
+// Cohort implements network.Handler: node-bound tags run the cohort-side
+// state machine at its node, host-bound tags deliver the cohort's embedded
+// vote/ack into the coordinator's mailbox.
+const (
+	tagPrepare = iota // host → node: run the local first phase and vote
+	tagCommit         // host → node: phase-two COMMIT (release, install, maybe ack)
+	tagAbort          // host → node: ABORT (release, maybe force, maybe ack)
+	tagVote           // node → host: deliver &c.vote to the coordinator
+	tagAck            // node → host: deliver &c.ack to the coordinator
+)
+
+// Cohort is the protocol layer's handle on one cohort of one attempt. It
+// is owned (and free-listed) by the transaction manager; Txn.Attach resets
+// it for each attempt, and all of its protocol messages are pre-bound:
+// the vote and ack travel as pointers to the embedded structs, and the
+// deferred-write and log-force continuations are method values bound once
+// per pooled object, so a steady-state attempt allocates nothing here.
 type Cohort struct {
 	// Idx is the cohort's index within the transaction; votes and acks
-	// carry it back to the coordinator.
+	// carry it back to the coordinator. Assigned by Txn.Attach.
 	Idx int
 	// Meta is the cohort as the concurrency control managers see it.
 	Meta *cc.CohortMeta
@@ -111,12 +129,22 @@ type Cohort struct {
 	ReadOnly bool
 	// Deferred lists write permissions requested only in the prepare phase
 	// (all writes under O2PL, remote-copy writes under
-	// DeferRemoteWriteLocks); the node may block before it can vote.
+	// DeferRemoteWriteLocks); the node may block before it can vote. The
+	// owner refills it per attempt (Attach reslices it to empty, keeping
+	// the backing array).
 	Deferred []db.PageID
 
 	// done marks a cohort resolved before phase two (read-only
 	// short-circuit); fanOut skips it.
 	done bool
+
+	t    *Txn // owning attempt, set by Attach
+	vote Vote // travels by pointer; at most one vote in flight per attempt
+	ack  Ack  // travels by pointer; at most one ack in flight per attempt
+
+	deferredFn  func(ok bool) // c.deferredDone, bound once per pooled cohort
+	voteForceFn func()        // c.votedAfterForce, bound once per pooled cohort
+	ackForceFn  func()        // c.ackAfterForce, bound once per pooled cohort
 }
 
 // Txn is one transaction attempt as the protocol layer sees it: the shared
@@ -126,6 +154,49 @@ type Txn struct {
 	Mail *sim.Mailbox
 	// Cohorts in load order; Vote.Idx and Ack.Idx index this slice.
 	Cohorts []*Cohort
+
+	// Protocol-run state, set at Commit/Abort entry so the cohort-side
+	// handlers can reach the environment and variant flags without any
+	// per-message closure.
+	env          Env
+	tp           *twoPC
+	shortCircuit bool
+}
+
+// Reset prepares a (possibly recycled) Txn for a new attempt: fresh
+// metadata and mailbox, no cohorts. The cohort slice keeps its backing
+// array, so re-attaching the attempt's cohorts does not allocate once the
+// slice has reached the machine's cohort high-water mark.
+//
+//ddbmlint:hotpath per-attempt protocol state reset
+func (t *Txn) Reset(meta *cc.TxnMeta, mail *sim.Mailbox) {
+	t.Meta, t.Mail = meta, mail
+	for i := range t.Cohorts {
+		t.Cohorts[i] = nil
+	}
+	t.Cohorts = t.Cohorts[:0]
+	t.env, t.tp, t.shortCircuit = nil, nil, false
+}
+
+// Attach adds a cohort to the attempt, assigning its index and resetting
+// its per-attempt protocol state. The cohort keeps its Deferred backing
+// array (resliced to empty) and its pre-bound continuations.
+//
+//ddbmlint:hotpath per-attempt cohort registration
+func (t *Txn) Attach(c *Cohort) {
+	c.Idx = len(t.Cohorts)
+	c.t = t
+	c.ReadOnly = false
+	c.done = false
+	c.Deferred = c.Deferred[:0]
+	c.vote = Vote{Idx: c.Idx}
+	c.ack = Ack{Idx: c.Idx}
+	if c.deferredFn == nil {
+		c.deferredFn = c.deferredDone
+		c.voteForceFn = c.votedAfterForce
+		c.ackForceFn = c.ackAfterForce
+	}
+	t.Cohorts = append(t.Cohorts, c) //ddbmlint:allow hotpath-alloc cohort slice grows to the attempt high-water mark and survives recycling
 }
 
 // Env is the narrow facade over the machine resources a commit protocol
@@ -135,9 +206,18 @@ type Txn struct {
 type Env interface {
 	// Host returns the coordinator's node id.
 	Host() int
-	// Send delivers a message between nodes with full per-end message CPU
-	// costs; nil deliver sends a pure-load message (e.g. an ack).
-	Send(from, to int, deliver func())
+	// Send delivers a typed message between nodes with full per-end
+	// message CPU costs; a nil handler sends a pure-load message (e.g. a
+	// commit ack).
+	Send(from, to int, h network.Handler, tag int)
+	// Retain and Release bracket every in-flight reference the protocol
+	// creates to attempt-owned state (envelopes carrying a Cohort, force
+	// and deferred-write continuations): the transaction manager recycles
+	// an attempt's state only once the count drains, so stragglers — late
+	// votes after an early abort return, phase-two deliveries after Commit
+	// returns — never touch recycled memory.
+	Retain()
+	Release()
 	// Manager returns the concurrency control manager at a node.
 	Manager(node int) cc.Manager
 	// NextTS draws the next globally unique, monotone timestamp.
@@ -198,19 +278,23 @@ func New(k Kind) (Protocol, error) {
 	}
 }
 
-// fanOut delivers fn at every live cohort's node, in cohort order — the
-// one primitive behind the prepare, commit phase-two and abort fan-outs.
-// Cohorts already resolved by the read-only short-circuit are skipped. It
+// fanOut sends one tagged envelope to every live cohort's node, in cohort
+// order — the one primitive behind the prepare, commit phase-two and abort
+// fan-outs. Cohorts already resolved by the read-only short-circuit are
+// skipped. Each envelope carries the cohort itself as its handler and
+// holds one attempt reference until the handler's chain completes. It
 // returns the number of messages sent.
-func fanOut(env Env, cohorts []*Cohort, fn func(c *Cohort)) int {
+//
+//ddbmlint:hotpath per-cohort broadcast pinned by TestTxnPathAllocFree
+func fanOut(env Env, cohorts []*Cohort, tag int) int {
 	n := 0
 	for _, c := range cohorts {
 		if c.done {
 			continue
 		}
-		c := c
 		n++
-		env.Send(env.Host(), c.Meta.Node, func() { fn(c) })
+		env.Retain()                              //ddbmlint:allow hotpath-alloc Env facade dispatch; the sole simulation implementation is core's free-listed protocolEnv
+		env.Send(env.Host(), c.Meta.Node, c, tag) //ddbmlint:allow hotpath-alloc Env facade dispatch; the sole simulation implementation is core's free-listed protocolEnv
 	}
 	return n
 }

@@ -5,6 +5,7 @@ import (
 
 	"ddbm/internal/cc"
 	"ddbm/internal/db"
+	"ddbm/internal/network"
 	"ddbm/internal/sim"
 )
 
@@ -50,6 +51,7 @@ type testEnv struct {
 	records     int
 	prepared    int
 	decided     []bool
+	refs        int // Retain/Release balance; must drain to zero
 }
 
 func newTestEnv(nodes int, logging bool) *testEnv {
@@ -61,13 +63,16 @@ func newTestEnv(nodes int, logging bool) *testEnv {
 }
 
 func (e *testEnv) Host() int { return e.host }
-func (e *testEnv) Send(from, to int, deliver func()) {
+func (e *testEnv) Send(from, to int, h network.Handler, tag int) {
 	e.sends++
-	if deliver == nil {
-		deliver = func() {}
-	}
-	e.s.After(0, deliver)
+	e.s.After(0, func() {
+		if h != nil {
+			h.HandleMsg(tag)
+		}
+	})
 }
+func (e *testEnv) Retain()                     { e.refs++ }
+func (e *testEnv) Release()                    { e.refs-- }
 func (e *testEnv) Manager(node int) cc.Manager { return e.mgrs[node] }
 func (e *testEnv) NextTS() int64               { e.ts++; return e.ts }
 func (e *testEnv) Logging() bool               { return e.logging }
@@ -94,14 +99,12 @@ func (e *testEnv) Decided(committed bool)  { e.decided = append(e.decided, commi
 // which cohorts carry no updates.
 func (e *testEnv) newTxn(readOnly ...bool) *Txn {
 	meta := &cc.TxnMeta{ID: 1, TS: 1, AttemptTS: 1}
-	t := &Txn{Meta: meta, Mail: e.s.NewMailbox()}
+	t := &Txn{}
+	t.Reset(meta, e.s.NewMailbox())
 	for i := range e.mgrs {
-		ro := i < len(readOnly) && readOnly[i]
-		t.Cohorts = append(t.Cohorts, &Cohort{
-			Idx:      i,
-			Meta:     &cc.CohortMeta{Txn: meta, Node: i},
-			ReadOnly: ro,
-		})
+		c := &Cohort{Meta: &cc.CohortMeta{Txn: meta, Node: i}}
+		t.Attach(c)
+		c.ReadOnly = i < len(readOnly) && readOnly[i]
 	}
 	return t
 }
@@ -123,6 +126,9 @@ func runCommit(t *testing.T, k Kind, env *testEnv, txn *Txn) bool {
 		}
 	})
 	env.s.Run(1000)
+	if env.refs != 0 {
+		t.Errorf("attempt references leaked: Retain/Release balance = %d after the run drained", env.refs)
+	}
 	return committed
 }
 
@@ -138,6 +144,9 @@ func runAbort(t *testing.T, k Kind, env *testEnv, txn *Txn) {
 		proto.Abort(p, env, txn, len(txn.Cohorts))
 	})
 	env.s.Run(1000)
+	if env.refs != 0 {
+		t.Errorf("attempt references leaked: Retain/Release balance = %d after the run drained", env.refs)
+	}
 }
 
 func TestKindStrings(t *testing.T) {

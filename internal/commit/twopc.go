@@ -10,6 +10,11 @@ import (
 // short-circuits. The phase order is fixed — prepare fan-out, vote
 // collection, decision logging, decision, phase-two fan-out — and matches
 // the paper's centralized protocol exactly when all savings are off.
+//
+// The cohort-side steps run as Cohort methods dispatched from tagged
+// network envelopes (see Cohort.HandleMsg), so one attempt's whole
+// message flow reuses the attempt's pre-bound state instead of chaining
+// closures.
 type twoPC struct {
 	kind Kind
 	// shortCircuitRO lets read-only cohorts vote READ: release locally at
@@ -34,19 +39,22 @@ func (tp *twoPC) Kind() Kind { return tp.kind }
 // Commit drives the coordinator through prepare → decide → resolve. Any
 // failed vote, abort signal, or abort raced in behind a log force returns
 // false with the attempt still unresolved; the caller runs Abort.
+//
+//ddbmlint:hotpath coordinator commit path pinned by TestTxnPathAllocFree
 func (tp *twoPC) Commit(p *sim.Proc, env Env, t *Txn) bool {
 	meta := t.Meta
+	t.env, t.tp = env, tp
 
 	// Phase one: the commit timestamp travels to every cohort in the
 	// "prepare to commit" message (OPT certifies against it).
 	meta.State = cc.Preparing
-	meta.CommitTS = env.NextTS()
+	meta.CommitTS = env.NextTS() //ddbmlint:allow hotpath-alloc Env facade dispatch; the sole simulation implementation is core's free-listed protocolEnv
 
-	if tp.initForce && env.Logging() {
+	if tp.initForce && env.Logging() { //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 		// Presumed commit: force the collecting record before any cohort
 		// can prepare, or a coordinator crash would presume-commit a
 		// transaction that never decided.
-		env.ForceLog(p, false)
+		env.ForceLog(p, false) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 		if meta.AbortRequested {
 			return false
 		}
@@ -61,12 +69,12 @@ func (tp *twoPC) Commit(p *sim.Proc, env Env, t *Txn) bool {
 		// coordinator learns of it before deciding, so the abort wins.
 		return false
 	}
-	env.Prepared()
+	env.Prepared() //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 
-	if env.Logging() && tp.decisionForce(t) {
+	if env.Logging() && tp.decisionForce(t) { //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 		// Force the commit record at the coordinator's node before the
 		// decision becomes durable (and before the response completes).
-		env.ForceLog(p, false)
+		env.ForceLog(p, false) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 		if meta.AbortRequested {
 			// An abort raced in while the force was on disk.
 			return false
@@ -78,17 +86,11 @@ func (tp *twoPC) Commit(p *sim.Proc, env Env, t *Txn) bool {
 	// messages release locks and install updates at each node, and cohorts
 	// acknowledge (CPU load only) where the variant requires it.
 	meta.State = cc.Committing
-	meta.DecisionTS = env.NextTS()
-	env.Decided(true)
-	env.RecordCommit()
+	meta.DecisionTS = env.NextTS() //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	env.Decided(true)              //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	env.RecordCommit()             //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 
-	fanOut(env, t.Cohorts, func(c *Cohort) {
-		env.Manager(c.Meta.Node).Commit(c.Meta)
-		env.InstallCommit(c)
-		if tp.ackCommits {
-			env.Send(c.Meta.Node, env.Host(), nil)
-		}
-	})
+	fanOut(env, t.Cohorts, tagCommit)
 	return true
 }
 
@@ -106,63 +108,188 @@ func (tp *twoPC) Commit(p *sim.Proc, env Env, t *Txn) bool {
 // transaction could overwrite the released reads and then be overwritten
 // by this one), so the short-circuit is suppressed for the whole
 // transaction.
+//
+//ddbmlint:hotpath prepare fan-out pinned by TestTxnPathAllocFree
 func (tp *twoPC) sendPrepares(env Env, t *Txn) {
-	host := env.Host()
-	shortCircuit := tp.shortCircuitRO
-	if shortCircuit {
+	t.shortCircuit = tp.shortCircuitRO
+	if t.shortCircuit {
 		for _, c := range t.Cohorts {
 			if len(c.Deferred) > 0 {
-				shortCircuit = false
+				t.shortCircuit = false
 				break
 			}
 		}
 	}
-	fanOut(env, t.Cohorts, func(c *Cohort) {
-		mgr := env.Manager(c.Meta.Node)
-		if shortCircuit && c.ReadOnly {
-			// The READ vote still runs the local first phase (OPT must
-			// certify the reads) but skips the prepare-record force: a
-			// cohort with nothing to redo or undo has nothing to log.
-			if mgr.Prepare(c.Meta) {
-				mgr.Commit(c.Meta)
-				c.done = true
-				env.Send(c.Meta.Node, host, func() { t.Mail.Send(Vote{Idx: c.Idx, Yes: true, ReadOnly: true}) })
-			} else {
-				env.Send(c.Meta.Node, host, func() { t.Mail.Send(Vote{Idx: c.Idx, Yes: false}) })
-			}
-			return
+	fanOut(env, t.Cohorts, tagPrepare)
+}
+
+// HandleMsg dispatches one delivered protocol envelope for this cohort:
+// the cohort-side steps at its node, or its vote/ack into the
+// coordinator's mailbox at the host. Host-bound deliveries release the
+// attempt reference their envelope held; node-bound steps pass theirs
+// down their continuation chain.
+//
+//ddbmlint:hotpath protocol message dispatch pinned by TestTxnPathAllocFree
+func (c *Cohort) HandleMsg(tag int) {
+	switch tag {
+	case tagPrepare:
+		c.prepare()
+	case tagCommit:
+		c.commitAtNode()
+	case tagAbort:
+		c.abortAtNode()
+	case tagVote:
+		c.t.Mail.Send(&c.vote)
+		c.t.env.Release() //ddbmlint:allow hotpath-alloc Env facade dispatch; the sole simulation implementation is core's free-listed protocolEnv
+	case tagAck:
+		c.t.Mail.Send(&c.ack)
+		c.t.env.Release() //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	}
+}
+
+// prepare runs the cohort's local first phase at its node.
+//
+//ddbmlint:hotpath cohort prepare step pinned by TestTxnPathAllocFree
+func (c *Cohort) prepare() {
+	t := c.t
+	env := t.env
+	mgr := env.Manager(c.Meta.Node) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	if t.shortCircuit && c.ReadOnly {
+		// The READ vote still runs the local first phase (OPT must
+		// certify the reads) but skips the prepare-record force: a
+		// cohort with nothing to redo or undo has nothing to log.
+		if mgr.Prepare(c.Meta) { //ddbmlint:allow hotpath-alloc cc.Manager dispatch; managers are audited by TestSteadyStateAllocFree
+			mgr.Commit(c.Meta) //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
+			c.done = true
+			c.vote.Yes, c.vote.ReadOnly = true, true
+			c.sendVote()
+		} else {
+			c.vote.Yes, c.vote.ReadOnly = false, false
+			c.sendVote()
 		}
-		reply := func(yes bool) {
-			if yes && env.Logging() {
-				// Force the cohort's prepare record before voting yes
-				// (footnote 5: only log pages are forced pre-commit).
-				env.ForceLogAsync(c.Meta.Node, false, func() {
-					env.Send(c.Meta.Node, host, func() { t.Mail.Send(Vote{Idx: c.Idx, Yes: true}) })
-				})
-				return
-			}
-			env.Send(c.Meta.Node, host, func() { t.Mail.Send(Vote{Idx: c.Idx, Yes: yes}) })
+		env.Release() //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+		return
+	}
+	if len(c.Deferred) > 0 {
+		// [Care89]: deferred write permissions are requested only now,
+		// in the first phase of the commit protocol; the node may
+		// block before it can vote. The chain keeps this envelope's
+		// attempt reference until deferredDone finishes.
+		mgr.(cc.DeferredWriter).PrepareDeferred(c.Meta, c.Deferred, c.deferredFn) //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
+		return
+	}
+	c.reply(mgr.Prepare(c.Meta)) //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
+	env.Release()                //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+}
+
+// deferredDone continues prepare once the deferred write permissions are
+// resolved, then releases the prepare envelope's attempt reference.
+//
+//ddbmlint:hotpath deferred-write prepare continuation
+func (c *Cohort) deferredDone(ok bool) {
+	env := c.t.env
+	c.reply(ok && env.Manager(c.Meta.Node).Prepare(c.Meta)) //ddbmlint:allow hotpath-alloc Env/cc.Manager dispatch; see above
+	env.Release()                                           //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+}
+
+// reply votes for the cohort, forcing the prepare record first on a YES
+// vote when logging is modeled.
+//
+//ddbmlint:hotpath cohort vote path pinned by TestTxnPathAllocFree
+func (c *Cohort) reply(yes bool) {
+	env := c.t.env
+	c.vote.Yes, c.vote.ReadOnly = yes, false
+	if yes && env.Logging() { //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+		// Force the cohort's prepare record before voting yes
+		// (footnote 5: only log pages are forced pre-commit).
+		env.Retain()                                         //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+		env.ForceLogAsync(c.Meta.Node, false, c.voteForceFn) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+		return
+	}
+	c.sendVote()
+}
+
+// votedAfterForce sends the YES vote once the prepare record is on disk,
+// releasing the force chain's attempt reference.
+//
+//ddbmlint:hotpath post-force vote continuation
+func (c *Cohort) votedAfterForce() {
+	c.sendVote()
+	c.t.env.Release() //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+}
+
+// sendVote ships the cohort's embedded vote to the coordinator.
+//
+//ddbmlint:hotpath vote send pinned by TestTxnPathAllocFree
+func (c *Cohort) sendVote() {
+	env := c.t.env
+	env.Retain()                                  //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	env.Send(c.Meta.Node, env.Host(), c, tagVote) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+}
+
+// commitAtNode runs phase two at the cohort's node: release locks, install
+// the buffered updates, and acknowledge (CPU load only) where the variant
+// requires it.
+//
+//ddbmlint:hotpath phase-two commit step pinned by TestTxnPathAllocFree
+func (c *Cohort) commitAtNode() {
+	t := c.t
+	env := t.env
+	env.Manager(c.Meta.Node).Commit(c.Meta) //ddbmlint:allow hotpath-alloc Env/cc.Manager dispatch; see above
+	env.InstallCommit(c)                    //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	if t.tp.ackCommits {
+		env.Send(c.Meta.Node, env.Host(), nil, 0) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	}
+	env.Release() //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+}
+
+// abortAtNode resolves the abort at the cohort's node: release locks,
+// force the abort record first where the variant demands it, and
+// acknowledge where required.
+//
+//ddbmlint:hotpath abort step on the transaction path
+func (c *Cohort) abortAtNode() {
+	t := c.t
+	env := t.env
+	env.Manager(c.Meta.Node).Abort(c.Meta) //ddbmlint:allow hotpath-alloc Env/cc.Manager dispatch; see above
+	if t.tp.ackAborts {
+		if t.tp.abortForce && env.Logging() { //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+			env.Retain()                                       //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+			env.ForceLogAsync(c.Meta.Node, true, c.ackForceFn) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+		} else {
+			c.sendAck()
 		}
-		if len(c.Deferred) > 0 {
-			// [Care89]: deferred write permissions are requested only now,
-			// in the first phase of the commit protocol; the node may
-			// block before it can vote.
-			mgr.(cc.DeferredWriter).PrepareDeferred(c.Meta, c.Deferred, func(ok bool) {
-				reply(ok && mgr.Prepare(c.Meta))
-			})
-			return
-		}
-		reply(mgr.Prepare(c.Meta))
-	})
+	}
+	env.Release() //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+}
+
+// ackAfterForce acknowledges the abort once the abort record is on disk,
+// releasing the force chain's attempt reference.
+//
+//ddbmlint:hotpath post-force ack continuation
+func (c *Cohort) ackAfterForce() {
+	c.sendAck()
+	c.t.env.Release() //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+}
+
+// sendAck ships the cohort's embedded abort ack to the coordinator.
+//
+//ddbmlint:hotpath ack send on the abort path
+func (c *Cohort) sendAck() {
+	env := c.t.env
+	env.Retain()                                 //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	env.Send(c.Meta.Node, env.Host(), c, tagAck) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 }
 
 // collectVotes consumes coordinator mail until every cohort has voted yes,
 // returning false on the first no vote or abort signal. Stale messages from
 // the attempt's work phase are ignored.
+//
+//ddbmlint:hotpath vote collection pinned by TestTxnPathAllocFree
 func (tp *twoPC) collectVotes(p *sim.Proc, t *Txn) bool {
 	for votes := 0; votes < len(t.Cohorts); {
 		switch v := t.Mail.Recv(p).(type) {
-		case Vote:
+		case *Vote:
 			if !v.Yes {
 				return false
 			}
@@ -197,27 +324,15 @@ func (tp *twoPC) decisionForce(t *Txn) bool {
 // Presumed abort skips the wait entirely; presumed commit additionally
 // forces an abort record at each cohort before it acknowledges. Stale
 // messages from the doomed attempt are drained and ignored.
+//
+//ddbmlint:hotpath coordinator abort path on the transaction path
 func (tp *twoPC) Abort(p *sim.Proc, env Env, t *Txn, loaded int) {
-	env.Decided(false)
-	host := env.Host()
-	n := fanOut(env, t.Cohorts[:loaded], func(c *Cohort) {
-		node := c.Meta.Node
-		env.Manager(node).Abort(c.Meta)
-		if !tp.ackAborts {
-			return
-		}
-		ack := func() {
-			env.Send(node, host, func() { t.Mail.Send(Ack{Idx: c.Idx}) })
-		}
-		if tp.abortForce && env.Logging() {
-			env.ForceLogAsync(node, true, ack)
-			return
-		}
-		ack()
-	})
+	t.env, t.tp = env, tp
+	env.Decided(false) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	n := fanOut(env, t.Cohorts[:loaded], tagAbort)
 	if tp.ackAborts {
 		for acks := 0; acks < n; {
-			if _, ok := t.Mail.Recv(p).(Ack); ok {
+			if _, ok := t.Mail.Recv(p).(*Ack); ok {
 				acks++
 			}
 		}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ddbm/internal/audit"
 	"ddbm/internal/cc"
@@ -53,6 +53,16 @@ type Machine struct {
 	tsCounter  int64
 	txnCounter int64
 
+	// Transaction-path pools and pre-bound hooks (see txn.go): recycled
+	// attempt states, the untraced OnBlocked method value, the per-node
+	// static cohort process names, and the per-node phase-two write-back
+	// continuations. All bound once at machine construction so the
+	// steady-state transaction path allocates nothing.
+	attemptFree  []*attemptState
+	blockedFn    func(d sim.Time)
+	cohortNames  []string
+	writeBackFns []func()
+
 	// logForces counts modeled log forces over the whole run;
 	// abortLogForces is the subset attributed to abort handling.
 	logForces      int64
@@ -101,13 +111,65 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Audit {
 		m.rec = audit.NewRecorder()
 	}
+	m.blockedFn = m.stats.blocked
 	for i := 0; i < cfg.NumProcNodes; i++ {
 		m.cpus = append(m.cpus, resource.NewCPU(s, cfg.ProcMIPS))
-		m.disks = append(m.disks, resource.NewDiskArray(s, cfg.NumDisks, cfg.MinDiskMs, cfg.MaxDiskMs))
+		d := resource.NewDiskArray(s, cfg.NumDisks, cfg.MinDiskMs, cfg.MaxDiskMs)
+		m.disks = append(m.disks, d)
+		m.cohortNames = append(m.cohortNames, fmt.Sprintf("cohort@%d", i))
+		m.writeBackFns = append(m.writeBackFns, func() { d.WriteAsync(nil) })
 	}
 	m.cpus = append(m.cpus, resource.NewCPU(s, cfg.HostMIPS)) // host
 	m.hostDisks = resource.NewDiskArray(s, cfg.NumDisks, cfg.MinDiskMs, cfg.MaxDiskMs)
 	m.net = network.New(s, m.cpus, cfg.InstPerMsg)
+
+	spread := workload.SpreadHalfToThreeHalves
+	if cfg.SpreadHalfToTwice {
+		spread = workload.SpreadHalfToTwice
+	}
+	m.gen = &workload.Generator{
+		Catalog:     cat,
+		AvgPages:    cfg.AvgPagesPerPartition,
+		WriteProb:   cfg.WriteProb,
+		InstPerPage: cfg.InstPerPage,
+		Spread:      spread,
+	}
+	for _, cl := range cfg.Classes {
+		m.gen.Classes = append(m.gen.Classes, workload.Class{
+			Frac:        cl.Frac,
+			Sequential:  cl.Sequential,
+			FileCount:   cl.FileCount,
+			AvgPages:    cl.AvgPagesPerPartition,
+			WriteProb:   cl.WriteProb,
+			InstPerPage: cl.InstPerPage,
+		})
+	}
+	if err := m.gen.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Pre-size the transaction path from the machine's concurrency bounds
+	// so steady state is allocation-free outright rather than after every
+	// pool's high-water record has been set (records thin out as 1/t, so a
+	// warmup can shrink but never deterministically retire them). None of
+	// the Reserve calls draws randomness or schedules events: runs are
+	// bit-identical with or without them.
+	//
+	// At most NumTerminals transaction attempts exist at once; a restarting
+	// terminal can briefly pin a second plan through in-flight messages.
+	// The CPU job and disk backlog bounds are generous multiples rather
+	// than hard invariants — queues are open, bounded only by service-rate
+	// stability — chosen far above any backlog a saturated configuration
+	// reaches.
+	m.gen.Reserve(2 * cfg.NumTerminals)
+	m.net.Reserve(8 * cfg.NumTerminals)
+	for _, c := range m.cpus {
+		c.Reserve(8 * cfg.NumTerminals)
+	}
+	for _, d := range m.disks {
+		d.Reserve(16 * cfg.NumTerminals)
+	}
+	m.hostDisks.Reserve(16 * cfg.NumTerminals)
 
 	switch cfg.Algorithm {
 	case cc.TwoPL:
@@ -135,33 +197,12 @@ func NewMachine(cfg Config) (*Machine, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
 	}
+	if a, ok := m.algo.(*twopl.Algorithm); ok {
+		a.MaxTxns = cfg.NumTerminals
+		a.MaxLocksPerCohort = m.gen.MaxAccessesPerCohort()
+	}
 	for i := 0; i < cfg.NumProcNodes; i++ {
 		m.mgrs = append(m.mgrs, m.algo.NewManager(cc.Env{Sim: s, Node: i}))
-	}
-
-	spread := workload.SpreadHalfToThreeHalves
-	if cfg.SpreadHalfToTwice {
-		spread = workload.SpreadHalfToTwice
-	}
-	m.gen = &workload.Generator{
-		Catalog:     cat,
-		AvgPages:    cfg.AvgPagesPerPartition,
-		WriteProb:   cfg.WriteProb,
-		InstPerPage: cfg.InstPerPage,
-		Spread:      spread,
-	}
-	for _, cl := range cfg.Classes {
-		m.gen.Classes = append(m.gen.Classes, workload.Class{
-			Frac:        cl.Frac,
-			Sequential:  cl.Sequential,
-			FileCount:   cl.FileCount,
-			AvgPages:    cl.AvgPagesPerPartition,
-			WriteProb:   cl.WriteProb,
-			InstPerPage: cl.InstPerPage,
-		})
-	}
-	if err := m.gen.Validate(); err != nil {
-		return nil, err
 	}
 	return m, nil
 }
@@ -289,7 +330,7 @@ type globalEnv struct{ m *Machine }
 func (g globalEnv) Sim() *sim.Sim                            { return g.m.sim }
 func (g globalEnv) NumProcNodes() int                        { return g.m.cfg.NumProcNodes }
 func (g globalEnv) ManagerAt(node int) cc.Manager            { return g.m.mgrs[node] }
-func (g globalEnv) SendControl(from, to int, deliver func()) { g.m.net.Send(from, to, deliver) }
+func (g globalEnv) SendControl(from, to int, deliver func()) { g.m.net.SendFunc(from, to, deliver) }
 
 // Start launches the workload (terminals) and algorithm-global processes,
 // and schedules the warmup boundary. Exposed separately from Run for tests
@@ -357,7 +398,7 @@ func (m *Machine) result() Result {
 	if n := len(m.stats.respAll); n > 0 {
 		sorted := make([]float64, n)
 		copy(sorted, m.stats.respAll)
-		sort.Float64s(sorted)
+		slices.Sort(sorted)
 		pct := func(p float64) float64 {
 			i := int(p * float64(n-1))
 			return sorted[i]

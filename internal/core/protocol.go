@@ -5,6 +5,7 @@ import (
 	"ddbm/internal/cc"
 	"ddbm/internal/commit"
 	"ddbm/internal/db"
+	"ddbm/internal/network"
 	"ddbm/internal/obs"
 	"ddbm/internal/sim"
 	"ddbm/internal/workload"
@@ -12,16 +13,21 @@ import (
 
 // The coordinator's abort-demanding mailbox messages satisfy
 // commit.AbortSignal so the protocol layer's vote collection treats them as
-// a failed prepare phase.
-func (msgSelfAbort) CommitAbortSignal()   {}
-func (msgAbortNotice) CommitAbortSignal() {}
+// a failed prepare phase. Pointer receivers: the messages travel by
+// pointer out of the free-listed attempt state.
+func (*msgSelfAbort) CommitAbortSignal()   {}
+func (*msgAbortNotice) CommitAbortSignal() {}
 
 // protocolEnv adapts one transaction attempt's view of the machine to
 // commit.Env: it is the narrow facade through which a commit protocol
 // drives the network, the per-node managers, the log disks, and the
-// timestamp source.
+// timestamp source. It is embedded in the attempt state, reset per
+// attempt, and its Retain/Release route the protocol's in-flight
+// references into the attempt's quiescence count.
 type protocolEnv struct {
-	m       *Machine
+	m *Machine
+	a *attemptState // owning attempt, set once at pool growth
+	// txn and attempt identify the attempt for the life-cycle observer.
 	txn     int64
 	attempt int
 	// runs carries the core-side cohort state (plans, audit reads) in the
@@ -33,14 +39,27 @@ type protocolEnv struct {
 	phaseAt sim.Time
 }
 
-func (e *protocolEnv) Host() int                         { return e.m.hostID }
-func (e *protocolEnv) Send(from, to int, deliver func()) { e.m.net.Send(from, to, deliver) }
-func (e *protocolEnv) Manager(node int) cc.Manager       { return e.m.mgrs[node] }
-func (e *protocolEnv) NextTS() int64                     { return e.m.nextTS() }
-func (e *protocolEnv) Logging() bool                     { return e.m.cfg.ModelLogging }
+func (e *protocolEnv) Host() int { return e.m.hostID }
+
+//ddbmlint:hotpath protocol message send pinned by TestTxnPathAllocFree
+func (e *protocolEnv) Send(from, to int, h network.Handler, tag int) {
+	e.m.net.Send(from, to, h, tag)
+}
+
+//ddbmlint:hotpath protocol reference counting pinned by TestTxnPathAllocFree
+func (e *protocolEnv) Retain() { e.a.retain() }
+
+//ddbmlint:hotpath protocol reference counting pinned by TestTxnPathAllocFree
+func (e *protocolEnv) Release() { e.a.release() }
+
+func (e *protocolEnv) Manager(node int) cc.Manager { return e.m.mgrs[node] }
+func (e *protocolEnv) NextTS() int64               { return e.m.nextTS() }
+func (e *protocolEnv) Logging() bool               { return e.m.cfg.ModelLogging }
 
 // ForceLog forces a log record at the coordinator's node: a synchronous
 // priority write on the host's disks, blocking the calling process.
+//
+//ddbmlint:hotpath coordinator log force pinned by TestTxnPathAllocFree
 func (e *protocolEnv) ForceLog(p *sim.Proc, abortPath bool) {
 	e.m.countLogForce(abortPath)
 	e.m.hostDisks.Write(p)
@@ -48,6 +67,8 @@ func (e *protocolEnv) ForceLog(p *sim.Proc, abortPath bool) {
 
 // ForceLogAsync forces a log record at a cohort node's disks, running done
 // when the write completes.
+//
+//ddbmlint:hotpath cohort log force pinned by TestTxnPathAllocFree
 func (e *protocolEnv) ForceLogAsync(node int, abortPath bool, done func()) {
 	e.m.countLogForce(abortPath)
 	e.m.disks[node].WriteAsync(done)
@@ -55,7 +76,10 @@ func (e *protocolEnv) ForceLogAsync(node int, abortPath bool, done func()) {
 
 // InstallCommit applies a committed cohort's buffered updates at its node:
 // audit installs, then one InstPerUpdate CPU burst per updated page to
-// initiate the deferred disk write.
+// initiate the deferred disk write (through the node's pre-bound
+// write-back continuation).
+//
+//ddbmlint:hotpath phase-two update install pinned by TestTxnPathAllocFree
 func (e *protocolEnv) InstallCommit(c *commit.Cohort) {
 	m := e.m
 	run := e.runs[c.Idx]
@@ -69,15 +93,16 @@ func (e *protocolEnv) InstallCommit(c *commit.Cohort) {
 		}
 	}
 	writes := run.plan.NumWrites()
+	wb := m.writeBackFns[node]
 	for w := 0; w < writes; w++ {
-		m.cpus[node].UseAsync(m.cfg.InstPerUpdate, func() {
-			m.disks[node].WriteAsync(nil)
-		})
+		m.cpus[node].UseAsync(m.cfg.InstPerUpdate, wb)
 	}
 }
 
 // RecordCommit registers the committed transaction with the
-// serializability auditor (a no-op unless Config.Audit).
+// serializability auditor (a no-op unless Config.Audit). Deliberately not
+// hotpath-annotated: auditing is off in measured runs, and audited runs
+// trade per-commit record allocation for the serializability check.
 func (e *protocolEnv) RecordCommit() {
 	m := e.m
 	if m.rec == nil {
@@ -101,6 +126,8 @@ func (e *protocolEnv) RecordCommit() {
 // events and close the corresponding commit-phase spans ("prepare" runs
 // from protocol entry to all-votes-collected, "decide" from there to the
 // logged decision). Observation only: no effect on simulated behaviour.
+//
+//ddbmlint:hotpath prepare-phase hook pinned by TestTxnPathAllocFree
 func (e *protocolEnv) Prepared() {
 	e.m.lifecycle(TxnPrepared, e.txn, e.attempt, "")
 	if tr := e.m.tracer; tr != nil {
@@ -109,6 +136,7 @@ func (e *protocolEnv) Prepared() {
 	}
 }
 
+//ddbmlint:hotpath decision hook pinned by TestTxnPathAllocFree
 func (e *protocolEnv) Decided(committed bool) {
 	detail := "commit"
 	if !committed {
@@ -123,6 +151,8 @@ func (e *protocolEnv) Decided(committed bool) {
 
 // countLogForce tallies modeled log forces over the whole run (like
 // MessagesSent, not windowed to the measurement interval).
+//
+//ddbmlint:hotpath log force accounting
 func (m *Machine) countLogForce(abortPath bool) {
 	m.logForces++
 	if abortPath {
@@ -130,31 +160,35 @@ func (m *Machine) countLogForce(abortPath bool) {
 	}
 }
 
-// deferredPages lists the cohort's write permissions that move to the first
-// phase of the commit protocol: every write under O2PL, the remote-copy
-// writes under DeferRemoteWriteLocks ([Care89]).
-func (m *Machine) deferredPages(cp *workload.CohortPlan) []db.PageID {
-	var deferred []db.PageID
+// appendDeferred collects the cohort's write permissions that move to the
+// first phase of the commit protocol: every write under O2PL, the
+// remote-copy writes under DeferRemoteWriteLocks ([Care89]). The
+// destination is the pooled cohort's Deferred buffer, resliced to empty by
+// Txn.Attach, so steady-state collection reuses its backing array.
+//
+//ddbmlint:hotpath deferred-permission collection pinned by TestTxnPathAllocFree
+func (m *Machine) appendDeferred(dst *[]db.PageID, cp *workload.CohortPlan) {
 	for i := range cp.Accesses {
 		a := &cp.Accesses[i]
 		if (m.cfg.Algorithm == cc.O2PL && a.Write) ||
 			(m.cfg.DeferRemoteWriteLocks && a.Remote) {
-			deferred = append(deferred, a.Page)
+			*dst = append(*dst, a.Page) //ddbmlint:allow hotpath-alloc high-water growth; the buffer survives recycling
 		}
 	}
-	return deferred
 }
 
 // abortAttempt resolves a failed attempt: it marks the attempt aborted
 // (with a default reason when no party recorded one) and runs the commit
 // protocol's abort path across the loaded cohorts.
+//
+//ddbmlint:hotpath abort resolution pinned by TestTxnPathAllocFree
 func (m *Machine) abortAttempt(p *sim.Proc, env *protocolEnv, t *commit.Txn, loaded int) {
 	t.Meta.AbortRequested = true
 	if t.Meta.AbortReason == "" {
 		t.Meta.AbortReason = "aborted by coordinator"
 	}
 	env.phaseAt = m.sim.Now()
-	m.proto.Abort(p, env, t, loaded)
+	m.proto.Abort(p, env, t, loaded) //ddbmlint:allow hotpath-alloc Protocol dispatch; the twoPC implementation carries its own hotpath pins
 	// Abort resolution: from the abort decision (Decided(false) fires at
 	// the top of the protocol's abort path, advancing phaseAt) to the
 	// protocol's return. Nil-safe no-op when untraced.

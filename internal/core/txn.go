@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"ddbm/internal/audit"
 	"ddbm/internal/cc"
 	"ddbm/internal/commit"
@@ -13,9 +11,11 @@ import (
 
 // Coordinator mailbox messages for the work phase. Every message a cohort
 // node sends to the coordinator travels through the network with full CPU
-// costs. The commit protocol's own messages (votes, acks) are defined in
-// internal/commit; the abort-demanding messages here implement
-// commit.AbortSignal (see protocol.go).
+// costs. The messages are embedded in the free-listed attempt state and
+// travel by pointer, so sending one allocates nothing. The commit
+// protocol's own messages (votes, acks) are defined in internal/commit;
+// the abort-demanding messages here implement commit.AbortSignal (see
+// protocol.go).
 type (
 	msgCohortDone struct{ idx int }
 	msgSelfAbort  struct {
@@ -25,14 +25,187 @@ type (
 	msgAbortNotice struct{ reason string }
 )
 
-// cohortRun is the coordinator's handle on one cohort of one attempt.
+// Message tags for the typed network envelopes of the work phase. Tag
+// namespaces are per-handler: cohortRun handles the first three,
+// attemptState handles tagAbortNotice.
+const (
+	tagCohortLoad      = iota // host → node: pay startup CPU, spawn the cohort process
+	tagCohortDone             // node → host: deliver &c.doneMsg to the coordinator
+	tagCohortSelfAbort        // node → host: deliver &c.selfAbortMsg to the coordinator
+	tagAbortNotice            // node → host: deliver &a.abortNotice to the coordinator
+)
+
+// attemptState is the complete per-attempt transaction state: the shared
+// metadata, the coordinator's mailbox, the protocol-layer Txn and Env, and
+// the cohort runs. Attempt states are free-listed on the Machine and
+// recycled by quiescence: every in-flight reference to the attempt — a
+// message envelope, a log-force continuation, a running cohort process —
+// holds one count, and the state returns to the pool only when the count
+// drains to zero, so stragglers (late votes after an early abort return,
+// phase-two deliveries after Commit returns, cohorts still winding down
+// after an abort) never touch recycled memory.
+type attemptState struct {
+	m    *Machine
+	meta cc.TxnMeta
+	mail *sim.Mailbox
+	env  protocolEnv
+	txn  commit.Txn
+	runs []*cohortRun
+	// plan is the attempt's share of the transaction plan; the generator
+	// reference is released when the attempt recycles, so the plan's
+	// buffers outlive every straggler that reads them (InstallCommit).
+	plan *workload.TxnPlan
+	refs int
+
+	abortNotice msgAbortNotice
+	onAbortFn   func(fromNode int, reason string) // a.onAbort, bound once
+}
+
+// cohortRun is the coordinator's handle on one cohort of one attempt: the
+// core-side work-phase state plus the embedded protocol-layer Cohort. Its
+// network messages and process entry points are pre-bound, so loading and
+// running a cohort allocates nothing in steady state.
 type cohortRun struct {
 	idx     int
 	attempt int // attempt number, tagging this cohort's trace spans
 	plan    *workload.CohortPlan
-	meta    *cc.CohortMeta
+	meta    cc.CohortMeta
+	proto   commit.Cohort
 	// reads records audit observations (only when auditing is enabled).
 	reads []audit.ReadObs
+
+	a *attemptState
+	m *Machine
+
+	doneMsg      msgCohortDone
+	selfAbortMsg msgSelfAbort
+
+	spawnFn func()            // c.spawn, bound once
+	runFn   func(p *sim.Proc) // c.run, bound once
+}
+
+// acquireAttempt takes an attempt state from the free list (or grows the
+// pool) and resets it for one attempt: fresh metadata with a new attempt
+// timestamp, an empty mailbox and cohort list, and one reference held by
+// the coordinator.
+//
+//ddbmlint:hotpath per-attempt state acquisition pinned by TestTxnPathAllocFree
+func (m *Machine) acquireAttempt(id, origTS int64, attemptNo int, plan *workload.TxnPlan) *attemptState {
+	var a *attemptState
+	if k := len(m.attemptFree); k > 0 {
+		a = m.attemptFree[k-1]
+		m.attemptFree[k-1] = nil
+		m.attemptFree = m.attemptFree[:k-1]
+	} else {
+		a = &attemptState{m: m} //ddbmlint:allow hotpath-alloc pool growth: one state per high-water concurrent attempt
+		a.mail = m.sim.NewMailbox()
+		a.onAbortFn = a.onAbort
+		a.env.m = m
+		a.env.a = a
+	}
+	a.meta = cc.TxnMeta{ID: id, TS: origTS, AttemptTS: m.nextTS(), OnAbort: a.onAbortFn}
+	a.plan = plan
+	m.gen.Retain(plan)
+	a.refs = 1
+	a.env.txn, a.env.attempt, a.env.phaseAt = id, attemptNo, 0
+	a.env.runs = nil
+	a.txn.Reset(&a.meta, a.mail)
+	a.runs = a.runs[:0]
+	return a
+}
+
+// retain adds one in-flight reference to the attempt.
+//
+//ddbmlint:hotpath reference count on every attempt message
+func (a *attemptState) retain() { a.refs++ }
+
+// release drops one reference; at zero the attempt has quiesced — no
+// envelope, continuation or process can reach it — so its mailbox is
+// cleared, its plan reference returned to the generator, and the state
+// pushed back on the machine's free list.
+//
+//ddbmlint:hotpath reference count on every attempt message
+func (a *attemptState) release() {
+	a.refs--
+	if a.refs > 0 {
+		return
+	}
+	if a.refs < 0 {
+		panic("core: attempt reference count underflow")
+	}
+	a.mail.Reset()
+	a.m.gen.Release(a.plan)
+	a.plan = nil
+	a.m.attemptFree = append(a.m.attemptFree, a) //ddbmlint:allow hotpath-alloc free-list push; capacity reaches the concurrent-attempt high-water mark
+}
+
+// onAbort is the pre-bound cc.TxnMeta.OnAbort hook: a manager at fromNode
+// demands the attempt abort, and the notice travels to the coordinator
+// with full message costs. RequestAbort fires it at most once per attempt,
+// so the embedded notice cannot alias itself.
+//
+//ddbmlint:hotpath wound/deadlock abort notification
+func (a *attemptState) onAbort(fromNode int, reason string) {
+	a.abortNotice.reason = reason
+	a.retain()
+	a.m.net.Send(fromNode, a.m.hostID, a, tagAbortNotice)
+}
+
+// HandleMsg delivers the attempt's abort notice into the coordinator's
+// mailbox (the only attempt-level message kind).
+//
+//ddbmlint:hotpath abort-notice delivery
+func (a *attemptState) HandleMsg(int) {
+	a.mail.Send(&a.abortNotice)
+	a.release()
+}
+
+// addCohort appends one cohort run to the attempt, reusing the pooled
+// cohortRun (and its embedded protocol Cohort) at that position.
+//
+//ddbmlint:hotpath per-attempt cohort setup pinned by TestTxnPathAllocFree
+func (a *attemptState) addCohort(cp *workload.CohortPlan, attemptNo int) *cohortRun {
+	n := len(a.runs)
+	if n < cap(a.runs) {
+		a.runs = a.runs[:n+1]
+		if a.runs[n] == nil {
+			a.runs[n] = newCohortRun(a)
+		}
+	} else {
+		a.runs = append(a.runs, newCohortRun(a)) //ddbmlint:allow hotpath-alloc pool growth: one run per high-water cohort slot
+	}
+	c := a.runs[n]
+	c.idx, c.attempt, c.plan = n, attemptNo, cp
+	c.doneMsg = msgCohortDone{idx: n}
+	c.selfAbortMsg = msgSelfAbort{idx: n, reason: "access rejected"}
+	c.reads = c.reads[:0]
+	c.meta = cc.CohortMeta{Txn: &a.meta, Node: cp.Node, OnBlocked: a.m.blockedFn}
+	if tr := a.m.tracer; tr != nil {
+		// Record each blocking episode as a cc-wait span before the stats
+		// tally. The closure exists only on the traced path, so the
+		// disabled path keeps the allocation-free pre-bound method value
+		// above.
+		m, node, id, attempt := a.m, cp.Node, a.meta.ID, attemptNo
+		c.meta.OnBlocked = func(d sim.Time) { //ddbmlint:allow hotpath-alloc traced path only; the untraced path uses the pre-bound blockedFn
+			if d > 0 {
+				tr.Complete(obs.KindCCWait, "cc-wait", node, id, attempt, m.sim.Now()-d)
+			}
+			m.stats.blocked(d)
+		}
+	}
+	c.proto.Meta = &c.meta
+	a.txn.Attach(&c.proto)
+	c.proto.ReadOnly = cp.NumWrites() == 0
+	a.m.appendDeferred(&c.proto.Deferred, cp)
+	return c
+}
+
+// newCohortRun makes a pooled cohort run with its entry points bound.
+func newCohortRun(a *attemptState) *cohortRun {
+	c := &cohortRun{a: a, m: a.m} //ddbmlint:allow hotpath-alloc pool growth: one run per high-water cohort slot
+	c.spawnFn = c.spawn
+	c.runFn = c.run
+	return c
 }
 
 // serializationStamp is the stamp the algorithm promises equivalence to:
@@ -52,15 +225,19 @@ func (m *Machine) serializationStamp(meta *cc.TxnMeta) int64 {
 }
 
 // terminal models one terminal: think, submit a transaction, wait for it to
-// complete successfully, repeat (paper §3.2).
+// complete successfully, repeat (paper §3.2). The transaction plan is
+// acquired from the generator's free list and released when the
+// transaction commits (the attempts' own references keep it alive past
+// any stragglers).
 func (m *Machine) terminal(p *sim.Proc, termID int) {
 	rel := termID % m.cfg.NumRelations
 	class := m.gen.ClassOfTerminal(termID, m.cfg.NumTerminals)
 	rng := m.sim.Rand()
 	for {
 		p.Delay(sim.Exponential(rng, m.cfg.ThinkTimeMs))
-		plan := m.gen.NewClassPlan(rng, rel, class)
-		m.runTransaction(p, &plan)
+		plan := m.gen.AcquireClassPlan(rng, rel, class)
+		m.runTransaction(p, plan)
+		m.gen.Release(plan)
 	}
 }
 
@@ -68,6 +245,8 @@ func (m *Machine) terminal(p *sim.Proc, termID int) {
 // each abort with a delay of one average response time (paper §3.3,
 // [Agra87a]). The terminal process acts as the coordinator, which runs at
 // the host node.
+//
+//ddbmlint:hotpath transaction driver pinned by TestTxnPathAllocFree
 func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
 	id := m.nextTxnID()
 	origTS := m.nextTS() // original startup timestamp, kept across restarts
@@ -99,95 +278,79 @@ func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
 // attempt executes one try of the transaction: load cohorts (sequentially
 // or in parallel), wait for their work phases, then hand the attempt to
 // the configured commit protocol (centralized 2PC by default). It reports
-// whether the attempt committed and, if not, why it aborted.
+// whether the attempt committed and, if not, why it aborted. The abort
+// reason is captured before the coordinator's reference is released: an
+// attempt with no stragglers recycles inside release.
+//
+//ddbmlint:hotpath attempt execution pinned by TestTxnPathAllocFree
 func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *workload.TxnPlan) (bool, string) {
 	cfg := &m.cfg
-	meta := &cc.TxnMeta{ID: id, TS: origTS, AttemptTS: m.nextTS()}
-	mail := m.sim.NewMailbox()
-	meta.OnAbort = func(fromNode int, reason string) {
-		m.net.Send(fromNode, m.hostID, func() { mail.Send(msgAbortNotice{reason: reason}) })
-	}
+	a := m.acquireAttempt(id, origTS, attemptNo, plan)
 
 	// Coordinator process startup at the host.
 	m.cpus[m.hostID].Use(p, cfg.InstPerStartup)
 
-	cohorts := make([]*cohortRun, len(plan.Cohorts))
-	protoCohorts := make([]*commit.Cohort, len(plan.Cohorts))
 	for i := range plan.Cohorts {
-		cp := &plan.Cohorts[i]
-		cm := &cc.CohortMeta{
-			Txn:       meta,
-			Node:      cp.Node,
-			OnBlocked: m.stats.blocked,
-		}
-		if tr := m.tracer; tr != nil {
-			// Record each blocking episode as a cc-wait span before the
-			// stats tally. The closure exists only on the traced path, so
-			// the disabled path keeps the allocation-free direct method
-			// value above.
-			node := cp.Node
-			cm.OnBlocked = func(d sim.Time) {
-				if d > 0 {
-					tr.Complete(obs.KindCCWait, "cc-wait", node, id, attemptNo, m.sim.Now()-d)
-				}
-				m.stats.blocked(d)
-			}
-		}
-		cohorts[i] = &cohortRun{idx: i, attempt: attemptNo, plan: cp, meta: cm}
-		protoCohorts[i] = &commit.Cohort{
-			Idx:      i,
-			Meta:     cohorts[i].meta,
-			ReadOnly: cp.NumWrites() == 0,
-			Deferred: m.deferredPages(cp),
-		}
+		a.addCohort(&plan.Cohorts[i], attemptNo)
 	}
-	t := &commit.Txn{Meta: meta, Mail: mail, Cohorts: protoCohorts}
-	env := &protocolEnv{m: m, txn: id, attempt: attemptNo, runs: cohorts}
+	a.env.runs = a.runs
+	t, env := &a.txn, &a.env
 
 	loaded := 0
 	if cfg.ExecPattern == Sequential || plan.Sequential {
-		for _, c := range cohorts {
-			m.loadCohort(c, mail)
+		for _, c := range a.runs {
+			m.loadCohort(c)
 			loaded++
-			if !m.awaitDone(p, mail, 1) {
+			if !m.awaitDone(p, a.mail, 1) {
 				m.abortAttempt(p, env, t, loaded)
-				return false, meta.AbortReason
+				reason := a.meta.AbortReason
+				a.release()
+				return false, reason
 			}
 		}
 	} else {
-		for _, c := range cohorts {
-			m.loadCohort(c, mail)
+		for _, c := range a.runs {
+			m.loadCohort(c)
 			loaded++
 		}
-		if !m.awaitDone(p, mail, loaded) {
+		if !m.awaitDone(p, a.mail, loaded) {
 			m.abortAttempt(p, env, t, loaded)
-			return false, meta.AbortReason
+			reason := a.meta.AbortReason
+			a.release()
+			return false, reason
 		}
 	}
-	if meta.AbortRequested {
-		m.abortAttempt(p, env, t, len(cohorts))
-		return false, meta.AbortReason
+	if a.meta.AbortRequested {
+		m.abortAttempt(p, env, t, len(a.runs))
+		reason := a.meta.AbortReason
+		a.release()
+		return false, reason
 	}
 
 	env.phaseAt = m.sim.Now()
-	if !m.proto.Commit(p, env, t) {
-		m.abortAttempt(p, env, t, len(cohorts))
-		return false, meta.AbortReason
+	if !m.proto.Commit(p, env, t) { //ddbmlint:allow hotpath-alloc Protocol dispatch; the twoPC implementation carries its own hotpath pins
+		m.abortAttempt(p, env, t, len(a.runs))
+		reason := a.meta.AbortReason
+		a.release()
+		return false, reason
 	}
 	// Commit resolution: from the logged decision (phaseAt was advanced by
 	// Decided) to the protocol's return. Nil-safe no-op when untraced.
 	m.tracer.Complete(obs.KindCommitPhase, "resolve", m.hostID, id, attemptNo, env.phaseAt)
+	a.release()
 	return true, ""
 }
 
 // awaitDone consumes coordinator mail until n cohorts report work-phase
 // completion; it returns false as soon as any abort signal arrives.
+//
+//ddbmlint:hotpath coordinator mail loop pinned by TestTxnPathAllocFree
 func (m *Machine) awaitDone(p *sim.Proc, mail *sim.Mailbox, n int) bool {
 	for done := 0; done < n; {
 		switch mail.Recv(p).(type) {
-		case msgCohortDone:
+		case *msgCohortDone:
 			done++
-		case msgAbortNotice, msgSelfAbort:
+		case *msgAbortNotice, *msgSelfAbort:
 			return false
 		}
 	}
@@ -195,17 +358,51 @@ func (m *Machine) awaitDone(p *sim.Proc, mail *sim.Mailbox, n int) bool {
 }
 
 // loadCohort sends the "load cohort" message; at the destination the
-// process-startup CPU cost is paid and the cohort process begins.
-func (m *Machine) loadCohort(c *cohortRun, mail *sim.Mailbox) {
-	node := c.meta.Node
-	m.net.Send(m.hostID, node, func() {
-		m.cpus[node].UseAsync(m.cfg.InstPerStartup, func() {
-			m.sim.Spawn(fmt.Sprintf("cohort-%d@%d", c.meta.Txn.ID, node), func(cp *sim.Proc) {
-				c.meta.Proc = cp
-				m.runCohort(cp, c, mail)
-			})
-		})
-	})
+// process-startup CPU cost is paid and the cohort process begins. The
+// reference taken here is held until the cohort process exits, so an
+// attempt never recycles under a cohort that is still winding down.
+//
+//ddbmlint:hotpath cohort load pinned by TestTxnPathAllocFree
+func (m *Machine) loadCohort(c *cohortRun) {
+	c.a.retain()
+	m.net.Send(m.hostID, c.meta.Node, c, tagCohortLoad)
+}
+
+// HandleMsg dispatches one delivered work-phase envelope for this cohort:
+// the load step at its node, or its completion/self-abort report into the
+// coordinator's mailbox at the host. Host-bound deliveries release the
+// reference their envelope held; the load step passes its reference to the
+// cohort process.
+//
+//ddbmlint:hotpath work-phase message dispatch pinned by TestTxnPathAllocFree
+func (c *cohortRun) HandleMsg(tag int) {
+	switch tag {
+	case tagCohortLoad:
+		c.m.cpus[c.meta.Node].UseAsync(c.m.cfg.InstPerStartup, c.spawnFn)
+	case tagCohortDone:
+		c.a.mail.Send(&c.doneMsg)
+		c.a.release()
+	case tagCohortSelfAbort:
+		c.a.mail.Send(&c.selfAbortMsg)
+		c.a.release()
+	}
+}
+
+// spawn starts the cohort process once the startup CPU cost is paid. The
+// process name is the node's static cohort name: spawn names are
+// debug-only, and formatting one per load would allocate.
+//
+//ddbmlint:hotpath cohort process start pinned by TestTxnPathAllocFree
+func (c *cohortRun) spawn() {
+	c.m.sim.Spawn(c.m.cohortNames[c.meta.Node], c.runFn)
+}
+
+// run is the cohort process body.
+//
+//ddbmlint:hotpath cohort process body pinned by TestTxnPathAllocFree
+func (c *cohortRun) run(cp *sim.Proc) {
+	c.meta.Proc = cp
+	c.m.runCohort(cp, c)
 }
 
 // runCohort executes a cohort's work phase: for each access, a concurrency
@@ -213,8 +410,11 @@ func (m *Machine) loadCohort(c *cohortRun, mail *sim.Mailbox) {
 // updates, a second (write) concurrency control request — the update itself
 // is buffered until commit. The cohort stops silently if its transaction is
 // already being aborted (the abort protocol handles cleanup), and reports
-// conflicts it loses to the coordinator.
-func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
+// conflicts it loses to the coordinator. Every exit path releases the
+// reference loadCohort took.
+//
+//ddbmlint:hotpath cohort work phase pinned by TestTxnPathAllocFree
+func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun) {
 	cfg := &m.cfg
 	node := c.meta.Node
 	mgr := m.mgrs[node]
@@ -229,6 +429,7 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 		a := &c.plan.Accesses[i]
 		if c.meta.Txn.AbortRequested {
 			m.cohortDone(c, sp)
+			c.a.release()
 			return
 		}
 		if a.Remote {
@@ -239,9 +440,10 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 				continue
 			}
 			cpu.Use(cp, cfg.InstPerCCReq)
-			if mgr.Access(c.meta, a.Page, true) == cc.Aborted {
-				m.reportSelfAbort(c, mail)
+			if mgr.Access(&c.meta, a.Page, true) == cc.Aborted { //ddbmlint:allow hotpath-alloc cc.Manager dispatch; managers are audited by their own alloc pins
+				m.reportSelfAbort(c)
 				m.cohortDone(c, sp)
+				c.a.release()
 				return
 			}
 			continue
@@ -252,26 +454,29 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 		// see the read first so their read rules apply.
 		firstAccessIsWrite := a.Write && !cfg.UpgradeWriteLocks && locksUpFront(cfg.Algorithm)
 		cpu.Use(cp, cfg.InstPerCCReq)
-		if mgr.Access(c.meta, a.Page, firstAccessIsWrite) == cc.Aborted {
-			m.reportSelfAbort(c, mail)
+		if mgr.Access(&c.meta, a.Page, firstAccessIsWrite) == cc.Aborted { //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
+			m.reportSelfAbort(c)
 			m.cohortDone(c, sp)
+			c.a.release()
 			return
 		}
 		if m.rec != nil {
-			c.reads = append(c.reads, audit.ReadObs{Page: a.Page, Saw: m.rec.ObserveRead(a.Page, node)})
+			c.reads = append(c.reads, audit.ReadObs{Page: a.Page, Saw: m.rec.ObserveRead(a.Page, node)}) //ddbmlint:allow hotpath-alloc audit-only path; auditing is off in measured runs
 		}
 		disks.Read(cp)
 		cpu.Use(cp, a.Inst)
 		if a.Write {
 			if c.meta.Txn.AbortRequested {
 				m.cohortDone(c, sp)
+				c.a.release()
 				return
 			}
 			if !firstAccessIsWrite && !deferAllWrites {
 				cpu.Use(cp, cfg.InstPerCCReq)
-				if mgr.Access(c.meta, a.Page, true) == cc.Aborted {
-					m.reportSelfAbort(c, mail)
+				if mgr.Access(&c.meta, a.Page, true) == cc.Aborted { //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
+					m.reportSelfAbort(c)
 					m.cohortDone(c, sp)
+					c.a.release()
 					return
 				}
 			}
@@ -281,7 +486,9 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 		}
 	}
 	m.cohortDone(c, sp)
-	m.net.Send(node, m.hostID, func() { mail.Send(msgCohortDone{idx: c.idx}) })
+	c.a.retain()
+	m.net.Send(node, m.hostID, c, tagCohortDone)
+	c.a.release()
 }
 
 // cohortDone closes a cohort's observability state. Deliberately called
@@ -289,6 +496,8 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun, mail *sim.Mailbox) {
 // killed at simulation shutdown must not record its span (its
 // coordinator's attempt span never records either), and the gauge is only
 // read by the sampler, which has no events left by then.
+//
+//ddbmlint:hotpath cohort exit pinned by TestTxnPathAllocFree
 func (m *Machine) cohortDone(c *cohortRun, sp *obs.Span) {
 	if m.activeCohorts != nil {
 		m.activeCohorts[c.meta.Node]--
@@ -306,12 +515,13 @@ func locksUpFront(k cc.Kind) bool { return k == cc.TwoPL || k == cc.WoundWait }
 // reportSelfAbort tells the coordinator this cohort's access was rejected
 // by concurrency control. If the attempt is already being aborted the
 // coordinator knows, so nothing is sent.
-func (m *Machine) reportSelfAbort(c *cohortRun, mail *sim.Mailbox) {
+//
+//ddbmlint:hotpath cc-reject report pinned by TestTxnPathAllocFree
+func (m *Machine) reportSelfAbort(c *cohortRun) {
 	m.tracer.Instant("cc-reject", c.meta.Node, c.meta.Txn.ID, c.attempt, "")
 	if c.meta.Txn.AbortRequested {
 		return
 	}
-	node := c.meta.Node
-	idx := c.idx
-	m.net.Send(node, m.hostID, func() { mail.Send(msgSelfAbort{idx: idx, reason: "access rejected"}) })
+	c.a.retain()
+	m.net.Send(c.meta.Node, m.hostID, c, tagCohortSelfAbort)
 }

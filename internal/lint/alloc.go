@@ -21,6 +21,13 @@ type allocSite struct {
 var allocExternal = map[string]map[string]bool{
 	"math": nil, // pure arithmetic
 	"cmp":  nil, // comparisons
+	"math/rand": {
+		// The table-driven and rejection-sampling draws on an existing
+		// *rand.Rand are allocation-free; constructors and Perm are not.
+		"Intn": true, "Int63": true, "Int31n": true, "Int63n": true,
+		"Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	},
+	"sync/atomic": nil, // lock-free loads/stores/RMWs on existing memory
 	"slices": {
 		"Sort": true, "SortFunc": true, "SortStableFunc": true,
 		"BinarySearch": true, "BinarySearchFunc": true,

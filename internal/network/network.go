@@ -10,6 +10,32 @@ import (
 	"ddbm/internal/sim"
 )
 
+// Handler receives a delivered message. Receivers are long-lived,
+// pre-bound objects (free-listed attempt/cohort state in internal/core and
+// internal/commit); tag selects among a receiver's message kinds, so one
+// object can be the target of several message types without any per-send
+// allocation.
+type Handler interface {
+	HandleMsg(tag int)
+}
+
+// envelope is one in-flight message. Envelopes are free-listed by the
+// Network and carry pre-bound sender/deliver steps, so a steady-state send
+// allocates nothing: the sender-side CPU step, the receiver-side CPU step,
+// and the tracer wrapping that each used to cost a fresh closure all live
+// here.
+type envelope struct {
+	n        *Network
+	h        Handler
+	tag      int
+	from, to int
+	start    sim.Time // send time, for the transit trace span
+	fn       func()   // legacy closure payload (SendFunc path)
+
+	senderFn  func() // e.senderStep, bound once at creation
+	deliverFn func() // e.deliver, bound once at creation
+}
+
 // Network routes messages between nodes. Node ids index the cpus slice; by
 // convention the host node is the last entry.
 type Network struct {
@@ -17,6 +43,7 @@ type Network struct {
 	cpus       []*resource.CPU
 	instPerMsg float64
 	sent       int64
+	free       []*envelope // recycled envelopes
 	tr         *obs.Tracer
 }
 
@@ -25,39 +52,121 @@ func New(s *sim.Sim, cpus []*resource.CPU, instPerMsg float64) *Network {
 	return &Network{sim: s, cpus: cpus, instPerMsg: instPerMsg}
 }
 
-// Send transmits a message from node `from` to node `to` and runs deliver at
-// the destination once both ends have paid their message-processing CPU
-// cost. Wire time is zero. A message from a node to itself is a local
-// procedure call: no CPU cost, but delivery still goes through the event
-// queue so ordering stays causal.
-func (n *Network) Send(from, to int, deliver func()) {
-	if deliver == nil {
-		deliver = func() {} // pure-load message (e.g. commit acks)
+// Reserve pre-builds msgs pooled envelopes. The pool is self-amortising,
+// but its growth chases the in-flight message high-water mark, whose
+// records arrive too rarely for a warmup to retire deterministically —
+// holders with a pinned allocation budget pre-size from the machine's
+// concurrency bound instead. Golden-trace safe: no randomness, no
+// scheduling.
+func (n *Network) Reserve(msgs int) {
+	if cap(n.free) < msgs {
+		f := make([]*envelope, len(n.free), msgs)
+		copy(f, n.free)
+		n.free = f
 	}
-	if from == to {
-		n.sim.After(0, deliver)
+	for len(n.free) < msgs {
+		e := &envelope{n: n}
+		e.senderFn = e.senderStep
+		e.deliverFn = e.deliver
+		n.free = append(n.free, e)
+	}
+}
+
+// alloc takes a recycled envelope from the free-list or makes a fresh one
+// with its dispatch steps pre-bound.
+//
+//ddbmlint:hotpath envelope acquisition on every send
+func (n *Network) alloc() *envelope {
+	if k := len(n.free); k > 0 {
+		e := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return e
+	}
+	e := &envelope{n: n} //ddbmlint:allow hotpath-alloc pool growth: one envelope per high-water in-flight message
+	e.senderFn = e.senderStep
+	e.deliverFn = e.deliver
+	return e
+}
+
+// Send transmits a message from node `from` to node `to` and invokes
+// h.HandleMsg(tag) at the destination once both ends have paid their
+// message-processing CPU cost. Wire time is zero. A message from a node to
+// itself is a local procedure call: no CPU cost and no message count, but
+// delivery still goes through the event queue so ordering stays causal.
+// A nil handler is a pure-load message (e.g. commit acks): both ends pay
+// the CPU cost and nothing runs at the destination.
+//
+//ddbmlint:hotpath every transaction message; pinned by TestTxnPathAllocFree
+func (n *Network) Send(from, to int, h Handler, tag int) {
+	e := n.alloc()
+	e.h, e.tag, e.from, e.to = h, tag, from, to
+	n.post(e)
+}
+
+// SendFunc is the closure-payload variant of Send, kept for cold control
+// messages (e.g. the 2PL snoop) and tests. The deliver closure, if any, is
+// the caller's allocation; envelope routing is still free-listed.
+func (n *Network) SendFunc(from, to int, deliver func()) {
+	e := n.alloc()
+	e.fn, e.from, e.to = deliver, from, to
+	n.post(e)
+}
+
+// post routes a filled envelope: self-sends skip cost and accounting,
+// everything else pays the two CPU message steps when messages have a
+// cost.
+//
+//ddbmlint:hotpath shared routing path for every send
+func (n *Network) post(e *envelope) {
+	if e.from == e.to {
+		n.sim.After(0, e.deliverFn)
 		return
 	}
 	n.sent++
 	if n.tr != nil {
-		// Wrap delivery to record the transit span (send to delivery,
-		// both ends' message-processing CPU included). Observation only;
-		// the wrapper preserves delivery order exactly.
-		tr, start, inner := n.tr, n.sim.Now(), deliver
-		deliver = func() {
-			tr.Message(from, to, start)
-			inner()
-		}
+		e.start = n.sim.Now()
 	}
 	if n.instPerMsg <= 0 {
 		// Free messages still traverse the event queue so that delivery
 		// never reenters the sender's current operation.
-		n.sim.After(0, deliver)
+		n.sim.After(0, e.deliverFn)
 		return
 	}
-	n.cpus[from].UseMsg(n.instPerMsg, func() {
-		n.cpus[to].UseMsg(n.instPerMsg, deliver)
-	})
+	n.cpus[e.from].UseMsg(n.instPerMsg, e.senderFn)
+}
+
+// senderStep runs when the sender's CPU finishes its message-protocol
+// work: the receiving end then pays its own cost before delivery.
+//
+//ddbmlint:hotpath sender-side CPU completion on every costed send
+func (e *envelope) senderStep() {
+	n := e.n
+	n.cpus[e.to].UseMsg(n.instPerMsg, e.deliverFn)
+}
+
+// deliver records the transit span, recycles the envelope, and hands the
+// message to its receiver. The envelope is recycled before the receiver
+// runs so a handler that immediately sends again reuses it.
+//
+//ddbmlint:hotpath destination dispatch on every send
+func (e *envelope) deliver() {
+	n := e.n
+	if n.tr != nil && e.from != e.to {
+		// The transit span covers send to delivery, both ends' message-
+		// processing CPU included. Observation only; delivery order is
+		// exactly the pre-envelope order.
+		n.tr.Message(e.from, e.to, e.start)
+	}
+	h, tag, fn := e.h, e.tag, e.fn
+	e.h, e.fn = nil, nil
+	n.free = append(n.free, e) //ddbmlint:allow hotpath-alloc free-list push; capacity reaches the in-flight high-water mark
+	switch {
+	case h != nil:
+		h.HandleMsg(tag) //ddbmlint:allow hotpath-alloc receiver dispatch; handlers are the free-listed attempt/cohort objects, audited by their own hotpath pins
+	case fn != nil:
+		fn() //ddbmlint:allow hotpath-alloc legacy SendFunc payload; cold control path
+	}
 }
 
 // SetTracer attaches an observability tracer recording one span per

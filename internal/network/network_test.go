@@ -21,7 +21,7 @@ func TestSendPaysBothEnds(t *testing.T) {
 	s := sim.New(1)
 	n, _ := build(s, 2, 1, 1000)
 	var deliveredAt sim.Time
-	n.Send(0, 1, func() { deliveredAt = s.Now() })
+	n.SendFunc(0, 1, func() { deliveredAt = s.Now() })
 	s.Run(100)
 	if deliveredAt != 2 {
 		t.Errorf("delivered at %v, want 2", deliveredAt)
@@ -34,7 +34,7 @@ func TestSendPaysBothEnds(t *testing.T) {
 func TestSendLoadsBothCPUs(t *testing.T) {
 	s := sim.New(1)
 	n, cpus := build(s, 2, 1, 1000)
-	n.Send(0, 1, func() {})
+	n.SendFunc(0, 1, func() {})
 	s.Run(100)
 	for i, c := range cpus {
 		// Each end should have been busy exactly 1 ms of the 100.
@@ -49,7 +49,7 @@ func TestLocalSendIsFree(t *testing.T) {
 	n, cpus := build(s, 2, 1, 1000)
 	var deliveredAt sim.Time
 	delivered := false
-	n.Send(1, 1, func() { deliveredAt = s.Now(); delivered = true })
+	n.SendFunc(1, 1, func() { deliveredAt = s.Now(); delivered = true })
 	if delivered {
 		t.Error("local delivery must go through the event queue, not run inline")
 	}
@@ -69,7 +69,7 @@ func TestZeroCostMessagesStillAsynchronous(t *testing.T) {
 	s := sim.New(1)
 	n, _ := build(s, 2, 1, 0)
 	delivered := false
-	n.Send(0, 1, func() { delivered = true })
+	n.SendFunc(0, 1, func() { delivered = true })
 	if delivered {
 		t.Error("zero-cost delivery ran inline within Send")
 	}
@@ -89,8 +89,8 @@ func TestMessagesQueueAtBusySender(t *testing.T) {
 	s := sim.New(1)
 	n, _ := build(s, 2, 1, 1000)
 	var times []sim.Time
-	n.Send(0, 1, func() { times = append(times, s.Now()) })
-	n.Send(0, 1, func() { times = append(times, s.Now()) })
+	n.SendFunc(0, 1, func() { times = append(times, s.Now()) })
+	n.SendFunc(0, 1, func() { times = append(times, s.Now()) })
 	s.Run(100)
 	if len(times) != 2 || times[0] != 2 || times[1] != 3 {
 		t.Errorf("delivery times %v, want [2 3]", times)
@@ -103,7 +103,7 @@ func TestFasterCPUFasterDelivery(t *testing.T) {
 	cpus := []*resource.CPU{resource.NewCPU(s, 10), resource.NewCPU(s, 1)}
 	n := New(s, cpus, 1000)
 	var at sim.Time
-	n.Send(0, 1, func() { at = s.Now() })
+	n.SendFunc(0, 1, func() { at = s.Now() })
 	s.Run(100)
 	if at < 1.09 || at > 1.11 {
 		t.Errorf("delivered at %v, want 1.1 (0.1 host + 1.0 node)", at)
@@ -118,11 +118,68 @@ func TestNumNodes(t *testing.T) {
 	}
 }
 
+type recordingHandler struct {
+	s    *sim.Sim
+	tags []int
+	at   []sim.Time
+}
+
+func (h *recordingHandler) HandleMsg(tag int) {
+	h.tags = append(h.tags, tag)
+	h.at = append(h.at, h.s.Now())
+}
+
+func TestTypedSendDispatchesTags(t *testing.T) {
+	s := sim.New(1)
+	n, _ := build(s, 2, 1, 1000)
+	h := &recordingHandler{s: s}
+	n.Send(0, 1, h, 7)
+	n.Send(1, 1, h, 9) // self-send: free, but still via the event queue
+	if len(h.tags) != 0 {
+		t.Fatal("delivery ran inline within Send")
+	}
+	s.Run(100)
+	if len(h.tags) != 2 || h.tags[0] != 9 || h.tags[1] != 7 {
+		t.Errorf("tags %v, want [9 7] (free self-send first)", h.tags)
+	}
+	if h.at[0] != 0 || h.at[1] != 2 {
+		t.Errorf("delivery times %v, want [0 2]", h.at)
+	}
+	if n.Sent() != 1 {
+		t.Errorf("Sent = %d, want 1 (self-send is not a network message)", n.Sent())
+	}
+}
+
+func TestTypedSendSteadyStateAllocFree(t *testing.T) {
+	s := sim.New(1)
+	n, _ := build(s, 2, 1, 1000)
+	h := &recordingHandler{s: s}
+	h.tags = make([]int, 0, 4096)
+	h.at = make([]sim.Time, 0, 4096)
+	// Warm the envelope free-list and both CPU queues.
+	for i := 0; i < 8; i++ {
+		n.Send(0, 1, h, i)
+		n.Send(1, 1, h, i)
+		for s.Step(1e9) {
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		n.Send(0, 1, h, 1)
+		n.Send(1, 1, h, 2)
+		n.Send(0, 1, nil, 0) // pure-load message
+		for s.Step(1e9) {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state typed send allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestManyMessagesCounted(t *testing.T) {
 	s := sim.New(1)
 	n, _ := build(s, 3, 1, 100)
 	for i := 0; i < 50; i++ {
-		n.Send(i%3, (i+1)%3, nil)
+		n.Send(i%3, (i+1)%3, nil, 0)
 	}
 	s.Run(1e6)
 	if n.Sent() != 50 {

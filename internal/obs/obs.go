@@ -138,7 +138,7 @@ func (s *Span) End() {
 		End:     t.sim.Now(),
 	})
 	s.tr = nil
-	t.spanFree = append(t.spanFree, s)
+	t.spanFree = append(t.spanFree, s) //ddbmlint:allow hotpath-alloc span free-list push; capacity reaches the open-span high-water mark
 }
 
 // Tracer records spans and instants against one simulation's clock. The
@@ -187,7 +187,7 @@ func (t *Tracer) Len() int {
 }
 
 func (t *Tracer) record(e Event) {
-	t.events = append(t.events, e)
+	t.events = append(t.events, e) //ddbmlint:allow hotpath-alloc trace buffer; traced runs trade allocation for observability, the measured path has a nil tracer
 }
 
 // Begin opens a span at the current simulated time. Returns nil (a valid,
@@ -202,7 +202,7 @@ func (t *Tracer) Begin(kind Kind, name string, node int, txn int64, attempt int)
 		t.spanFree[n-1] = nil
 		t.spanFree = t.spanFree[:n-1]
 	} else {
-		s = &Span{}
+		s = &Span{} //ddbmlint:allow hotpath-alloc span pool growth; one per open-span high-water slot
 	}
 	*s = Span{tr: t, kind: kind, name: name, node: node, txn: txn, attempt: attempt, start: t.sim.Now()}
 	return s

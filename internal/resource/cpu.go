@@ -14,28 +14,61 @@ import (
 // instructions of zero are treated as finished to absorb float drift.
 const instEpsilon = 1e-6
 
+// cpuJob is one unit of CPU work, held by value in the CPU's queues so
+// steady-state submission allocates nothing. Completion either resumes
+// proc (the blocking Use/UseMsgBlocking path — no closure needed) or
+// invokes done (the async path — callers pass pre-bound functions).
 type cpuJob struct {
 	remaining float64 // instructions left
 	done      func()
+	proc      *sim.Proc
+}
+
+// finish delivers the job's completion to its owner.
+//
+//ddbmlint:hotpath job completion on the steady-state transaction path
+func (j *cpuJob) finish() {
+	if j.proc != nil {
+		j.proc.Resume()
+		return
+	}
+	if j.done != nil {
+		j.done() //ddbmlint:allow hotpath-alloc completion callbacks are pre-bound by their owners (envelope/attempt free-lists)
+	}
 }
 
 // CPU models a single processor. Message-class requests are served one at a
 // time in FIFO order and preempt processor-sharing work entirely;
 // processor-sharing requests divide the CPU equally among themselves
 // whenever no message is being processed.
+//
+// All queues hold jobs by value and reuse their backing storage (the PS
+// slice compacts in place; the message queue is a power-of-two ring), so
+// after the queues reach their high-water capacity the CPU allocates
+// nothing per job.
 type CPU struct {
 	sim  *sim.Sim
 	rate float64 // instructions per millisecond
 
-	ps   []*cpuJob
-	msgs []*cpuJob
+	ps []cpuJob
+
+	msgs    []cpuJob // ring storage; len(msgs) is zero or a power of two
+	msgHead int      // index of the oldest message job
+	msgLen  int      // message jobs currently queued
+
+	// finScratch collects the jobs finishing in one complete() call so
+	// their callbacks run after the next completion is rescheduled; the
+	// buffer is reused across calls (complete never re-enters itself —
+	// callbacks only schedule future events).
+	finScratch []cpuJob
 
 	lastT sim.Time
 	// next is the pending completion event. Audited retainer: complete()
 	// nils it before callbacks run and reschedule() cancels-then-replaces
 	// it, so it never holds a dead (recycled) handle.
 	//ddbmlint:allow event-retention canceled or nilled before the handle dies; see reschedule/complete
-	next *sim.Event
+	next       *sim.Event
+	completeFn func() // c.complete, bound once so reschedule never allocates
 
 	busyPS  float64 // ms spent on processor-sharing work
 	busyMsg float64 // ms spent on message processing
@@ -56,11 +89,42 @@ func NewCPU(s *sim.Sim, mips float64) *CPU {
 	if mips <= 0 {
 		panic("resource: CPU MIPS must be positive")
 	}
-	return &CPU{sim: s, rate: mips * 1000, lastT: s.Now()}
+	c := &CPU{sim: s, rate: mips * 1000, lastT: s.Now()}
+	c.completeFn = c.complete
+	return c
 }
 
 // Rate returns the CPU speed in instructions per millisecond.
 func (c *CPU) Rate() float64 { return c.rate }
+
+// Reserve pre-sizes the CPU's queues for up to jobs concurrent jobs of
+// each class. The queues are self-amortising, but their growth is driven
+// by backlog records that arrive too rarely for a warmup to retire
+// deterministically — holders with a pinned allocation budget pre-size
+// from their concurrency bound instead. Golden-trace safe: no randomness,
+// no scheduling.
+func (c *CPU) Reserve(jobs int) {
+	if cap(c.ps) < jobs {
+		ps := make([]cpuJob, len(c.ps), jobs)
+		copy(ps, c.ps)
+		c.ps = ps
+	}
+	if cap(c.finScratch) < jobs {
+		c.finScratch = make([]cpuJob, 0, jobs)
+	}
+	if len(c.msgs) < jobs {
+		newCap := 8
+		for newCap < jobs {
+			newCap *= 2
+		}
+		buf := make([]cpuJob, newCap)
+		for i := 0; i < c.msgLen; i++ {
+			buf[i] = c.msgs[(c.msgHead+i)&(len(c.msgs)-1)]
+		}
+		c.msgs = buf
+		c.msgHead = 0
+	}
+}
 
 // SetTrace attaches an observability tracer recording this CPU's busy
 // periods, tagged with the given node id. Tracing is observation only and
@@ -72,7 +136,7 @@ func (c *CPU) SetTrace(t *obs.Tracer, node int) {
 
 // noteArrival opens a busy period when a job arrives at an idle CPU.
 func (c *CPU) noteArrival() {
-	if c.tr != nil && len(c.ps)+len(c.msgs) == 1 {
+	if c.tr != nil && len(c.ps)+c.msgLen == 1 {
 		c.busyStart = c.sim.Now()
 	}
 }
@@ -80,56 +144,96 @@ func (c *CPU) noteArrival() {
 // Use consumes inst instructions of processor-sharing service, blocking the
 // calling process until the work completes. Zero or negative cost returns
 // immediately (the paper sets several overheads to zero).
+//
+//ddbmlint:hotpath cohort work phase pinned by TestTxnPathAllocFree
 func (c *CPU) Use(p *sim.Proc, inst float64) {
 	if inst <= 0 {
 		return
 	}
-	c.UseAsync(inst, func() { p.Resume() })
+	c.submitPS(cpuJob{remaining: inst, proc: p})
 	p.Suspend()
 }
 
 // UseAsync submits processor-sharing work and invokes done on completion
 // without blocking the caller. A zero cost invokes done immediately.
+// done must be pre-bound by the caller if the call site is hot.
+//
+//ddbmlint:hotpath async CPU work on the transaction path (write-back, cohort startup)
 func (c *CPU) UseAsync(inst float64, done func()) {
 	if inst <= 0 {
 		if done != nil {
-			done()
+			done() //ddbmlint:allow hotpath-alloc completion callbacks are pre-bound by their owners
 		}
 		return
 	}
-	c.advance()
-	c.ps = append(c.ps, &cpuJob{remaining: inst, done: done})
-	c.noteArrival()
-	c.reschedule()
+	c.submitPS(cpuJob{remaining: inst, done: done})
 }
 
 // UseMsg submits message-processing work: FIFO order, one at a time, at a
 // priority that preempts all processor-sharing work. done runs on
 // completion; a zero cost invokes it immediately.
+//
+//ddbmlint:hotpath network message service pinned by TestTxnPathAllocFree
 func (c *CPU) UseMsg(inst float64, done func()) {
 	if inst <= 0 {
 		if done != nil {
-			done()
+			done() //ddbmlint:allow hotpath-alloc completion callbacks are pre-bound by their owners
 		}
 		return
 	}
-	c.advance()
-	c.msgs = append(c.msgs, &cpuJob{remaining: inst, done: done})
-	c.noteArrival()
-	c.reschedule()
+	c.submitMsg(cpuJob{remaining: inst, done: done})
 }
 
 // UseMsgBlocking is UseMsg for callers running inside a process.
+//
+//ddbmlint:hotpath blocking message service on the transaction path
 func (c *CPU) UseMsgBlocking(p *sim.Proc, inst float64) {
 	if inst <= 0 {
 		return
 	}
-	c.UseMsg(inst, func() { p.Resume() })
+	c.submitMsg(cpuJob{remaining: inst, proc: p})
 	p.Suspend()
+}
+
+//ddbmlint:hotpath shared PS submission path
+func (c *CPU) submitPS(j cpuJob) {
+	c.advance()
+	c.ps = append(c.ps, j) //ddbmlint:allow hotpath-alloc PS queue growth to its high-water capacity
+	c.noteArrival()
+	c.reschedule()
+}
+
+//ddbmlint:hotpath shared message submission path
+func (c *CPU) submitMsg(j cpuJob) {
+	c.advance()
+	if c.msgLen == len(c.msgs) {
+		c.growMsgs()
+	}
+	c.msgs[(c.msgHead+c.msgLen)&(len(c.msgs)-1)] = j
+	c.msgLen++
+	c.noteArrival()
+	c.reschedule()
+}
+
+// growMsgs doubles the message ring (minimum 8 slots), unwrapping the live
+// window to the front of the new buffer.
+func (c *CPU) growMsgs() {
+	newCap := 2 * len(c.msgs)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]cpuJob, newCap) //ddbmlint:allow hotpath-alloc message ring growth to its high-water capacity
+	for i := 0; i < c.msgLen; i++ {
+		buf[i] = c.msgs[(c.msgHead+i)&(len(c.msgs)-1)]
+	}
+	c.msgs = buf
+	c.msgHead = 0
 }
 
 // advance charges elapsed time since the last state change to the active
 // jobs: the head message exclusively, or the PS jobs in equal shares.
+//
+//ddbmlint:hotpath service accounting on every CPU state change
 func (c *CPU) advance() {
 	now := c.sim.Now()
 	dt := now - c.lastT
@@ -137,21 +241,23 @@ func (c *CPU) advance() {
 	if dt <= 0 {
 		return
 	}
-	if len(c.msgs) > 0 {
-		c.msgs[0].remaining -= dt * c.rate
+	if c.msgLen > 0 {
+		c.msgs[c.msgHead].remaining -= dt * c.rate
 		c.busyMsg += dt
 		return
 	}
 	if n := len(c.ps); n > 0 {
 		share := dt * c.rate / float64(n)
-		for _, j := range c.ps {
-			j.remaining -= share
+		for i := range c.ps {
+			c.ps[i].remaining -= share
 		}
 		c.busyPS += dt
 	}
 }
 
 // reschedule recomputes the next completion event.
+//
+//ddbmlint:hotpath completion scheduling on every CPU state change
 func (c *CPU) reschedule() {
 	if c.next != nil {
 		c.sim.Cancel(c.next)
@@ -159,13 +265,13 @@ func (c *CPU) reschedule() {
 	}
 	var dt float64
 	switch {
-	case len(c.msgs) > 0:
-		dt = c.msgs[0].remaining / c.rate
+	case c.msgLen > 0:
+		dt = c.msgs[c.msgHead].remaining / c.rate
 	case len(c.ps) > 0:
 		min := c.ps[0].remaining
-		for _, j := range c.ps[1:] {
-			if j.remaining < min {
-				min = j.remaining
+		for i := 1; i < len(c.ps); i++ {
+			if c.ps[i].remaining < min {
+				min = c.ps[i].remaining
 			}
 		}
 		dt = min * float64(len(c.ps)) / c.rate
@@ -175,49 +281,55 @@ func (c *CPU) reschedule() {
 	if dt < 0 {
 		dt = 0
 	}
-	c.next = c.sim.After(dt, c.complete)
+	c.next = c.sim.After(dt, c.completeFn)
 }
 
-// complete fires when the earliest job should have finished.
+// complete fires when the earliest job should have finished. Finished jobs
+// are copied into the reused scratch buffer so their callbacks run after
+// the next completion event is in place, exactly as before the queues
+// became allocation-free.
+//
+//ddbmlint:hotpath CPU completion dispatch pinned by TestTxnPathAllocFree
 func (c *CPU) complete() {
 	c.next = nil
 	c.advance()
-	var finished []func()
-	if len(c.msgs) > 0 {
+	fin := c.finScratch[:0]
+	if c.msgLen > 0 {
 		// Messages complete strictly one at a time.
-		if c.msgs[0].remaining <= instEpsilon {
-			j := c.msgs[0]
-			c.msgs[0] = nil
-			c.msgs = c.msgs[1:]
-			finished = append(finished, j.done)
+		head := &c.msgs[c.msgHead]
+		if head.remaining <= instEpsilon {
+			fin = append(fin, *head) //ddbmlint:allow hotpath-alloc finish-scratch growth to the per-tick completion high-water mark
+			*head = cpuJob{}
+			c.msgHead = (c.msgHead + 1) & (len(c.msgs) - 1)
+			c.msgLen--
 		}
 	} else {
 		kept := c.ps[:0]
-		for _, j := range c.ps {
-			if j.remaining <= instEpsilon {
-				finished = append(finished, j.done)
+		for i := range c.ps {
+			if c.ps[i].remaining <= instEpsilon {
+				fin = append(fin, c.ps[i]) //ddbmlint:allow hotpath-alloc finish-scratch growth to the per-tick completion high-water mark
 			} else {
-				kept = append(kept, j)
+				kept = append(kept, c.ps[i]) //ddbmlint:allow hotpath-alloc in-place keep: reslice of ps never exceeds its own capacity
 			}
 		}
 		for i := len(kept); i < len(c.ps); i++ {
-			c.ps[i] = nil
+			c.ps[i] = cpuJob{}
 		}
 		c.ps = kept
 	}
-	if c.tr != nil && len(c.msgs)+len(c.ps) == 0 {
+	c.finScratch = fin
+	if c.tr != nil && c.msgLen+len(c.ps) == 0 {
 		c.tr.CPUBusy(c.node, c.busyStart)
 	}
 	c.reschedule()
-	for _, f := range finished {
-		if f != nil {
-			f()
-		}
+	for i := range fin {
+		fin[i].finish()
+		fin[i] = cpuJob{}
 	}
 }
 
 // QueueLen returns the number of in-progress jobs (messages + PS).
-func (c *CPU) QueueLen() int { return len(c.msgs) + len(c.ps) }
+func (c *CPU) QueueLen() int { return c.msgLen + len(c.ps) }
 
 // BusyTime returns the busy milliseconds (messages plus PS work)
 // accumulated since the start of the run, including credit for the
@@ -227,7 +339,7 @@ func (c *CPU) QueueLen() int { return len(c.msgs) + len(c.ps) }
 // the run stays bit-identical with sampling on. Not warmup-adjusted.
 func (c *CPU) BusyTime() float64 {
 	busy := c.busyPS + c.busyMsg
-	if dt := c.sim.Now() - c.lastT; dt > 0 && len(c.msgs)+len(c.ps) > 0 {
+	if dt := c.sim.Now() - c.lastT; dt > 0 && c.msgLen+len(c.ps) > 0 {
 		busy += dt
 	}
 	return busy

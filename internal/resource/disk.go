@@ -5,21 +5,91 @@ import (
 	"ddbm/internal/sim"
 )
 
+// diskReq is one queued disk access, held by value in the per-disk rings.
+// Completion either resumes proc (blocking Read/Write — no closure) or
+// invokes done (async path — callers pass pre-bound functions).
 type diskReq struct {
 	write bool
 	done  func()
+	proc  *sim.Proc
+}
+
+// reqQueue is a power-of-two ring of disk requests; a busy disk in steady
+// state allocates nothing per access, unlike the previous slide-forward
+// slice that forced a fresh allocation every few operations.
+type reqQueue struct {
+	buf   []diskReq
+	head  int
+	count int
+}
+
+//ddbmlint:hotpath disk queue push on the transaction path
+func (q *reqQueue) push(r diskReq) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)&(len(q.buf)-1)] = r
+	q.count++
+}
+
+//ddbmlint:hotpath disk queue pop on the transaction path
+func (q *reqQueue) pop() diskReq {
+	r := q.buf[q.head]
+	q.buf[q.head] = diskReq{}
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.count--
+	return r
+}
+
+// reserve widens the ring to at least n slots (rounded up to a power of
+// two), unwrapping any live window to the front of the new buffer.
+func (q *reqQueue) reserve(n int) {
+	if len(q.buf) >= n {
+		return
+	}
+	newCap := 8
+	for newCap < n {
+		newCap *= 2
+	}
+	buf := make([]diskReq, newCap)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// grow doubles the ring (minimum 8 slots), unwrapping the live window to
+// the front of the new buffer.
+func (q *reqQueue) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]diskReq, newCap) //ddbmlint:allow hotpath-alloc request ring growth to its high-water capacity
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // disk is a single spindle with one FIFO queue per class; writes are served
-// before reads (non-preemptively), per paper §3.4.
+// before reads (non-preemptively), per paper §3.4. The in-service request
+// lives in cur, and the pre-bound completeFn replaces the per-access
+// completion closure the serve loop used to allocate.
 type disk struct {
-	idx      int // spindle index within the array (trace lane)
-	busy     bool
-	reads    []diskReq
-	writes   []diskReq
-	busyTime float64
-	nReads   int64
-	nWrites  int64
+	arr        *DiskArray
+	idx        int // spindle index within the array (trace lane)
+	busy       bool
+	reads      reqQueue
+	writes     reqQueue
+	cur        diskReq // request currently in service
+	curDur     float64 // its service time, for trace/busy accounting
+	completeFn func()  // dk.complete, bound once at construction
+	busyTime   float64
+	nReads     int64
+	nWrites    int64
 }
 
 // DiskArray models the NumDisks disks of a node. Requests pick a disk
@@ -51,13 +121,29 @@ func NewDiskArray(s *sim.Sim, n int, minTime, maxTime float64) *DiskArray {
 	}
 	d := &DiskArray{sim: s, minTime: minTime, maxTime: maxTime}
 	for i := 0; i < n; i++ {
-		d.disks = append(d.disks, &disk{idx: i})
+		dk := &disk{arr: d, idx: i}
+		dk.completeFn = dk.complete
+		d.disks = append(d.disks, dk)
 	}
 	return d
 }
 
 // NumDisks returns the number of spindles.
 func (d *DiskArray) NumDisks() int { return len(d.disks) }
+
+// Reserve pre-sizes every spindle's read and write rings for up to queued
+// outstanding requests each. The rings are self-amortising, but their
+// growth is driven by backlog records (the deepest queue seen so far)
+// that arrive too rarely for a warmup to retire deterministically —
+// holders with a pinned allocation budget pre-size from a generous bound
+// instead. Reserve is golden-trace safe: it draws no randomness and
+// schedules nothing.
+func (d *DiskArray) Reserve(queued int) {
+	for _, dk := range d.disks {
+		dk.reads.reserve(queued)
+		dk.writes.reserve(queued)
+	}
+}
 
 // SetTrace attaches an observability tracer recording this array's disk
 // accesses, tagged with the given node id. Must be configured before the
@@ -69,53 +155,59 @@ func (d *DiskArray) SetTrace(t *obs.Tracer, node int) {
 
 // Read performs a synchronous page read, blocking the calling process until
 // the disk completes it.
+//
+//ddbmlint:hotpath cohort page reads pinned by TestTxnPathAllocFree
 func (d *DiskArray) Read(p *sim.Proc) {
-	d.submit(diskReq{write: false, done: func() { p.Resume() }})
+	d.submit(diskReq{write: false, proc: p})
 	p.Suspend()
 }
 
 // ReadAsync performs a page read and calls done on completion.
+//
+//ddbmlint:hotpath async page reads on the transaction path
 func (d *DiskArray) ReadAsync(done func()) {
 	d.submit(diskReq{write: false, done: done})
 }
 
 // WriteAsync queues an asynchronous page write (post-commit write-back);
 // writes take priority over reads at dequeue time.
+//
+//ddbmlint:hotpath post-commit write-back pinned by TestTxnPathAllocFree
 func (d *DiskArray) WriteAsync(done func()) {
 	d.submit(diskReq{write: true, done: done})
 }
 
 // Write performs a synchronous (forced) page write, blocking the calling
 // process until the disk completes it — used for forcing log records.
+//
+//ddbmlint:hotpath log forces on the commit path
 func (d *DiskArray) Write(p *sim.Proc) {
-	d.submit(diskReq{write: true, done: func() { p.Resume() }})
+	d.submit(diskReq{write: true, proc: p})
 	p.Suspend()
 }
 
+//ddbmlint:hotpath shared submission path
 func (d *DiskArray) submit(req diskReq) {
 	dk := d.disks[d.sim.Rand().Intn(len(d.disks))]
 	if req.write {
-		dk.writes = append(dk.writes, req)
+		dk.writes.push(req)
 	} else {
-		dk.reads = append(dk.reads, req)
+		dk.reads.push(req)
 	}
 	if !dk.busy {
 		d.serve(dk)
 	}
 }
 
+//ddbmlint:hotpath disk service loop pinned by TestTxnPathAllocFree
 func (d *DiskArray) serve(dk *disk) {
 	var req diskReq
 	switch {
-	case len(dk.writes) > 0:
-		req = dk.writes[0]
-		dk.writes[0] = diskReq{}
-		dk.writes = dk.writes[1:]
+	case dk.writes.count > 0:
+		req = dk.writes.pop()
 		dk.nWrites++
-	case len(dk.reads) > 0:
-		req = dk.reads[0]
-		dk.reads[0] = diskReq{}
-		dk.reads = dk.reads[1:]
+	case dk.reads.count > 0:
+		req = dk.reads.pop()
 		dk.nReads++
 	default:
 		dk.busy = false
@@ -123,24 +215,37 @@ func (d *DiskArray) serve(dk *disk) {
 	}
 	dk.busy = true
 	dur := sim.Uniform(d.sim.Rand(), d.minTime, d.maxTime)
-	d.sim.After(dur, func() {
-		if d.tr != nil {
-			// The service period began exactly dur before this completion.
-			d.tr.DiskAccess(d.node, dk.idx, req.write, d.sim.Now()-dur)
-		}
-		dk.busyTime += dur
-		if req.done != nil {
-			req.done()
-		}
-		d.serve(dk)
-	})
+	dk.cur, dk.curDur = req, dur
+	d.sim.After(dur, dk.completeFn)
+}
+
+// complete finishes the in-service request: trace, busy accounting, owner
+// notification, then serve the next queued request — in exactly the order
+// the old per-access closure used.
+//
+//ddbmlint:hotpath disk completion dispatch pinned by TestTxnPathAllocFree
+func (dk *disk) complete() {
+	d := dk.arr
+	req, dur := dk.cur, dk.curDur
+	dk.cur = diskReq{}
+	if d.tr != nil {
+		// The service period began exactly dur before this completion.
+		d.tr.DiskAccess(d.node, dk.idx, req.write, d.sim.Now()-dur)
+	}
+	dk.busyTime += dur
+	if req.proc != nil {
+		req.proc.Resume()
+	} else if req.done != nil {
+		req.done() //ddbmlint:allow hotpath-alloc completion callbacks are pre-bound by their owners
+	}
+	d.serve(dk)
 }
 
 // QueueLen returns the total number of queued (not in-service) requests.
 func (d *DiskArray) QueueLen() int {
 	n := 0
 	for _, dk := range d.disks {
-		n += len(dk.reads) + len(dk.writes)
+		n += dk.reads.count + dk.writes.count
 	}
 	return n
 }

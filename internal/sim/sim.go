@@ -58,6 +58,7 @@ type Sim struct {
 	yield      chan struct{}
 	cur        *Proc
 	procs      map[*Proc]struct{}
+	idle       []*Proc // finished processes parked for goroutine reuse
 	stopped    bool
 	nprocs     uint64 // total processes ever spawned (for naming/debug)
 	failure    any    // panic value escaped from a process body
@@ -93,7 +94,7 @@ func (s *Sim) allocEvent() *Event {
 		e.canceled = false
 		return e
 	}
-	return &Event{index: -1}
+	return &Event{index: -1} //ddbmlint:allow hotpath-alloc event pool growth to the in-flight high-water mark
 }
 
 // releaseEvent returns a fired or canceled callback event to the free-list.
@@ -101,7 +102,7 @@ func (s *Sim) allocEvent() *Event {
 // here.
 func (s *Sim) releaseEvent(e *Event) {
 	e.fn = nil
-	s.free = append(s.free, e)
+	s.free = append(s.free, e) //ddbmlint:allow hotpath-alloc event free-list push; capacity reaches the in-flight high-water mark
 }
 
 // enqueue stamps the event with the next sequence number and queues it.
@@ -233,6 +234,14 @@ func (s *Sim) Shutdown() {
 			p.kill()
 		}
 	}
+	// Killed and finished bodies recycle their goroutines into the idle
+	// pool; dismiss them too so no goroutine outlives the simulation.
+	for i, p := range s.idle {
+		s.idle[i] = nil
+		p.wake <- wakeSignal{kill: true}
+		<-s.yield
+	}
+	s.idle = s.idle[:0]
 }
 
 // LiveProcs returns the number of processes that have started but not yet
@@ -247,13 +256,18 @@ type wakeSignal struct {
 }
 
 // Proc is a simulation process: a goroutine interleaved with the scheduler
-// so that exactly one process runs at any moment.
+// so that exactly one process runs at any moment. Finished processes park
+// their goroutine in the simulator's idle pool and are reused by later
+// Spawn calls, so steady-state process churn (one cohort process per
+// transaction cohort) allocates neither a Proc, a channel, nor a goroutine
+// stack.
 type Proc struct {
 	sim    *Sim
 	name   string
 	wake   chan wakeSignal
 	parked bool // true while blocked waiting for a wake signal
 	done   bool
+	fn     func(p *Proc) // body to run at the next start wake
 	// ev is the process's resume event, reused for every Delay/Resume/start
 	// so process switching never allocates. A process is blocked in at most
 	// one place at a time, so a single embedded event is always enough.
@@ -272,36 +286,69 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	return s.SpawnAt(s.now, name, fn)
 }
 
-// SpawnAt creates a process that starts running at time at.
+// SpawnAt creates a process that starts running at time at. A goroutine
+// from the idle pool is reused when one is available; only the pool-growth
+// path allocates.
+//
+//ddbmlint:hotpath steady-state cohort spawn pinned by TestTxnPathAllocFree
 func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	s.nprocs++
-	p := &Proc{sim: s, name: name, wake: make(chan wakeSignal)}
+	if n := len(s.idle); n > 0 {
+		p := s.idle[n-1]
+		s.idle[n-1] = nil
+		s.idle = s.idle[:n-1]
+		p.name, p.fn, p.done = name, fn, false
+		s.procs[p] = struct{}{}
+		s.scheduleProc(at, p)
+		return p
+	}
+	p := &Proc{sim: s, name: name, wake: make(chan wakeSignal), fn: fn} //ddbmlint:allow hotpath-alloc pool growth: one Proc + channel + goroutine per high-water concurrent process
 	p.ev.proc = p
 	p.ev.index = -1
 	s.procs[p] = struct{}{}
 	p.parked = true
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(killed); !ok {
-					// A real bug in the process body: hand the panic to the
-					// scheduler so it surfaces in the Run caller.
-					s.failure = r
-				}
-			}
-			p.done = true
-			delete(s.procs, p)
-			s.yield <- struct{}{}
-		}()
+	go p.top() //ddbmlint:allow hotpath-alloc pool growth: goroutine spawned once per high-water concurrent process
+	s.scheduleProc(at, p)
+	return p
+}
+
+// top is a process goroutine's outer loop: run one body per start wake,
+// then park the goroutine in the simulator's idle pool for the next Spawn.
+// A kill wake dismisses the goroutine for good (used for processes parked
+// mid-body at Shutdown, and for idle-pool draining).
+func (p *Proc) top() {
+	s := p.sim
+	for {
 		sig := <-p.wake
 		p.parked = false
 		if sig.kill {
-			panic(killed{})
+			p.done = true
+			delete(s.procs, p)
+			s.yield <- struct{}{}
+			return
 		}
-		fn(p)
+		p.runBody()
+		p.done = true
+		delete(s.procs, p)
+		p.fn = nil
+		p.parked = true
+		s.idle = append(s.idle, p) //ddbmlint:allow hotpath-alloc idle pool push; capacity reaches the concurrent-process high-water mark
+		s.yield <- struct{}{}
+	}
+}
+
+// runBody executes the process body, converting the kill sentinel back
+// into a normal return and handing real panics to the scheduler so they
+// surface in the Run caller.
+func (p *Proc) runBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); !ok {
+				p.sim.failure = r
+			}
+		}
 	}()
-	s.scheduleProc(at, p)
-	return p
+	p.fn(p) //ddbmlint:allow hotpath-alloc process body dispatch; bodies are pre-bound by their owners and carry their own pins
 }
 
 // resume hands control to p and waits for it to block or finish.
@@ -337,7 +384,7 @@ func (p *Proc) block() {
 	sig := <-p.wake
 	p.parked = false
 	if sig.kill {
-		panic(killed{})
+		panic(killed{}) //ddbmlint:allow hotpath-alloc shutdown-only kill sentinel
 	}
 }
 

@@ -58,6 +58,11 @@ type TxnPlan struct {
 	// Sequential requests sequential cohort execution for this transaction
 	// (set from its class; the machine-wide ExecPattern can also force it).
 	Sequential bool
+
+	// refs counts the live references to a pooled plan (see
+	// Generator.AcquireClassPlan / Retain / Release); zero for plans built
+	// with the value API.
+	refs int
 }
 
 // NumReads returns the total number of page reads (remote-copy writes do
@@ -143,6 +148,24 @@ type Generator struct {
 	// machine are generated one at a time (the simulation kernel runs a
 	// single process at a time), so one buffer suffices.
 	permScratch []int
+
+	// Plan-construction scratch (same single-threaded argument as
+	// permScratch): cached per-relation placement, the FileCount partition
+	// filter, and the remote-copy staging buffers. All reach a high-water
+	// capacity and then stop allocating.
+	relNodes   [][]int   // per-relation node list (catalog is immutable)
+	relParts   [][][]int // per relation, parts per node, aligned with relNodes
+	partSample []int     // FileCount partition sample scratch
+	chosen     []bool    // FileCount partition membership, cleared after use
+	fNodes     []int     // filtered node list
+	fParts     [][]int   // filtered parts per node, aliasing fFlat
+	fFlat      []int     // flat storage behind fParts
+	remote     []Access  // staged remote-copy writes
+	remoteAt   []int     // their target nodes, aligned with remote
+
+	// free holds recycled transaction plans; Release returns a plan here
+	// once its last reference drops.
+	free []*TxnPlan
 }
 
 // Validate checks the generator's parameters.
@@ -241,40 +264,164 @@ func (g *Generator) NewPlan(r *rand.Rand, rel int) TxnPlan {
 // a remote-write access at each node holding another copy
 // (read-one/write-all), extending the transaction with cohorts at those
 // nodes when needed.
+//
+// The returned plan is caller-owned; the hot transaction loop uses
+// AcquireClassPlan instead, which recycles plans through the generator's
+// free-list.
 func (g *Generator) NewClassPlan(r *rand.Rand, rel int, class Class) TxnPlan {
-	nodes, partsAt := g.Catalog.RelationNodes(rel)
+	var plan TxnPlan
+	g.build(r, rel, class, &plan)
+	return plan
+}
+
+// maxPagesPerPartition returns the worst-case pageCount draw over every
+// class: the upper end of the spread around the largest class mean, capped
+// at the partition size.
+func (g *Generator) maxPagesPerPartition() int {
+	hiMax := 1
+	for _, c := range g.classes() {
+		var hi int
+		switch g.Spread {
+		case SpreadHalfToTwice:
+			hi = 2 * c.AvgPages
+		default:
+			hi = c.AvgPages + c.AvgPages/2
+		}
+		if hi > g.Catalog.PagesPerFile {
+			hi = g.Catalog.PagesPerFile
+		}
+		if hi > hiMax {
+			hiMax = hi
+		}
+	}
+	return hiMax
+}
+
+// MaxAccessesPerCohort bounds the accesses one cohort can be planned with.
+// Each partition of the relation contributes at most a worst-case page
+// draw to a given node — as the node's own partition or as one remote
+// replica copy of its writes (a file's replica list names a node at most
+// once) — so the bound is partitions times the worst-case per-partition
+// page count. Exposed so the machine can size per-cohort resources (lock
+// tables) with the same bound.
+func (g *Generator) MaxAccessesPerCohort() int {
+	return g.Catalog.PartsPerRelation * g.maxPagesPerPartition()
+}
+
+// Reserve pre-builds pooled plan shells, each with cohort and access
+// storage at its worst-case size, and pre-sizes the construction scratch.
+// The pool and scratch are self-amortising, but their growth chases
+// high-water records (most live plans at once, widest plan seen) that
+// arrive too rarely for a warmup to retire deterministically — holders
+// with a pinned allocation budget pre-size from the machine's concurrency
+// bound instead. Reserve draws no randomness, so pooled plans built after
+// it are bit-identical to plans built without it.
+func (g *Generator) Reserve(plans int) {
+	numNodes := 0
+	for _, n := range g.Catalog.FileNode {
+		numNodes = max(numNodes, n+1)
+	}
+	for _, copies := range g.Catalog.FileReplicas {
+		for _, n := range copies {
+			numNodes = max(numNodes, n+1)
+		}
+	}
+	acc := g.MaxAccessesPerCohort()
+	if cap(g.free) < plans {
+		f := make([]*TxnPlan, len(g.free), plans)
+		copy(f, g.free)
+		g.free = f
+	}
+	for len(g.free) < plans {
+		p := &TxnPlan{Cohorts: make([]CohortPlan, numNodes)}
+		for i := range p.Cohorts {
+			p.Cohorts[i].Accesses = make([]Access, 0, acc)
+		}
+		p.Cohorts = p.Cohorts[:0]
+		g.free = append(g.free, p)
+	}
+	// Remote-copy staging: every write can fan out to each extra replica.
+	if rc := g.Catalog.ReplicaCount(); rc > 1 {
+		if n := acc * (rc - 1); cap(g.remote) < n {
+			g.remote = make([]Access, 0, n)
+			g.remoteAt = make([]int, 0, n)
+		}
+	}
+	// FileCount filter staging: at most every partition, at every node.
+	if n := g.Catalog.PartsPerRelation; cap(g.fFlat) < n {
+		g.fFlat = make([]int, 0, n)
+	}
+	if cap(g.fNodes) < numNodes {
+		g.fNodes = make([]int, 0, numNodes)
+		g.fParts = make([][]int, 0, numNodes)
+	}
+}
+
+// AcquireClassPlan is NewClassPlan drawing from the generator's plan
+// free-list: the returned plan starts with one reference and is recycled
+// when Release drops the count to zero. It consumes exactly the same
+// randomness as NewClassPlan.
+//
+//ddbmlint:hotpath per-transaction plan construction pinned by TestTxnPathAllocFree
+func (g *Generator) AcquireClassPlan(r *rand.Rand, rel int, class Class) *TxnPlan {
+	var p *TxnPlan
+	if n := len(g.free); n > 0 {
+		p = g.free[n-1]
+		g.free[n-1] = nil
+		g.free = g.free[:n-1]
+	} else {
+		p = &TxnPlan{} //ddbmlint:allow hotpath-alloc pool growth: one plan per high-water live transaction
+	}
+	p.refs = 1
+	g.build(r, rel, class, p)
+	return p
+}
+
+// Retain adds a reference to a pooled plan (a restarted attempt keeps the
+// plan alive across its in-flight messages).
+//
+//ddbmlint:hotpath plan refcounting on the transaction path
+func (g *Generator) Retain(p *TxnPlan) { p.refs++ }
+
+// Release drops a reference to a pooled plan, recycling it when the last
+// reference goes away.
+//
+//ddbmlint:hotpath plan refcounting on the transaction path
+func (g *Generator) Release(p *TxnPlan) {
+	p.refs--
+	if p.refs < 0 {
+		panic("workload: plan released more often than retained")
+	}
+	if p.refs == 0 {
+		g.free = append(g.free, p) //ddbmlint:allow hotpath-alloc free-list push; capacity reaches the live-plan high-water mark
+	}
+}
+
+// build constructs a plan of the given class into p, reusing p's cohort
+// and access storage. All randomness flows through here in a fixed order
+// (partition filter, then per-partition page count, page sample, and
+// per-page write/instruction draws), so pooled and value-API plans are
+// interchangeable under a seed.
+//
+//ddbmlint:hotpath plan construction body pinned by TestTxnPathAllocFree
+func (g *Generator) build(r *rand.Rand, rel int, class Class, p *TxnPlan) {
+	nodes, parts := g.resolveRelation(rel)
 	// Restrict to FileCount randomly chosen partitions if the class asks.
 	if class.FileCount > 0 && class.FileCount < g.Catalog.PartsPerRelation {
-		chosen := make(map[int]bool, class.FileCount)
-		for _, part := range sim.SampleWithoutReplacement(r, g.Catalog.PartsPerRelation, class.FileCount) {
-			chosen[part] = true
-		}
-		filteredNodes := nodes[:0:0]
-		filtered := make(map[int][]int, len(partsAt))
-		for _, node := range nodes {
-			for _, part := range partsAt[node] {
-				if chosen[part] {
-					filtered[node] = append(filtered[node], part)
-				}
-			}
-			if len(filtered[node]) > 0 {
-				filteredNodes = append(filteredNodes, node)
-			}
-		}
-		nodes, partsAt = filteredNodes, filtered
+		nodes, parts = g.filterParts(r, nodes, parts, class.FileCount)
 	}
 
-	plan := TxnPlan{Relation: rel, Sequential: class.Sequential, Cohorts: make([]CohortPlan, 0, len(nodes))}
-	cohortAt := make(map[int]int, len(nodes)) // node -> index in plan.Cohorts
+	p.Relation, p.Sequential = rel, class.Sequential
+	p.Cohorts = p.Cohorts[:0]
 	for _, node := range nodes {
-		cohortAt[node] = len(plan.Cohorts)
-		plan.Cohorts = append(plan.Cohorts, CohortPlan{Node: node})
+		appendCohort(p, node)
 	}
-	var remote []Access
-	var remoteNodes []int
-	for _, node := range nodes {
-		cp := &plan.Cohorts[cohortAt[node]]
-		for _, part := range partsAt[node] {
+	replicated := g.Catalog.ReplicaCount() > 1
+	g.remote = g.remote[:0]
+	g.remoteAt = g.remoteAt[:0]
+	for i := range nodes {
+		cp := &p.Cohorts[i]
+		for _, part := range parts[i] {
 			file := g.Catalog.FileOf(rel, part)
 			n := g.pageCount(r, class.AvgPages, g.Catalog.PagesPerFile)
 			pages := sim.SampleWithoutReplacementInto(r, g.Catalog.PagesPerFile, n, g.permScratch)
@@ -287,25 +434,111 @@ func (g *Generator) NewClassPlan(r *rand.Rand, rel int, class Class) TxnPlan {
 				}
 				if a.Write {
 					a.WriteInst = sim.Exponential(r, class.InstPerPage)
-					for _, rn := range g.Catalog.Replicas(file)[1:] {
-						remote = append(remote, Access{Page: a.Page, Write: true, Remote: true})
-						remoteNodes = append(remoteNodes, rn)
+					if replicated {
+						for _, rn := range g.Catalog.Replicas(file)[1:] {
+							g.remote = append(g.remote, Access{Page: a.Page, Write: true, Remote: true}) //ddbmlint:allow hotpath-alloc remote-write scratch grows to its high-water mark
+							g.remoteAt = append(g.remoteAt, rn)                                          //ddbmlint:allow hotpath-alloc remote-write scratch grows to its high-water mark
+						}
 					}
 				}
-				cp.Accesses = append(cp.Accesses, a)
+				cp.Accesses = append(cp.Accesses, a) //ddbmlint:allow hotpath-alloc access storage grows to its high-water mark and survives plan recycling
 			}
 		}
 	}
 	// Attach remote-copy writes, creating replica-only cohorts as needed.
-	for i, a := range remote {
-		node := remoteNodes[i]
-		idx, ok := cohortAt[node]
-		if !ok {
-			idx = len(plan.Cohorts)
-			cohortAt[node] = idx
-			plan.Cohorts = append(plan.Cohorts, CohortPlan{Node: node})
+	for i := range g.remote {
+		node := g.remoteAt[i]
+		idx := cohortIndex(p, node)
+		if idx < 0 {
+			idx = appendCohort(p, node)
 		}
-		plan.Cohorts[idx].Accesses = append(plan.Cohorts[idx].Accesses, a)
+		p.Cohorts[idx].Accesses = append(p.Cohorts[idx].Accesses, g.remote[i]) //ddbmlint:allow hotpath-alloc access storage grows to its high-water mark and survives plan recycling
 	}
-	return plan
+}
+
+// appendCohort adds a cohort for node to the plan, reslicing into the
+// plan's existing storage when it has capacity so a recycled element keeps
+// its Accesses backing array.
+//
+//ddbmlint:hotpath cohort slot reuse during plan construction
+func appendCohort(p *TxnPlan, node int) int {
+	n := len(p.Cohorts)
+	if n < cap(p.Cohorts) {
+		p.Cohorts = p.Cohorts[:n+1]
+		p.Cohorts[n].Node = node
+		p.Cohorts[n].Accesses = p.Cohorts[n].Accesses[:0]
+	} else {
+		p.Cohorts = append(p.Cohorts, CohortPlan{Node: node}) //ddbmlint:allow hotpath-alloc cohort storage grows to its high-water mark
+	}
+	return n
+}
+
+// cohortIndex finds the plan's cohort at node, -1 if none. Plans span a
+// handful of nodes, so a linear scan beats a map — and allocates nothing.
+//
+//ddbmlint:hotpath cohort lookup during plan construction
+func cohortIndex(p *TxnPlan, node int) int {
+	for i := range p.Cohorts {
+		if p.Cohorts[i].Node == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// resolveRelation returns the nodes storing relation rel and, aligned with
+// them, the partitions each holds. The catalog is immutable, so the result
+// is computed once per relation and cached.
+//
+//ddbmlint:hotpath per-transaction placement lookup
+func (g *Generator) resolveRelation(rel int) ([]int, [][]int) {
+	for len(g.relNodes) <= rel {
+		g.relNodes = append(g.relNodes, nil) //ddbmlint:allow hotpath-alloc cache growth: once per relation
+		g.relParts = append(g.relParts, nil) //ddbmlint:allow hotpath-alloc cache growth: once per relation
+	}
+	if g.relNodes[rel] == nil {
+		nodes, partsAt := g.Catalog.RelationNodes(rel)
+		parts := make([][]int, len(nodes)) //ddbmlint:allow hotpath-alloc cache fill: once per relation
+		for i, n := range nodes {
+			parts[i] = partsAt[n]
+		}
+		g.relNodes[rel], g.relParts[rel] = nodes, parts
+	}
+	return g.relNodes[rel], g.relParts[rel]
+}
+
+// filterParts restricts (nodes, parts) to fileCount randomly sampled
+// partitions, staging the filtered view in the generator's reusable
+// buffers. It draws exactly the randomness the pre-pooling implementation
+// drew: one sample of fileCount partitions.
+//
+//ddbmlint:hotpath FileCount partition filter on the transaction path
+func (g *Generator) filterParts(r *rand.Rand, nodes []int, parts [][]int, fileCount int) ([]int, [][]int) {
+	total := g.Catalog.PartsPerRelation
+	if cap(g.chosen) < total {
+		g.chosen = make([]bool, total) //ddbmlint:allow hotpath-alloc scratch growth to the partition count
+	}
+	g.chosen = g.chosen[:total]
+	sample := sim.SampleWithoutReplacementInto(r, total, fileCount, g.partSample)
+	for _, part := range sample {
+		g.chosen[part] = true
+	}
+	g.fNodes, g.fParts, g.fFlat = g.fNodes[:0], g.fParts[:0], g.fFlat[:0]
+	for i, node := range nodes {
+		start := len(g.fFlat)
+		for _, part := range parts[i] {
+			if g.chosen[part] {
+				g.fFlat = append(g.fFlat, part) //ddbmlint:allow hotpath-alloc filter scratch grows to its high-water mark
+			}
+		}
+		if len(g.fFlat) > start {
+			g.fNodes = append(g.fNodes, node)                        //ddbmlint:allow hotpath-alloc filter scratch grows to its high-water mark
+			g.fParts = append(g.fParts, g.fFlat[start:len(g.fFlat)]) //ddbmlint:allow hotpath-alloc filter scratch grows to its high-water mark
+		}
+	}
+	for _, part := range sample {
+		g.chosen[part] = false
+	}
+	g.partSample = sample[:0]
+	return g.fNodes, g.fParts
 }
