@@ -85,4 +85,16 @@ go run ./cmd/ddbsim -simtime 30 -warmup 5 -think 4 \
   -trace-out "$tracedir/smoke.json" -probe-interval 100 >/dev/null
 go run ./cmd/tracecheck "$tracedir/smoke.json"
 
+echo "== breakdown smoke"
+# Time-breakdown accounting end to end: the reconciliation property pins
+# (every committed attempt's phase ledger must sum to its response time
+# across all commit-protocol variants, and breakdown on/off must be
+# bit-identical), then a short -breakdown report + CSV export and the
+# decomposition figure at a tiny scale — a phase attribution that no
+# longer telescopes or a broken exporter fails loudly here.
+go test -run 'TestBreakdown' -count=1 ./internal/core/
+go run ./cmd/ddbsim -simtime 30 -warmup 5 -think 4 \
+  -breakdown -breakdown-out "$tracedir/bd.csv" >/dev/null
+go run ./cmd/experiments -fig bd -scale 0.02 -q >/dev/null
+
 echo "CI OK"

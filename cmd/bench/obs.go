@@ -45,8 +45,9 @@ func obsConfig(simSeconds float64) ddbm.Config {
 	return cfg
 }
 
-// runObsSuite runs the overhead pair: one plain run, then the identical
-// configuration with tracing and 100 ms probes enabled.
+// runObsSuite runs the overhead triple: one plain run, the identical
+// configuration with tracing and 100 ms probes enabled, and the identical
+// configuration with breakdown accounting enabled.
 func runObsSuite(simSeconds float64) ([]ObsResult, error) {
 	cfg := obsConfig(simSeconds)
 
@@ -86,8 +87,26 @@ func runObsSuite(simSeconds float64) ([]ObsResult, error) {
 		return nil, fmt.Errorf("tracing perturbed the run: %d commits plain vs %d traced", plainRes.Commits, tracedRes.Commits)
 	}
 
-	fmt.Fprintf(os.Stderr, "obs  disabled %8.0f wall-ms\n", plain.WallMs)
-	fmt.Fprintf(os.Stderr, "obs  traced   %8.0f wall-ms (%.2fx)  %d events  %d samples\n",
+	bdCfg := cfg
+	bdCfg.Breakdown = true
+	m, err = ddbm.NewMachine(bdCfg)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	bdRes := m.Run()
+	bdWall := float64(time.Since(start).Nanoseconds()) / 1e6
+	bd := ObsResult{Mode: "breakdown", SimMs: cfg.SimTimeMs, WallMs: bdWall, Commits: bdRes.Commits}
+	if plainWall > 0 {
+		bd.WallVsDisabled = bdWall / plainWall
+	}
+	if plainRes.Commits != bdRes.Commits {
+		return nil, fmt.Errorf("breakdown accounting perturbed the run: %d commits plain vs %d", plainRes.Commits, bdRes.Commits)
+	}
+
+	fmt.Fprintf(os.Stderr, "obs  disabled  %8.0f wall-ms\n", plain.WallMs)
+	fmt.Fprintf(os.Stderr, "obs  traced    %8.0f wall-ms (%.2fx)  %d events  %d samples\n",
 		traced.WallMs, traced.WallVsDisabled, traced.TraceEvents, traced.ProbeSamples)
-	return []ObsResult{plain, traced}, nil
+	fmt.Fprintf(os.Stderr, "obs  breakdown %8.0f wall-ms (%.2fx)\n", bd.WallMs, bd.WallVsDisabled)
+	return []ObsResult{plain, traced, bd}, nil
 }

@@ -17,6 +17,8 @@ import (
 	"strings"
 
 	"ddbm"
+	"ddbm/internal/cc"
+	"ddbm/internal/obs"
 )
 
 func main() {
@@ -47,6 +49,8 @@ func main() {
 	trace := flag.Int("trace", 0, "print the first N transaction life-cycle events")
 	traceOut := flag.String("trace-out", "", "write a simulated-time trace to `file` (.jsonl = flat event stream, otherwise Chrome trace-event JSON for Perfetto)")
 	probeInterval := flag.Float64("probe-interval", 0, "sample per-node gauges every `N` milliseconds of simulated time (0 = off)")
+	breakdown := flag.Bool("breakdown", false, "account every simulated microsecond of response time to a phase and every abort to a cause, and print the breakdown")
+	breakdownOut := flag.String("breakdown-out", "", "write the per-class breakdown detail to `file` (.csv = CSV table, otherwise JSONL)")
 	logging := flag.Bool("logging", false, "model log forces (prepare records + commit record)")
 	seq := flag.Bool("sequential", false, "run cohorts sequentially instead of in parallel")
 	simTime := flag.Float64("simtime", cfg.SimTimeMs/1000, "simulated duration (seconds)")
@@ -89,6 +93,7 @@ func main() {
 	cfg.DeferRemoteWriteLocks = *deferLocks
 	cfg.Audit = *auditFlag
 	cfg.ModelLogging = *logging
+	cfg.Breakdown = *breakdown || *breakdownOut != ""
 	if *seq {
 		cfg.ExecPattern = ddbm.Sequential
 	}
@@ -172,6 +177,31 @@ func main() {
 		fmt.Printf("log forces           %d (%d on abort paths)\n", res.LogForces, res.AbortPathLogForces)
 	}
 	fmt.Printf("avg active txns      %.1f\n", res.AvgActiveTxns)
+	if cfg.Breakdown {
+		printBreakdown(res, m.Breakdown())
+	}
+	if *breakdownOut != "" {
+		f, err := os.Create(*breakdownOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		snap := m.Breakdown()
+		if strings.HasSuffix(*breakdownOut, ".csv") {
+			err = ddbm.WriteBreakdownCSV(f, snap)
+		} else {
+			err = ddbm.WriteBreakdownJSONL(f, snap)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("breakdown detail     %d phase rows, %d cause rows -> %s\n",
+			len(snap.Phases), len(snap.Causes), *breakdownOut)
+	}
 	if tracer != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -213,5 +243,45 @@ func main() {
 			}
 			fmt.Printf("  %s\n", v)
 		}
+	}
+}
+
+// printBreakdown renders the "where the milliseconds go" report: every
+// phase of the mean committed response in canonical order with its share,
+// then the abort-cause table with per-node attribution. Phases come from
+// the Result's merged maps (which sum to the mean response by the
+// reconciliation invariant); cause rows come from the snapshot so the
+// attributing node is visible.
+func printBreakdown(res ddbm.Result, snap *ddbm.BreakdownSnapshot) {
+	fmt.Println()
+	fmt.Println("time breakdown       mean ms    p99 ms   % of resp")
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		name := p.String()
+		mean := res.PhaseMeanMs[name]
+		share := 0.0
+		if res.MeanResponseMs > 0 {
+			share = 100 * mean / res.MeanResponseMs
+		}
+		fmt.Printf("  %-18s %9.2f %9.2f      %5.1f%%\n", name, mean, res.PhaseP99Ms[name], share)
+	}
+	if res.Aborts == 0 {
+		fmt.Println("abort causes         none (0 aborts)")
+		return
+	}
+	fmt.Println("abort causes         count      share  nodes")
+	for c := cc.Cause(0); c < cc.NumCauses; c++ {
+		name := c.String()
+		n, ok := res.AbortsByCause[name]
+		if !ok {
+			continue
+		}
+		var nodes []string
+		for _, row := range snap.Causes {
+			if row.Cause == name {
+				nodes = append(nodes, fmt.Sprintf("%d:%d", row.Node, row.Count))
+			}
+		}
+		fmt.Printf("  %-18s %6d     %5.1f%%  %s\n",
+			name, n, 100*float64(n)/float64(res.Aborts), strings.Join(nodes, " "))
 	}
 }

@@ -15,11 +15,12 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"ddbm"
 	"ddbm/experiments"
 )
 
 func main() {
-	figs := flag.String("fig", "all", "comma-separated figure numbers (2-17), 'all', 'ext', or 'cps' (commit-protocol sweep)")
+	figs := flag.String("fig", "all", "comma-separated figure numbers (2-17), 'all', 'ext', 'cps' (commit-protocol sweep), or 'bd' (response-time decomposition)")
 	scale := flag.Float64("scale", 1.0, "simulated-time scale factor (1.0 = publication length)")
 	seed := flag.Int64("seed", 1, "random seed for every run")
 	reps := flag.Int("reps", 1, "replicate runs per configuration (averaged)")
@@ -132,6 +133,12 @@ func main() {
 
 	if want["ext"] || want["cps"] {
 		fig, err := experiments.CommitProtocolSweep(opts, 8000)
+		check(err)
+		emit(fig)
+	}
+
+	if want["ext"] || want["bd"] {
+		fig, err := experiments.BreakdownDecomposition(opts, ddbm.TwoPL)
 		check(err)
 		emit(fig)
 	}

@@ -173,3 +173,25 @@ func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
 // CheckChromeTrace structurally validates WriteChromeTrace output (JSON
 // parses, spans nest, cohort/commit-phase spans sit under their attempt).
 func CheckChromeTrace(data []byte) error { return obs.CheckChromeTrace(data) }
+
+// PhaseNames returns the breakdown phase names in canonical ledger order
+// — the key set of Result.PhaseMeanMs and Result.PhaseP99Ms.
+func PhaseNames() []string { return obs.PhaseNames() }
+
+// BreakdownSnapshot is the detailed time-breakdown accounting a run with
+// Config.Breakdown collects: per-class × per-phase response-time rows and
+// per-node × per-cause abort counts. Obtain one with Machine.Breakdown
+// after Run; the aggregate view is on Result (PhaseMeanMs, PhaseP99Ms,
+// AbortsByCause).
+type BreakdownSnapshot = obs.BreakdownSnapshot
+
+// WriteBreakdownJSONL renders a breakdown snapshot as a JSONL stream
+// (one phase or abort-cause row per line, tagged by a "row" field).
+func WriteBreakdownJSONL(w io.Writer, snap *BreakdownSnapshot) error {
+	return obs.WriteBreakdownJSONL(w, snap)
+}
+
+// WriteBreakdownCSV renders a breakdown snapshot as a single CSV table.
+func WriteBreakdownCSV(w io.Writer, snap *BreakdownSnapshot) error {
+	return obs.WriteBreakdownCSV(w, snap)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ddbm"
+)
+
+// BreakdownStudy holds the grid behind the response-time decomposition
+// figure: the baseline 8-node machine with breakdown accounting enabled,
+// one algorithm, over the think-time load sweep (the paper's
+// multiprogramming-level knob: shorter think times push more concurrent
+// transactions into the machine).
+type BreakdownStudy struct {
+	opts    Options
+	alg     ddbm.Algorithm
+	results map[string]ddbm.Result
+}
+
+// breakdownConfig builds the decomposition configuration for one point.
+func (o Options) breakdownConfig(alg ddbm.Algorithm, thinkMs float64) ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = alg
+	cfg.ThinkTimeMs = thinkMs
+	cfg.Breakdown = true
+	o.apply(&cfg)
+	return cfg
+}
+
+// RunBreakdownStudy runs the decomposition sweep for one algorithm.
+func RunBreakdownStudy(opts Options, alg ddbm.Algorithm) (*BreakdownStudy, error) {
+	o := opts.withDefaults()
+	var cfgs []ddbm.Config
+	for _, tt := range o.ThinkTimesMs {
+		cfgs = append(cfgs, o.breakdownConfig(alg, tt))
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &BreakdownStudy{opts: o, alg: alg, results: results}, nil
+}
+
+// Result returns one grid point.
+func (st *BreakdownStudy) Result(thinkMs float64) ddbm.Result {
+	return st.results[cfgKey(st.opts.breakdownConfig(st.alg, thinkMs))]
+}
+
+// Figure returns the "where the milliseconds go" decomposition: one
+// series per phase, giving the mean milliseconds a committed transaction
+// spends in that phase at each load level. By the reconciliation
+// invariant the series sum to the mean response time at every X, so the
+// figure reads as a stacked decomposition of the response-time curve —
+// it shows which phase (queueing, blocking, restarts, commit protocol)
+// the response time goes to as the machine saturates.
+func (st *BreakdownStudy) Figure() *Figure {
+	fig := &Figure{
+		ID:     "Ext BD",
+		Title:  fmt.Sprintf("Response-time decomposition, %s (8 nodes, small DB)", algoLabel(st.alg)),
+		XLabel: "think(s)",
+		YLabel: "mean ms in phase",
+	}
+	for _, name := range ddbm.PhaseNames() {
+		s := Series{Label: name}
+		for _, tt := range st.opts.ThinkTimesMs {
+			s.Points = append(s.Points, Point{X: tt / 1000, Y: st.Result(tt).PhaseMeanMs[name]})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// BreakdownDecomposition runs the study and returns the decomposition
+// figure for one algorithm (the tentpole observability extension; not a
+// paper figure).
+func BreakdownDecomposition(opts Options, alg ddbm.Algorithm) (*Figure, error) {
+	st, err := RunBreakdownStudy(opts, alg)
+	if err != nil {
+		return nil, err
+	}
+	return st.Figure(), nil
+}

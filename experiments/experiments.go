@@ -163,6 +163,7 @@ func cfgKey(cfg ddbm.Config) string {
 	integer(cfg.Seed)
 	num(cfg.InitialRestartDelayMs)
 	boolean(cfg.ModelLogging)
+	boolean(cfg.Breakdown)
 	boolean(cfg.Audit)
 	return string(buf)
 }
@@ -326,6 +327,39 @@ func averageResults(rs []ddbm.Result) ddbm.Result {
 	out.RespP50Ms = p50 / n
 	out.RespP90Ms = p90 / n
 	out.RespP99Ms = p99 / n
+	out.PhaseMeanMs = averageMaps(rs, func(r *ddbm.Result) map[string]float64 { return r.PhaseMeanMs })
+	out.PhaseP99Ms = averageMaps(rs, func(r *ddbm.Result) map[string]float64 { return r.PhaseP99Ms })
+	out.AbortsByCause = nil
+	for _, r := range rs {
+		if r.AbortsByCause != nil && out.AbortsByCause == nil {
+			out.AbortsByCause = make(map[string]int64)
+		}
+		for k, v := range r.AbortsByCause {
+			out.AbortsByCause[k] += v
+		}
+	}
+	return out
+}
+
+// averageMaps averages one of the per-phase breakdown maps across
+// replicates, keeping nil when no replicate carried one (breakdown off).
+func averageMaps(rs []ddbm.Result, get func(*ddbm.Result) map[string]float64) map[string]float64 {
+	var out map[string]float64
+	var n float64
+	for i := range rs {
+		if m := get(&rs[i]); m != nil {
+			n++
+			if out == nil {
+				out = make(map[string]float64, len(m))
+			}
+			for k, v := range m {
+				out[k] += v
+			}
+		}
+	}
+	for k := range out {
+		out[k] = out[k] / n
+	}
 	return out
 }
 

@@ -111,7 +111,9 @@ func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outco
 
 	if write {
 		if ts < ps.rts {
-			return cc.Aborted // a later read already saw the old version
+			// A later read already saw the old version.
+			co.Txn.NoteCause(m.env.Node, cc.CauseBTOTooLate)
+			return cc.Aborted
 		}
 		if ts < ps.wts {
 			// Thomas write rule: a later write is already in place; this
@@ -144,7 +146,9 @@ func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outco
 
 	// Read.
 	if ts < ps.wts {
-		return cc.Aborted // too late: a newer version is already committed
+		// Too late: a newer version is already committed.
+		co.Txn.NoteCause(m.env.Node, cc.CauseBTOTooLate)
+		return cc.Aborted
 	}
 	if ps.pendingBelow(ts) {
 		br := &blockedRead{ts: ts, co: co}
@@ -250,6 +254,9 @@ func (m *manager) resolveBlocked(page db.PageID, ps *pageState) {
 		br.co.Grant()
 	}
 	for _, br := range deny {
+		// The read it was waiting to perform is now too late: a newer
+		// version committed while it was blocked.
+		br.co.Txn.NoteCause(m.env.Node, cc.CauseBTOTooLate)
 		br.co.Deny()
 	}
 }

@@ -70,6 +70,59 @@ func ParseKind(s string) (Kind, error) {
 // add it explicitly where wanted.
 func Kinds() []Kind { return []Kind{TwoPL, BTO, WoundWait, OPT, NoDC} }
 
+// Cause classifies why a transaction attempt aborted — which rule of
+// which layer demanded it. Every abort site in cc, commit and core
+// records one (via RequestAbort or NoteCause); the first recorded cause
+// wins, matching the first-event-wins semantics of AbortRequested.
+type Cause uint8
+
+const (
+	// CauseNone: no abort cause recorded (the attempt committed, or no
+	// site has attributed the abort yet).
+	CauseNone Cause = iota
+	// CauseLocalDeadlock: chosen as victim by a node-local deadlock
+	// detection pass (2PL).
+	CauseLocalDeadlock
+	// CauseGlobalDeadlock: chosen as victim by the Snoop's global
+	// deadlock detection (2PL).
+	CauseGlobalDeadlock
+	// CauseLockTimeout: a lock wait exceeded LockWaitTimeoutMs
+	// (footnote 2's timeout scheme).
+	CauseLockTimeout
+	// CauseWound: wounded by an older transaction (wound-wait).
+	CauseWound
+	// CauseBTOTooLate: rejected by a BTO timestamp rule — the access
+	// arrived too late relative to committed or pending versions.
+	CauseBTOTooLate
+	// CauseOPTCertify: failed OPT certification at prepare time.
+	CauseOPTCertify
+	// CauseCoordinator: resolved as aborted by the coordinator without a
+	// more specific cause (e.g. a failed vote whose origin recorded
+	// nothing).
+	CauseCoordinator
+
+	// NumCauses sizes per-cause counters.
+	NumCauses
+)
+
+var causeNames = [NumCauses]string{
+	CauseNone:           "none",
+	CauseLocalDeadlock:  "local-deadlock",
+	CauseGlobalDeadlock: "global-deadlock",
+	CauseLockTimeout:    "lock-timeout",
+	CauseWound:          "wound",
+	CauseBTOTooLate:     "bto-too-late",
+	CauseOPTCertify:     "opt-certify",
+	CauseCoordinator:    "coordinator",
+}
+
+func (c Cause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("Cause(%d)", int(c))
+}
+
 // TxnState tracks where a transaction execution attempt is in its life
 // cycle. The distinction that matters to the algorithms is Committing:
 // once the commit decision is made (second phase of the commit protocol),
@@ -115,6 +168,11 @@ type TxnMeta struct {
 	AbortRequested bool
 	// AbortReason records why, for diagnostics and metrics.
 	AbortReason string
+	// AbortCause classifies the abort for the breakdown accounting's
+	// per-cause counters; AbortNode is the node whose manager (or
+	// coordinator) attributed it. First recorded cause wins (NoteCause).
+	AbortCause Cause
+	AbortNode  int
 	// OnAbort tells the transaction manager an abort is required; fromNode
 	// is the node where the decision was made (the notification travels
 	// from there to the coordinator). Installed by the transaction manager.
@@ -136,7 +194,9 @@ type TxnMeta struct {
 // idempotent and refuses once the commit decision has been made (a wound in
 // the second phase of the commit protocol "is not fatal").
 // It reports whether the abort was accepted.
-func (t *TxnMeta) RequestAbort(fromNode int, reason string) bool {
+//
+//ddbmlint:hotpath abort demand on the contention path pinned by TestSteadyStateAllocFree
+func (t *TxnMeta) RequestAbort(fromNode int, reason string, cause Cause) bool {
 	if t.AbortRequested {
 		return true
 	}
@@ -145,10 +205,24 @@ func (t *TxnMeta) RequestAbort(fromNode int, reason string) bool {
 	}
 	t.AbortRequested = true
 	t.AbortReason = reason
+	t.NoteCause(fromNode, cause)
 	if t.OnAbort != nil {
-		t.OnAbort(fromNode, reason)
+		t.OnAbort(fromNode, reason) //ddbmlint:allow hotpath-alloc pre-bound abort observer; installed once per pooled attempt and audited by the core alloc pins
 	}
 	return true
+}
+
+// NoteCause records the abort cause and attributing node if none is
+// recorded yet — the seam for sites that doom an attempt without calling
+// RequestAbort (BTO timestamp rejections, OPT certification failures,
+// the coordinator's default attribution). First cause wins.
+//
+//ddbmlint:hotpath abort-cause attribution pinned by TestSteadyStateAllocFree
+func (t *TxnMeta) NoteCause(fromNode int, cause Cause) {
+	if t.AbortCause == CauseNone {
+		t.AbortCause = cause
+		t.AbortNode = fromNode
+	}
 }
 
 // Abortable reports whether the attempt can still be aborted.

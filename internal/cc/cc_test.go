@@ -45,10 +45,10 @@ func TestRequestAbortIdempotent(t *testing.T) {
 	calls := 0
 	m := &TxnMeta{ID: 1, TS: 1}
 	m.OnAbort = func(fromNode int, reason string) { calls++ }
-	if !m.RequestAbort(3, "first") {
+	if !m.RequestAbort(3, "first", CauseWound) {
 		t.Error("first abort request refused")
 	}
-	if !m.RequestAbort(4, "second") {
+	if !m.RequestAbort(4, "second", CauseLocalDeadlock) {
 		t.Error("repeat abort request should report accepted")
 	}
 	if calls != 1 {
@@ -57,13 +57,28 @@ func TestRequestAbortIdempotent(t *testing.T) {
 	if m.AbortReason != "first" {
 		t.Errorf("reason %q, want the first one", m.AbortReason)
 	}
+	if m.AbortCause != CauseWound || m.AbortNode != 3 {
+		t.Errorf("cause %v at node %d, want the first one (wound at 3)", m.AbortCause, m.AbortNode)
+	}
+}
+
+func TestNoteCauseFirstWins(t *testing.T) {
+	m := &TxnMeta{ID: 1}
+	m.NoteCause(2, CauseBTOTooLate)
+	m.NoteCause(5, CauseCoordinator)
+	if m.AbortCause != CauseBTOTooLate || m.AbortNode != 2 {
+		t.Errorf("cause %v at node %d, want bto-too-late at 2", m.AbortCause, m.AbortNode)
+	}
+	if m.AbortRequested {
+		t.Error("NoteCause must not request the abort itself")
+	}
 }
 
 func TestRequestAbortRefusedAfterCommitDecision(t *testing.T) {
 	m := &TxnMeta{ID: 1, TS: 1, State: Committing}
 	called := false
 	m.OnAbort = func(int, string) { called = true }
-	if m.RequestAbort(0, "wound") {
+	if m.RequestAbort(0, "wound", CauseWound) {
 		t.Error("wound in commit phase two must be refused (not fatal)")
 	}
 	if called || m.AbortRequested {
@@ -73,7 +88,7 @@ func TestRequestAbortRefusedAfterCommitDecision(t *testing.T) {
 
 func TestRequestAbortAllowedWhilePreparing(t *testing.T) {
 	m := &TxnMeta{ID: 1, TS: 1, State: Preparing}
-	if !m.RequestAbort(0, "wound") {
+	if !m.RequestAbort(0, "wound", CauseWound) {
 		t.Error("abort during phase one must be accepted")
 	}
 }

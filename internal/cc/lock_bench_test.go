@@ -157,6 +157,21 @@ func TestSteadyStateAllocFree(t *testing.T) {
 	if n := testing.AllocsPerRun(100, detectVictims); n != 0 {
 		t.Errorf("victim selection: %v allocs/op, want 0", n)
 	}
+
+	// Abort demand with cause attribution rides the same contention path
+	// (deadlock victims, wounds, timeouts all call RequestAbort; the
+	// timestamp algorithms call NoteCause directly) and must not allocate.
+	abortAttribute := func() {
+		m := a.Txn
+		m.AbortRequested, m.AbortReason = false, ""
+		m.AbortCause, m.AbortNode = CauseNone, 0
+		m.NoteCause(2, CauseBTOTooLate)
+		m.RequestAbort(1, "deadlock victim", CauseLocalDeadlock)
+	}
+	abortAttribute()
+	if n := testing.AllocsPerRun(100, abortAttribute); n != 0 {
+		t.Errorf("abort demand with cause attribution: %v allocs/op, want 0", n)
+	}
 }
 
 // BenchmarkFindVictims measures deadlock detection over a 32-node graph

@@ -116,9 +116,19 @@ func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outco
 	return cc.Granted
 }
 
-// Prepare performs local certification against co.Txn.CommitTS. All checks
-// run before any entry is recorded so the verdict is order-independent.
+// Prepare performs local certification against co.Txn.CommitTS,
+// attributing a certification failure as the attempt's abort cause.
 func (m *manager) Prepare(co *cc.CohortMeta) bool {
+	if m.certify(co) {
+		return true
+	}
+	co.Txn.NoteCause(m.env.Node, cc.CauseOPTCertify)
+	return false
+}
+
+// certify runs the local certification checks. All checks run before any
+// entry is recorded so the verdict is order-independent.
+func (m *manager) certify(co *cc.CohortMeta) bool {
 	cs := m.cohorts[co]
 	if cs == nil {
 		// A cohort with no accesses certifies trivially.

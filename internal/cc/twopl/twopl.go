@@ -136,7 +136,7 @@ func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outco
 		seq := m.waitSeq[co]
 		m.env.Sim.After(m.timeout, func() {
 			if co.Waiting() && m.waitSeq[co] == seq {
-				if co.Txn.RequestAbort(m.env.Node, "lock timeout") {
+				if co.Txn.RequestAbort(m.env.Node, "lock timeout", cc.CauseLockTimeout) {
 					m.timeouts++
 				}
 			}
@@ -146,7 +146,7 @@ func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outco
 	// Local deadlock detection occurs whenever a cohort blocks.
 	m.edgeBuf = m.lt.AppendWaitsForEdges(m.env.Node, m.edgeBuf[:0])
 	for _, v := range m.det.FindVictims(m.edgeBuf) {
-		v.RequestAbort(m.env.Node, "local deadlock")
+		v.RequestAbort(m.env.Node, "local deadlock", cc.CauseLocalDeadlock)
 	}
 	if co.Txn.AbortRequested {
 		// We were chosen as the victim (or were already dying): don't park —
@@ -266,7 +266,7 @@ func (a *Algorithm) StartGlobal(g cc.GlobalEnv) {
 				all = append(all, *mail.Recv(p).(*[]cc.Edge)...)
 			}
 			for _, v := range det.FindVictims(all) {
-				v.RequestAbort(snoopAt, "global deadlock")
+				v.RequestAbort(snoopAt, "global deadlock", cc.CauseGlobalDeadlock)
 			}
 			node = (node + 1) % n
 		}

@@ -68,7 +68,7 @@ func (m *manager) Access(co *cc.CohortMeta, page db.PageID, write bool) cc.Outco
 	// decision are refused by RequestAbort ("the wound is not fatal").
 	for _, other := range conflicts {
 		if other.Txn != co.Txn && other.Txn.TS > co.Txn.TS && other.Txn.Abortable() {
-			if other.Txn.RequestAbort(m.env.Node, "wounded") {
+			if other.Txn.RequestAbort(m.env.Node, "wounded", cc.CauseWound) {
 				m.wounds++
 			}
 		}

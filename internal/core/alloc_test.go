@@ -20,23 +20,31 @@ import (
 // The pin runs the default 2PL algorithm under each commit protocol with
 // logging modeled (the force-log continuation paths), plus the unlogged
 // default, so every protocol variant's message and force chains are
-// covered.
+// covered. Every protocol case additionally runs with the time-breakdown
+// accounting enabled: the ledger spends, folds, histogram adds and cause
+// tallies ride the same pinned path and must stay allocation-free too.
 func TestTxnPathAllocFree(t *testing.T) {
 	cases := []struct {
-		name    string
-		proto   commit.Kind
-		logging bool
+		name      string
+		proto     commit.Kind
+		logging   bool
+		breakdown bool
 	}{
-		{"2PC-logging", commit.CentralizedTwoPC, true},
-		{"PA-logging", commit.PresumedAbort, true},
-		{"PC-logging", commit.PresumedCommit, true},
-		{"2PC-nologging", commit.CentralizedTwoPC, false},
+		{"2PC-logging", commit.CentralizedTwoPC, true, false},
+		{"PA-logging", commit.PresumedAbort, true, false},
+		{"PC-logging", commit.PresumedCommit, true, false},
+		{"2PC-nologging", commit.CentralizedTwoPC, false, false},
+		{"2PC-logging-breakdown", commit.CentralizedTwoPC, true, true},
+		{"PA-logging-breakdown", commit.PresumedAbort, true, true},
+		{"PC-logging-breakdown", commit.PresumedCommit, true, true},
+		{"2PC-nologging-breakdown", commit.CentralizedTwoPC, false, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := testConfig(cc.TwoPL)
 			cfg.CommitProtocol = tc.proto
 			cfg.ModelLogging = tc.logging
+			cfg.Breakdown = tc.breakdown
 			cfg.SimTimeMs = 500_000
 			cfg.WarmupMs = 10_000
 			m, err := NewMachine(cfg)

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ddbm/internal/cc"
+	"ddbm/internal/commit"
+	"ddbm/internal/obs"
+)
+
+// TestBreakdownReconciliation is the accounting invariant: for every
+// committed transaction, the phase ledger's total equals the measured
+// response time to within 1e-9 ms — no simulated microsecond is lost or
+// double-counted. The property is checked per commit (via the bdCheck
+// seam) across all four commit-protocol variants and a grid of seeds, on
+// the contended test configuration so restarts, blocking and every abort
+// path contribute.
+func TestBreakdownReconciliation(t *testing.T) {
+	protos := []struct {
+		name    string
+		proto   commit.Kind
+		logging bool
+	}{
+		{"2PC-logging", commit.CentralizedTwoPC, true},
+		{"PA-logging", commit.PresumedAbort, true},
+		{"PC-logging", commit.PresumedCommit, true},
+		{"2PC-nologging", commit.CentralizedTwoPC, false},
+	}
+	for _, tc := range protos {
+		for _, seed := range []int64{1, 7, 13} {
+			tc, seed := tc, seed
+			t.Run(fmt.Sprintf("%s-seed%d", tc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := testConfig(cc.TwoPL)
+				cfg.CommitProtocol = tc.proto
+				cfg.ModelLogging = tc.logging
+				cfg.Seed = seed
+				cfg.Breakdown = true
+				m, err := NewMachine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checked, bad := 0, 0
+				var worst float64
+				m.bdCheck = func(ld *obs.Ledger, respMs float64) {
+					checked++
+					if d := math.Abs(ld.Total() - respMs); d > 1e-9 {
+						bad++
+						if d > worst {
+							worst = d
+						}
+					}
+				}
+				res := m.Run()
+				if checked < 100 {
+					t.Fatalf("only %d commits checked; the property test did not exercise the path", checked)
+				}
+				if bad > 0 {
+					t.Errorf("seed %d: %d of %d commits violate ledger reconciliation (worst |Σphases − resp| = %g ms)",
+						seed, bad, checked, worst)
+				}
+				// The aggregate forms of the invariant: phase means sum to
+				// the mean response, cause counts sum to the abort count.
+				var sum float64
+				for _, v := range res.PhaseMeanMs {
+					sum += v
+				}
+				if d := math.Abs(sum - res.MeanResponseMs); d > 1e-6 {
+					t.Errorf("seed %d: ΣPhaseMeanMs = %v but MeanResponseMs = %v (Δ %g)",
+						seed, sum, res.MeanResponseMs, d)
+				}
+				var aborts int64
+				for _, n := range res.AbortsByCause {
+					aborts += n
+				}
+				if aborts != res.Aborts {
+					t.Errorf("seed %d: ΣAbortsByCause = %d but Aborts = %d", seed, aborts, res.Aborts)
+				}
+				if res.Aborts > 0 && len(res.AbortsByCause) == 0 {
+					t.Errorf("seed %d: %d aborts but no causes recorded", seed, res.Aborts)
+				}
+			})
+		}
+	}
+}
+
+// Under NO_DC nothing blocks, aborts, or restarts, and the fold-by-
+// critical-cohort accounting tiles every attempt exactly: the residue
+// phase must stay at rounding noise for every committed transaction.
+func TestBreakdownResidueZeroNoDC(t *testing.T) {
+	cfg := testConfig(cc.NoDC)
+	cfg.Breakdown = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	m.bdCheck = func(ld *obs.Ledger, respMs float64) {
+		checked++
+		if r := math.Abs(ld.Spent(obs.PhaseResidue)); r > 1e-9 {
+			t.Errorf("NO_DC commit carries %g ms of residue; the phase accounting is not tiling the attempt", r)
+		}
+	}
+	m.Run()
+	if checked < 100 {
+		t.Fatalf("only %d commits checked", checked)
+	}
+}
+
+// Breakdown accounting is pure observation: a run with it enabled must
+// produce bit-identical metrics (and a bit-identical Chrome trace) to the
+// plain run — same event order, same RNG consumption, same floats to the
+// last ulp. This is the golden-safety guarantee: enabling -breakdown can
+// never change what the simulation does.
+func TestBreakdownPreservesResults(t *testing.T) {
+	for _, alg := range cc.Kinds() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(alg)
+			cfg.SimTimeMs = 30_000
+			cfg.WarmupMs = 5_000
+			plain, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Breakdown = true
+			instr, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if instr.PhaseMeanMs == nil || instr.PhaseP99Ms == nil {
+				t.Fatal("breakdown run returned no phase maps")
+			}
+			// Strip the observation-only fields, then demand bitwise
+			// equality of everything else.
+			instr.Config.Breakdown = false
+			instr.PhaseMeanMs, instr.PhaseP99Ms, instr.AbortsByCause = nil, nil, nil
+			if !reflect.DeepEqual(plain, instr) {
+				t.Error("enabling breakdown accounting changed the simulation's metrics")
+			}
+		})
+	}
+}
+
+// The golden Chrome trace must be byte-identical with breakdown
+// accounting enabled: the ledger rides existing events and consumes no
+// randomness and no scheduling.
+func TestBreakdownGoldenTraceBitIdentical(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.json"))
+	if err != nil {
+		t.Fatalf("%v (regenerate via TestGoldenChromeTrace -update)", err)
+	}
+	cfg := tinyTraceConfig()
+	cfg.Breakdown = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.EnableTracing()
+	m.Run()
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tr.Events(), cfg.NumProcNodes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("golden Chrome trace diverged with breakdown enabled (%d bytes vs %d)", buf.Len(), len(want))
+	}
+}
+
+// Machine.Breakdown surfaces the per-class × per-phase and per-node ×
+// per-cause detail the Result maps aggregate away; the snapshot must
+// agree with the Result on both totals.
+func TestBreakdownSnapshotConsistent(t *testing.T) {
+	cfg := testConfig(cc.TwoPL)
+	cfg.Breakdown = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	snap := m.Breakdown()
+	if snap == nil {
+		t.Fatal("Breakdown() returned nil on an accounting-enabled machine")
+	}
+	if len(snap.Phases) == 0 {
+		t.Fatal("snapshot has no phase rows")
+	}
+	var causes int64
+	for _, row := range snap.Causes {
+		causes += row.Count
+	}
+	if causes != res.Aborts {
+		t.Errorf("snapshot cause rows sum to %d but Result.Aborts = %d", causes, res.Aborts)
+	}
+	for _, row := range snap.Phases {
+		if row.Count != res.Commits {
+			t.Errorf("phase row %q class %d counts %d commits, Result has %d",
+				row.Phase, row.Class, row.Count, res.Commits)
+		}
+	}
+	// Disabled machines report no snapshot.
+	cfg.Breakdown = false
+	m2, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Run()
+	if m2.Breakdown() != nil {
+		t.Error("Breakdown() non-nil on a machine without accounting")
+	}
+}

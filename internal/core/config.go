@@ -162,6 +162,19 @@ type Config struct {
 	// bottleneck").
 	ModelLogging bool
 
+	// Breakdown enables per-transaction time-breakdown accounting and
+	// abort-cause attribution: every simulated microsecond of a
+	// transaction's life is attributed to one phase of a closed set (CPU
+	// service/queue, disk service/queue, lock-blocked, network transit,
+	// commit prepare/decide/resolve, restart backoff, residue), and every
+	// aborted attempt is counted by cause and attributing node. Results
+	// surface as Result.PhaseMeanMs / PhaseP99Ms / AbortsByCause and via
+	// Machine.Breakdown(). Observation only: the accounting is pure
+	// arithmetic on the simulated clock (no randomness, no scheduling),
+	// so runs are bit-identical with it on or off, and the pinned
+	// transaction path stays allocation-free.
+	Breakdown bool
+
 	// Audit enables the serializability auditor: the run records every
 	// committed transaction's reads and writes and Result carries any
 	// anomalies found by replaying the history in serialization-stamp

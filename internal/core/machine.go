@@ -48,6 +48,12 @@ type Machine struct {
 	activeCohorts []int     // per processing node
 	prevCPUBusy   []float64 // sampler window state: last BusyTime() per CPU
 	prevDiskBusy  []float64 // ... per disk array (proc nodes, then host)
+	// bd is the time-breakdown accounting state (nil unless
+	// cfg.Breakdown); bdCheck is a test seam invoked at every commit with
+	// the transaction's ledger and measured response time (reconciliation
+	// property tests).
+	bd      *breakdown
+	bdCheck func(ld *obs.Ledger, respMs float64)
 
 	hostID     int
 	tsCounter  int64
@@ -146,6 +152,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	if err := m.gen.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Breakdown {
+		// Per-terminal ledgers, per-class × per-phase histograms and
+		// per-node abort-cause counters, all fixed-size: the steady-state
+		// accounting allocates nothing. The host gets the last cause row.
+		m.bd = newBreakdown(m.gen.NumClasses(), cfg.NumProcNodes+1, cfg.NumTerminals)
+		for t := 0; t < cfg.NumTerminals; t++ {
+			m.bd.classOf[t] = m.gen.ClassIndexOfTerminal(t, cfg.NumTerminals)
+		}
 	}
 
 	// Pre-size the transaction path from the machine's concurrency bounds
@@ -260,6 +275,11 @@ func (m *Machine) EnableProbes(intervalMs float64) *obs.TimeSeries {
 
 // TimeSeries returns the probe samples, or nil when probing is disabled.
 func (m *Machine) TimeSeries() *obs.TimeSeries { return m.probes }
+
+// Breakdown returns the run's aggregated time-breakdown snapshot
+// (per-class phase distributions and per-node abort-cause counts), or
+// nil when Config.Breakdown is off. Call after Run.
+func (m *Machine) Breakdown() *obs.BreakdownSnapshot { return m.bd.snapshot() }
 
 // ccGauges is the optional interface a CC manager implements to expose its
 // table size and blocked-cohort count to the probe sampler; managers
@@ -436,5 +456,6 @@ func (m *Machine) result() Result {
 			r.AuditViolations = append(r.AuditViolations, v.String())
 		}
 	}
+	m.bd.resultFields(&r)
 	return r
 }

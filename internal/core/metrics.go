@@ -150,6 +150,17 @@ type Result struct {
 	// AvgActiveTxns is the time-average number of in-flight transactions.
 	AvgActiveTxns float64
 
+	// PhaseMeanMs and PhaseP99Ms report the time-breakdown accounting
+	// (nil unless Config.Breakdown): per-phase mean and p99 milliseconds
+	// per committed transaction, keyed by phase name (see obs.Phase),
+	// merged across classes. The phase means sum to MeanResponseMs (the
+	// reconciliation invariant); p99 values are deterministic log2-bucket
+	// upper bounds. AbortsByCause counts aborted attempts by cause name
+	// (see cc.Cause), summing to Aborts; zero-count causes are omitted.
+	PhaseMeanMs   map[string]float64
+	PhaseP99Ms    map[string]float64
+	AbortsByCause map[string]int64
+
 	// AuditedTxns counts the committed transactions checked by the
 	// serializability auditor (0 when Config.Audit is off) and
 	// AuditViolations lists any anomalies it found, rendered as strings.

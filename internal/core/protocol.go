@@ -37,6 +37,11 @@ type protocolEnv struct {
 	// prepare/decide/resolve spans: the attempt sets it on entering the
 	// protocol, Prepared and Decided advance it. Observation only.
 	phaseAt sim.Time
+	// prepared records whether Prepared fired this attempt, so Decided can
+	// attribute ledger time to the decide phase when it did and to the
+	// prepare phase when the protocol decided without a separate vote
+	// round (e.g. an abort before all votes arrived). Reset per attempt.
+	prepared bool
 }
 
 func (e *protocolEnv) Host() int { return e.m.hostID }
@@ -129,6 +134,8 @@ func (e *protocolEnv) RecordCommit() {
 //
 //ddbmlint:hotpath prepare-phase hook pinned by TestTxnPathAllocFree
 func (e *protocolEnv) Prepared() {
+	e.a.bd.Spend(e.m.sim.Now(), obs.PhasePrepare)
+	e.prepared = true
 	e.m.lifecycle(TxnPrepared, e.txn, e.attempt, "")
 	if tr := e.m.tracer; tr != nil {
 		tr.Complete(obs.KindCommitPhase, "prepare", e.m.hostID, e.txn, e.attempt, e.phaseAt)
@@ -138,6 +145,11 @@ func (e *protocolEnv) Prepared() {
 
 //ddbmlint:hotpath decision hook pinned by TestTxnPathAllocFree
 func (e *protocolEnv) Decided(committed bool) {
+	ph := obs.PhasePrepare
+	if e.prepared {
+		ph = obs.PhaseDecide
+	}
+	e.a.bd.Spend(e.m.sim.Now(), ph)
 	detail := "commit"
 	if !committed {
 		detail = "abort"
@@ -187,10 +199,19 @@ func (m *Machine) abortAttempt(p *sim.Proc, env *protocolEnv, t *commit.Txn, loa
 	if t.Meta.AbortReason == "" {
 		t.Meta.AbortReason = "aborted by coordinator"
 	}
+	// Cause attribution mirrors the reason default: a no-op when any party
+	// already recorded a cause (first cause wins).
+	t.Meta.NoteCause(m.hostID, cc.CauseCoordinator)
 	env.phaseAt = m.sim.Now()
 	m.proto.Abort(p, env, t, loaded) //ddbmlint:allow hotpath-alloc Protocol dispatch; the twoPC implementation carries its own hotpath pins
 	// Abort resolution: from the abort decision (Decided(false) fires at
 	// the top of the protocol's abort path, advancing phaseAt) to the
-	// protocol's return. Nil-safe no-op when untraced.
+	// protocol's return — the ack-collection wait under the ack-requiring
+	// variants. Nil-safe no-ops when untraced/disabled.
+	env.a.bd.Spend(m.sim.Now(), obs.PhaseResolve)
 	m.tracer.Complete(obs.KindCommitPhase, "resolve", m.hostID, env.txn, env.attempt, env.phaseAt)
+	// The cause tally runs here, after the abort protocol resolved: no
+	// simulated time passes between this point and the caller's
+	// txnAborted tally, so the windowed counters agree exactly.
+	m.bd.noteAbort(t.Meta, m.stats.measuring)
 }

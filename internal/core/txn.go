@@ -56,6 +56,9 @@ type attemptState struct {
 	// buffers outlive every straggler that reads them (InstallCommit).
 	plan *workload.TxnPlan
 	refs int
+	// bd is the owning terminal's breakdown ledger (nil when accounting
+	// is off): the coordinator-timeline account this attempt spends into.
+	bd *obs.Ledger
 
 	abortNotice msgAbortNotice
 	onAbortFn   func(fromNode int, reason string) // a.onAbort, bound once
@@ -82,6 +85,15 @@ type cohortRun struct {
 
 	spawnFn func()            // c.spawn, bound once
 	runFn   func(p *sim.Proc) // c.run, bound once
+
+	// bd points at bdStore while breakdown accounting is on (nil
+	// otherwise): the cohort's mini-ledger, tiling load-send to
+	// done-delivery on the cohort's own timeline. The coordinator folds
+	// the critical cohort's account into the attempt ledger. diskSvc is
+	// the ReadMeasured scratch slot for the service/queue split.
+	bd      *obs.Ledger
+	bdStore obs.Ledger
+	diskSvc float64
 }
 
 // acquireAttempt takes an attempt state from the free list (or grows the
@@ -90,7 +102,7 @@ type cohortRun struct {
 // the coordinator.
 //
 //ddbmlint:hotpath per-attempt state acquisition pinned by TestTxnPathAllocFree
-func (m *Machine) acquireAttempt(id, origTS int64, attemptNo int, plan *workload.TxnPlan) *attemptState {
+func (m *Machine) acquireAttempt(id, origTS int64, attemptNo int, plan *workload.TxnPlan, ld *obs.Ledger) *attemptState {
 	var a *attemptState
 	if k := len(m.attemptFree); k > 0 {
 		a = m.attemptFree[k-1]
@@ -105,9 +117,11 @@ func (m *Machine) acquireAttempt(id, origTS int64, attemptNo int, plan *workload
 	}
 	a.meta = cc.TxnMeta{ID: id, TS: origTS, AttemptTS: m.nextTS(), OnAbort: a.onAbortFn}
 	a.plan = plan
+	a.bd = ld
 	m.gen.Retain(plan)
 	a.refs = 1
 	a.env.txn, a.env.attempt, a.env.phaseAt = id, attemptNo, 0
+	a.env.prepared = false
 	a.env.runs = nil
 	a.txn.Reset(&a.meta, a.mail)
 	a.runs = a.runs[:0]
@@ -179,6 +193,10 @@ func (a *attemptState) addCohort(cp *workload.CohortPlan, attemptNo int) *cohort
 	c.doneMsg = msgCohortDone{idx: n}
 	c.selfAbortMsg = msgSelfAbort{idx: n, reason: "access rejected"}
 	c.reads = c.reads[:0]
+	c.bd = nil
+	if a.bd != nil {
+		c.bd = &c.bdStore
+	}
 	c.meta = cc.CohortMeta{Txn: &a.meta, Node: cp.Node, OnBlocked: a.m.blockedFn}
 	if tr := a.m.tracer; tr != nil {
 		// Record each blocking episode as a cc-wait span before the stats
@@ -232,11 +250,13 @@ func (m *Machine) serializationStamp(meta *cc.TxnMeta) int64 {
 func (m *Machine) terminal(p *sim.Proc, termID int) {
 	rel := termID % m.cfg.NumRelations
 	class := m.gen.ClassOfTerminal(termID, m.cfg.NumTerminals)
+	ld := m.bd.ledger(termID)      // nil when breakdown accounting is off
+	classIdx := m.bd.class(termID) // histogram row for this terminal
 	rng := m.sim.Rand()
 	for {
 		p.Delay(sim.Exponential(rng, m.cfg.ThinkTimeMs))
 		plan := m.gen.AcquireClassPlan(rng, rel, class)
-		m.runTransaction(p, plan)
+		m.runTransaction(p, plan, ld, classIdx)
 		m.gen.Release(plan)
 	}
 }
@@ -247,10 +267,11 @@ func (m *Machine) terminal(p *sim.Proc, termID int) {
 // the host node.
 //
 //ddbmlint:hotpath transaction driver pinned by TestTxnPathAllocFree
-func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
+func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan, ld *obs.Ledger, class int) {
 	id := m.nextTxnID()
 	origTS := m.nextTS() // original startup timestamp, kept across restarts
 	origin := m.sim.Now()
+	ld.StartAt(origin)
 	m.stats.txnStarted(origin)
 	m.lifecycle(TxnSubmitted, id, 1, "")
 	restarts := 0
@@ -261,7 +282,7 @@ func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
 		// killed at simulation shutdown must not record a half-finished
 		// attempt (see obs.Span.End).
 		sp := m.tracer.Begin(obs.KindTxn, "attempt", m.hostID, id, attemptNo)
-		committed, reason := m.attempt(p, id, origTS, attemptNo, plan)
+		committed, reason := m.attempt(p, id, origTS, attemptNo, plan, ld)
 		sp.End()
 		if committed {
 			break
@@ -270,9 +291,15 @@ func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
 		m.stats.txnAborted()
 		restarts++
 		p.Delay(m.stats.avgResponse(m.cfg.InitialRestartDelayMs))
+		ld.Spend(m.sim.Now(), obs.PhaseRestart)
 	}
 	m.lifecycle(TxnCommitted, id, restarts+1, "")
-	m.stats.txnCommitted(m.sim.Now(), m.sim.Now()-origin, restarts)
+	resp := m.sim.Now() - origin
+	m.stats.txnCommitted(m.sim.Now(), resp, restarts)
+	m.bd.noteCommit(class, ld, m.stats.measuring)
+	if m.bdCheck != nil && ld != nil {
+		m.bdCheck(ld, resp) //ddbmlint:allow hotpath-alloc reconciliation test seam; nil outside tests
+	}
 }
 
 // attempt executes one try of the transaction: load cohorts (sequentially
@@ -283,12 +310,14 @@ func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan) {
 // attempt with no stragglers recycles inside release.
 //
 //ddbmlint:hotpath attempt execution pinned by TestTxnPathAllocFree
-func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *workload.TxnPlan) (bool, string) {
+func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *workload.TxnPlan, ld *obs.Ledger) (bool, string) {
 	cfg := &m.cfg
-	a := m.acquireAttempt(id, origTS, attemptNo, plan)
+	a := m.acquireAttempt(id, origTS, attemptNo, plan, ld)
 
 	// Coordinator process startup at the host.
 	m.cpus[m.hostID].Use(p, cfg.InstPerStartup)
+	a.bd.SpendSplit(m.sim.Now(), cfg.InstPerStartup/m.cpus[m.hostID].Rate(),
+		obs.PhaseCPUService, obs.PhaseCPUQueue)
 
 	for i := range plan.Cohorts {
 		a.addCohort(&plan.Cohorts[i], attemptNo)
@@ -301,7 +330,9 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *wo
 		for _, c := range a.runs {
 			m.loadCohort(c)
 			loaded++
-			if !m.awaitDone(p, a.mail, 1) {
+			ok, crit := m.awaitDone(p, a.mail, 1)
+			a.foldWork(crit)
+			if !ok {
 				m.abortAttempt(p, env, t, loaded)
 				reason := a.meta.AbortReason
 				a.release()
@@ -313,7 +344,9 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *wo
 			m.loadCohort(c)
 			loaded++
 		}
-		if !m.awaitDone(p, a.mail, loaded) {
+		ok, crit := m.awaitDone(p, a.mail, loaded)
+		a.foldWork(crit)
+		if !ok {
 			m.abortAttempt(p, env, t, loaded)
 			reason := a.meta.AbortReason
 			a.release()
@@ -334,27 +367,56 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *wo
 		a.release()
 		return false, reason
 	}
-	// Commit resolution: from the logged decision (phaseAt was advanced by
-	// Decided) to the protocol's return. Nil-safe no-op when untraced.
+	// Commit resolution: from the logged decision (Decided advanced the
+	// ledger cursor and phaseAt) to the protocol's return — zero for the
+	// asynchronous phase-two fan-out. Nil-safe no-ops when disabled.
+	a.bd.Spend(m.sim.Now(), obs.PhaseResolve)
 	m.tracer.Complete(obs.KindCommitPhase, "resolve", m.hostID, id, attemptNo, env.phaseAt)
 	a.release()
 	return true, ""
 }
 
 // awaitDone consumes coordinator mail until n cohorts report work-phase
-// completion; it returns false as soon as any abort signal arrives.
+// completion; ok turns false as soon as any abort signal arrives. crit
+// identifies the cohort whose message ended the wait — the last done
+// report (the critical cohort: the mailbox is FIFO in delivery order, so
+// the n-th consumed done is the latest delivered) or the self-aborting
+// cohort — or -1 when an attempt-level abort notice ended it.
 //
 //ddbmlint:hotpath coordinator mail loop pinned by TestTxnPathAllocFree
-func (m *Machine) awaitDone(p *sim.Proc, mail *sim.Mailbox, n int) bool {
+func (m *Machine) awaitDone(p *sim.Proc, mail *sim.Mailbox, n int) (ok bool, crit int) {
+	crit = -1
 	for done := 0; done < n; {
-		switch mail.Recv(p).(type) {
+		switch msg := mail.Recv(p).(type) {
 		case *msgCohortDone:
 			done++
-		case *msgAbortNotice, *msgSelfAbort:
-			return false
+			crit = msg.idx
+		case *msgSelfAbort:
+			return false, msg.idx
+		case *msgAbortNotice:
+			return false, -1
 		}
 	}
-	return true
+	return true, crit
+}
+
+// foldWork merges the reporting cohort's breakdown mini-ledger into the
+// attempt ledger at the coordinator, attributing the wait since the
+// cohorts were loaded. The critical cohort's account tiles the interval
+// exactly (its last entry is the done-report transit, ending at this
+// delivery); a fold with no reporting cohort (crit < 0, an abort notice)
+// sweeps the interval into the residue phase.
+//
+//ddbmlint:hotpath work-phase breakdown fold pinned by TestTxnPathAllocFree
+func (a *attemptState) foldWork(crit int) {
+	if a.bd == nil {
+		return
+	}
+	var from *obs.Ledger
+	if crit >= 0 {
+		from = a.runs[crit].bd
+	}
+	a.bd.Fold(a.m.sim.Now(), from, obs.PhaseResidue)
 }
 
 // loadCohort sends the "load cohort" message; at the destination the
@@ -365,6 +427,7 @@ func (m *Machine) awaitDone(p *sim.Proc, mail *sim.Mailbox, n int) bool {
 //ddbmlint:hotpath cohort load pinned by TestTxnPathAllocFree
 func (m *Machine) loadCohort(c *cohortRun) {
 	c.a.retain()
+	c.bd.StartAt(m.sim.Now())
 	m.net.Send(m.hostID, c.meta.Node, c, tagCohortLoad)
 }
 
@@ -378,11 +441,14 @@ func (m *Machine) loadCohort(c *cohortRun) {
 func (c *cohortRun) HandleMsg(tag int) {
 	switch tag {
 	case tagCohortLoad:
+		c.bd.Spend(c.m.sim.Now(), obs.PhaseNetTransit)
 		c.m.cpus[c.meta.Node].UseAsync(c.m.cfg.InstPerStartup, c.spawnFn)
 	case tagCohortDone:
+		c.bd.Spend(c.m.sim.Now(), obs.PhaseNetTransit)
 		c.a.mail.Send(&c.doneMsg)
 		c.a.release()
 	case tagCohortSelfAbort:
+		c.bd.Spend(c.m.sim.Now(), obs.PhaseNetTransit)
 		c.a.mail.Send(&c.selfAbortMsg)
 		c.a.release()
 	}
@@ -394,6 +460,8 @@ func (c *cohortRun) HandleMsg(tag int) {
 //
 //ddbmlint:hotpath cohort process start pinned by TestTxnPathAllocFree
 func (c *cohortRun) spawn() {
+	c.bd.SpendSplit(c.m.sim.Now(), c.m.cfg.InstPerStartup/c.m.cpus[c.meta.Node].Rate(),
+		obs.PhaseCPUService, obs.PhaseCPUQueue)
 	c.m.sim.Spawn(c.m.cohortNames[c.meta.Node], c.runFn)
 }
 
@@ -440,7 +508,10 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun) {
 				continue
 			}
 			cpu.Use(cp, cfg.InstPerCCReq)
-			if mgr.Access(&c.meta, a.Page, true) == cc.Aborted { //ddbmlint:allow hotpath-alloc cc.Manager dispatch; managers are audited by their own alloc pins
+			c.bd.SpendSplit(m.sim.Now(), cfg.InstPerCCReq/cpu.Rate(), obs.PhaseCPUService, obs.PhaseCPUQueue)
+			out := mgr.Access(&c.meta, a.Page, true) //ddbmlint:allow hotpath-alloc cc.Manager dispatch; managers are audited by their own alloc pins
+			c.bd.Spend(m.sim.Now(), obs.PhaseLockBlocked)
+			if out == cc.Aborted {
 				m.reportSelfAbort(c)
 				m.cohortDone(c, sp)
 				c.a.release()
@@ -454,7 +525,10 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun) {
 		// see the read first so their read rules apply.
 		firstAccessIsWrite := a.Write && !cfg.UpgradeWriteLocks && locksUpFront(cfg.Algorithm)
 		cpu.Use(cp, cfg.InstPerCCReq)
-		if mgr.Access(&c.meta, a.Page, firstAccessIsWrite) == cc.Aborted { //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
+		c.bd.SpendSplit(m.sim.Now(), cfg.InstPerCCReq/cpu.Rate(), obs.PhaseCPUService, obs.PhaseCPUQueue)
+		out := mgr.Access(&c.meta, a.Page, firstAccessIsWrite) //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
+		c.bd.Spend(m.sim.Now(), obs.PhaseLockBlocked)
+		if out == cc.Aborted {
 			m.reportSelfAbort(c)
 			m.cohortDone(c, sp)
 			c.a.release()
@@ -463,8 +537,10 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun) {
 		if m.rec != nil {
 			c.reads = append(c.reads, audit.ReadObs{Page: a.Page, Saw: m.rec.ObserveRead(a.Page, node)}) //ddbmlint:allow hotpath-alloc audit-only path; auditing is off in measured runs
 		}
-		disks.Read(cp)
+		disks.ReadMeasured(cp, &c.diskSvc)
+		c.bd.SpendSplit(m.sim.Now(), c.diskSvc, obs.PhaseDiskService, obs.PhaseDiskQueue)
 		cpu.Use(cp, a.Inst)
+		c.bd.SpendSplit(m.sim.Now(), a.Inst/cpu.Rate(), obs.PhaseCPUService, obs.PhaseCPUQueue)
 		if a.Write {
 			if c.meta.Txn.AbortRequested {
 				m.cohortDone(c, sp)
@@ -473,7 +549,10 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun) {
 			}
 			if !firstAccessIsWrite && !deferAllWrites {
 				cpu.Use(cp, cfg.InstPerCCReq)
-				if mgr.Access(&c.meta, a.Page, true) == cc.Aborted { //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
+				c.bd.SpendSplit(m.sim.Now(), cfg.InstPerCCReq/cpu.Rate(), obs.PhaseCPUService, obs.PhaseCPUQueue)
+				out := mgr.Access(&c.meta, a.Page, true) //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
+				c.bd.Spend(m.sim.Now(), obs.PhaseLockBlocked)
+				if out == cc.Aborted {
 					m.reportSelfAbort(c)
 					m.cohortDone(c, sp)
 					c.a.release()
@@ -483,6 +562,7 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun) {
 			// Processing the page "when writing it" (Table 2); the update
 			// itself stays buffered until commit.
 			cpu.Use(cp, a.WriteInst)
+			c.bd.SpendSplit(m.sim.Now(), a.WriteInst/cpu.Rate(), obs.PhaseCPUService, obs.PhaseCPUQueue)
 		}
 	}
 	m.cohortDone(c, sp)

@@ -94,7 +94,14 @@ func (c Config) policy(check string) Policy {
 //     rand source is a finding at the boundary call site.
 //   - hotpath-alloc: //ddbmlint:hotpath functions everywhere (tests
 //     exempt) must be statically allocation-free transitively — the
-//     static twin of TestSteadyStateAllocFree's runtime pins.
+//     static twin of TestSteadyStateAllocFree's runtime pins. The
+//     breakdown accounting rides this audit end to end: the obs.Ledger
+//     spend/fold methods, the per-commit stats.LogHist.Add recording and
+//     the cc abort-cause attribution are all hotpath-annotated, and
+//     internal/stats sits inside the no-wall-clock scope like the rest
+//     of the simulation (the cmd/... allowlist does not cover it), so
+//     the histogram layer can neither allocate in steady state nor read
+//     host time.
 func DefaultConfig(module string) Config {
 	return NewConfig(
 		Policy{Check: "no-wall-clock", SkipTests: true, Skip: []string{module + "/cmd"}},

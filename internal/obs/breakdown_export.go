@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BreakdownSnapshot is the aggregated time-breakdown of one run: one row
+// per (class, phase) with the distribution of per-transaction phase
+// totals over the committed transactions of the measurement window, plus
+// one row per (node, cause) counting aborted attempts by the node and
+// cause that triggered them. Rows are emitted in a fixed order (class,
+// then phase declaration order; node, then cause declaration order), so
+// the exporters below are deterministic byte-for-byte.
+type BreakdownSnapshot struct {
+	Phases []BreakdownPhaseRow
+	Causes []BreakdownCauseRow
+}
+
+// BreakdownPhaseRow summarizes one phase of one transaction class.
+type BreakdownPhaseRow struct {
+	Class   int     `json:"class"`
+	Phase   string  `json:"phase"`
+	Count   int64   `json:"count"`
+	MeanMs  float64 `json:"mean_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+// BreakdownCauseRow counts the aborted attempts attributed to one cause
+// at one node (the node whose manager or coordinator demanded the abort).
+type BreakdownCauseRow struct {
+	Node  int    `json:"node"`
+	Cause string `json:"cause"`
+	Count int64  `json:"count"`
+}
+
+// WriteBreakdownJSONL renders the snapshot as one JSON object per line:
+// phase rows first (tagged "phase"), then abort-cause rows (tagged
+// "abort-cause"), in snapshot order.
+func WriteBreakdownJSONL(w io.Writer, snap *BreakdownSnapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	type phaseLine struct {
+		Row string `json:"row"`
+		BreakdownPhaseRow
+	}
+	type causeLine struct {
+		Row string `json:"row"`
+		BreakdownCauseRow
+	}
+	for i := range snap.Phases {
+		if err := enc.Encode(phaseLine{Row: "phase", BreakdownPhaseRow: snap.Phases[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range snap.Causes {
+		if err := enc.Encode(causeLine{Row: "abort-cause", BreakdownCauseRow: snap.Causes[i]}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBreakdownCSV renders the snapshot as CSV with a fixed header. The
+// two row kinds share one schema; abort-cause rows reuse the class column
+// for the node and leave the millisecond columns empty.
+func WriteBreakdownCSV(w io.Writer, snap *BreakdownSnapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("row,class_or_node,name,count,mean_ms,p50_ms,p99_ms,total_ms\n"); err != nil {
+		return err
+	}
+	for i := range snap.Phases {
+		r := &snap.Phases[i]
+		if _, err := fmt.Fprintf(bw, "phase,%d,%s,%d,%g,%g,%g,%g\n",
+			r.Class, r.Phase, r.Count, r.MeanMs, r.P50Ms, r.P99Ms, r.TotalMs); err != nil {
+			return err
+		}
+	}
+	for i := range snap.Causes {
+		r := &snap.Causes[i]
+		if _, err := fmt.Fprintf(bw, "abort-cause,%d,%s,%d,,,,\n", r.Node, r.Cause, r.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

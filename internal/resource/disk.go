@@ -12,6 +12,9 @@ type diskReq struct {
 	write bool
 	done  func()
 	proc  *sim.Proc
+	// svc, when non-nil, receives the drawn service time at completion —
+	// the breakdown accounting's service/queue split seam (ReadMeasured).
+	svc *float64
 }
 
 // reqQueue is a power-of-two ring of disk requests; a busy disk in steady
@@ -162,6 +165,17 @@ func (d *DiskArray) Read(p *sim.Proc) {
 	p.Suspend()
 }
 
+// ReadMeasured is Read, additionally storing the access's drawn service
+// time into *svc at completion (the elapsed wall-clock minus *svc is the
+// queueing delay). Behaviour is otherwise identical to Read — same
+// randomness, same scheduling — so runs are bit-identical either way.
+//
+//ddbmlint:hotpath cohort page reads pinned by TestTxnPathAllocFree
+func (d *DiskArray) ReadMeasured(p *sim.Proc, svc *float64) {
+	d.submit(diskReq{write: false, proc: p, svc: svc})
+	p.Suspend()
+}
+
 // ReadAsync performs a page read and calls done on completion.
 //
 //ddbmlint:hotpath async page reads on the transaction path
@@ -233,6 +247,9 @@ func (dk *disk) complete() {
 		d.tr.DiskAccess(d.node, dk.idx, req.write, d.sim.Now()-dur)
 	}
 	dk.busyTime += dur
+	if req.svc != nil {
+		*req.svc = dur
+	}
 	if req.proc != nil {
 		req.proc.Resume()
 	} else if req.done != nil {

@@ -214,20 +214,31 @@ func (g *Generator) classes() []Class {
 	}}
 }
 
+// NumClasses returns the number of effective transaction classes (1 for
+// the default single-class workload).
+func (g *Generator) NumClasses() int { return len(g.classes()) }
+
 // ClassOfTerminal deterministically assigns a class to a terminal by the
 // cumulative class fractions (terminal i of n gets the class covering
 // quantile (i+0.5)/n).
 func (g *Generator) ClassOfTerminal(term, numTerminals int) Class {
+	return g.classes()[g.ClassIndexOfTerminal(term, numTerminals)]
+}
+
+// ClassIndexOfTerminal is ClassOfTerminal returning the class's index in
+// the effective class list — the stable key the breakdown accounting's
+// per-class histograms aggregate under.
+func (g *Generator) ClassIndexOfTerminal(term, numTerminals int) int {
 	cs := g.classes()
 	q := (float64(term) + 0.5) / float64(numTerminals)
 	var cum float64
-	for _, c := range cs {
+	for i, c := range cs {
 		cum += c.Frac
 		if q <= cum {
-			return c
+			return i
 		}
 	}
-	return cs[len(cs)-1]
+	return len(cs) - 1
 }
 
 // pageCount draws the number of pages to read from one partition.
