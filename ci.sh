@@ -97,4 +97,16 @@ go run ./cmd/ddbsim -simtime 30 -warmup 5 -think 4 \
   -breakdown -breakdown-out "$tracedir/bd.csv" >/dev/null
 go run ./cmd/experiments -fig bd -scale 0.02 -q >/dev/null
 
+echo "== fault-tolerance smoke"
+# The fault subsystem end to end: a race pass over the injector and the
+# recovery machinery, the fault property tests (stream isolation, crash
+# recovery under every protocol, cause accounting, golden-trace bit
+# identity), then the Ext K mini-grid — a wedged crash path (a coordinator
+# parked on a dead cohort, a restart that never rejoins) deadlocks the
+# simulation and fails loudly here.
+go test -race -count=1 ./internal/fault/ ./internal/recovery/
+go test -run 'TestFault' -count=1 ./internal/core/
+go run ./cmd/experiments -fig ft -scale 0.02 -q >/dev/null
+go run ./cmd/ddbsim -simtime 60 -warmup 10 -think 4 -logging -mttf 20 >/dev/null
+
 echo "CI OK"

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ddbm"
+)
+
+// FaultResult records one fault-suite benchmark run: the paper's baseline
+// machine under 2PL/2PC with logging, run fault-free, with an armed-but-
+// idle injector (the cost of the fault seams themselves), under a live
+// crash-repair schedule, and under message loss/duplication. The first
+// two rows should be indistinguishable — the armed-idle overhead is the
+// price every faulty experiment pays before any fault fires — and the
+// wall-clock per-commit cost across rows tracks what the fault machinery
+// adds to the simulator's trajectory.
+type FaultResult struct {
+	Mode            string  `json:"mode"`
+	SimMs           float64 `json:"sim_ms"`
+	WallMs          float64 `json:"wall_ms"`
+	Commits         int64   `json:"commits"`
+	WallNsPerCommit float64 `json:"wall_ns_per_commit"`
+	Crashes         int64   `json:"crashes"`
+	MessagesLost    int64   `json:"messages_lost"`
+	Availability    float64 `json:"availability"`
+	GoodputPerSec   float64 `json:"goodput_per_sec"`
+	InDoubtTimeMs   float64 `json:"in_doubt_time_ms"`
+	RecoveryTimeMs  float64 `json:"recovery_time_ms"`
+}
+
+// FaultReport is the BENCH_fault.json schema.
+type FaultReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	Runs        []FaultResult `json:"runs"`
+}
+
+// faultBaseConfig is the shared machine for every fault-suite row: the
+// baseline 8-node machine under 2PL/2PC at a 4-second think time with
+// logging modeled (recovery replays the forced log, so every row pays
+// the same logging cost and only the fault machinery varies).
+func faultBaseConfig(simSeconds float64) ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = ddbm.TwoPL
+	cfg.ThinkTimeMs = 4000
+	cfg.ModelLogging = true
+	cfg.SimTimeMs = simSeconds * 1000
+	cfg.WarmupMs = cfg.SimTimeMs / 8
+	cfg.Seed = 7
+	return cfg
+}
+
+// runFaultMode runs one row and extracts its metrics.
+func runFaultMode(mode string, cfg ddbm.Config) (FaultResult, error) {
+	m, err := ddbm.NewMachine(cfg)
+	if err != nil {
+		return FaultResult{}, err
+	}
+	start := time.Now()
+	res := m.Run()
+	wall := time.Since(start)
+	out := FaultResult{
+		Mode:           mode,
+		SimMs:          cfg.SimTimeMs,
+		WallMs:         float64(wall.Nanoseconds()) / 1e6,
+		Commits:        res.Commits,
+		Crashes:        res.Crashes,
+		MessagesLost:   res.MessagesLost,
+		Availability:   res.Availability,
+		GoodputPerSec:  res.GoodputPerSec,
+		InDoubtTimeMs:  res.InDoubtTimeMs,
+		RecoveryTimeMs: res.RecoveryTimeMs,
+	}
+	if res.Commits > 0 {
+		out.WallNsPerCommit = float64(wall.Nanoseconds()) / float64(res.Commits)
+	}
+	return out, nil
+}
+
+// runFaultSuite benchmarks the fault subsystem's cost ladder: no injector,
+// armed-but-idle injector, live node crashes, and message errors.
+func runFaultSuite(simSeconds float64) ([]FaultResult, error) {
+	disabled := faultBaseConfig(simSeconds)
+
+	armed := faultBaseConfig(simSeconds)
+	armed.Faults.Enabled = true
+	armed.Faults.NodeMTTFMs = 100 * armed.SimTimeMs
+	armed.Faults.FixedInterFailure = true
+	armed.Faults.MTTRMs = 1_000
+	armed.Faults.DetectMs = 100
+
+	crashes := faultBaseConfig(simSeconds)
+	crashes.Faults.Enabled = true
+	crashes.Faults.NodeMTTFMs = 30_000
+	crashes.Faults.MTTRMs = 2_000
+	crashes.Faults.DetectMs = 500
+
+	msgErrors := faultBaseConfig(simSeconds)
+	msgErrors.Faults.Enabled = true
+	msgErrors.Faults.DropProb = 0.02
+	msgErrors.Faults.DupProb = 0.02
+	msgErrors.Faults.RetransmitDelayMs = 50
+
+	var runs []FaultResult
+	for _, mc := range []struct {
+		mode string
+		cfg  ddbm.Config
+	}{
+		{"disabled", disabled},
+		{"armed-idle", armed},
+		{"crashes", crashes},
+		{"msg-errors", msgErrors},
+	} {
+		r, err := runFaultMode(mc.mode, mc.cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "fault %-10s %8.0f ns/commit  %6d commits  %3d crashes  %5d lost  avail %.3f  recovery %6.0f ms\n",
+			r.Mode, r.WallNsPerCommit, r.Commits, r.Crashes, r.MessagesLost, r.Availability, r.RecoveryTimeMs)
+		runs = append(runs, r)
+	}
+	return runs, nil
+}

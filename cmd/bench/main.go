@@ -11,13 +11,16 @@
 // suite measures the observability layer — the same run with tracing and
 // probes off and on — and writes BENCH_obs.json. A fourth suite measures
 // the lock-manager contention hot path — acquire/release, waits-for
-// extraction, victim selection — and writes BENCH_cc.json.
+// extraction, victim selection — and writes BENCH_cc.json. A fifth suite
+// measures the fault subsystem's cost ladder — no injector, armed-but-idle
+// injector, live crashes, message errors — and writes BENCH_fault.json.
 //
-//	go run ./cmd/bench                 # writes BENCH_kernel.json + BENCH_core.json + BENCH_obs.json + BENCH_cc.json
+//	go run ./cmd/bench                 # writes BENCH_kernel.json + BENCH_core.json + BENCH_obs.json + BENCH_cc.json + BENCH_fault.json
 //	go run ./cmd/bench -o out.json -benchtime 2s
 //	go run ./cmd/bench -suite core     # only the transaction-path suite
 //	go run ./cmd/bench -suite obs      # only the tracer-overhead suite
 //	go run ./cmd/bench -suite cc       # only the lock-manager suite
+//	go run ./cmd/bench -suite fault    # only the fault-subsystem suite
 package main
 
 import (
@@ -173,19 +176,43 @@ func main() {
 	coreOut := flag.String("coreo", "BENCH_core.json", "core-suite output file ('-' for stdout)")
 	obsOut := flag.String("obso", "BENCH_obs.json", "obs-suite output file ('-' for stdout)")
 	ccOut := flag.String("cco", "BENCH_cc.json", "cc-suite output file ('-' for stdout)")
+	faultOut := flag.String("faulto", "BENCH_fault.json", "fault-suite output file ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target duration per microbenchmark")
 	macroSec := flag.Float64("macrosec", 240, "simulated seconds for the macro-benchmark run")
 	coreSec := flag.Float64("coresec", 120, "simulated seconds per core transaction-path run")
 	obsSec := flag.Float64("obssec", 120, "simulated seconds per tracer-overhead run")
-	suite := flag.String("suite", "all", "which suites to run: kernel, core, obs or all")
+	faultSec := flag.Float64("faultsec", 120, "simulated seconds per fault-suite run")
+	suite := flag.String("suite", "all", "which suites to run: kernel, core, obs, cc, fault or all")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *suite != "all" && *suite != "kernel" && *suite != "core" && *suite != "obs" && *suite != "cc" {
-		fmt.Fprintf(os.Stderr, "unknown suite %q (want kernel, core, obs, cc or all)\n", *suite)
+	switch *suite {
+	case "all", "kernel", "core", "obs", "cc", "fault":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q (want kernel, core, obs, cc, fault or all)\n", *suite)
 		os.Exit(2)
+	}
+
+	if *suite == "all" || *suite == "fault" {
+		runs, err := runFaultSuite(*faultSec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fault suite:", err)
+			os.Exit(1)
+		}
+		rep := FaultReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			Runs:        runs,
+		}
+		if err := writeJSON(*faultOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *suite == "fault" {
+		return
 	}
 
 	if *suite == "all" || *suite == "cc" {

@@ -52,6 +52,15 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "account every simulated microsecond of response time to a phase and every abort to a cause, and print the breakdown")
 	breakdownOut := flag.String("breakdown-out", "", "write the per-class breakdown detail to `file` (.csv = CSV table, otherwise JSONL)")
 	logging := flag.Bool("logging", false, "model log forces (prepare records + commit record)")
+	mttf := flag.Float64("mttf", 0, "mean time to failure per processing node in seconds (0 = nodes never crash; requires -logging)")
+	mttr := flag.Float64("mttr", 2, "repair delay after a node crash (seconds)")
+	crashDetect := flag.Float64("crash-detect", 0.5, "coordinator failure-detection latency after a node crash (seconds)")
+	fixedFaults := flag.Bool("fixed-faults", false, "use fixed inter-failure intervals instead of exponential")
+	hostMTTF := flag.Float64("host-mttf", 0, "mean time to failure of the coordinator host in seconds (0 = never; failover model)")
+	hostMTTR := flag.Float64("host-mttr", 1, "host failover duration (seconds)")
+	dropProb := flag.Float64("drop-prob", 0, "per-message loss probability (lost messages retransmit after -retransmit)")
+	dupProb := flag.Float64("dup-prob", 0, "per-message duplication probability (duplicates are pure load)")
+	retransmit := flag.Float64("retransmit", 0.05, "retransmission delay for a lost message (seconds)")
 	seq := flag.Bool("sequential", false, "run cohorts sequentially instead of in parallel")
 	simTime := flag.Float64("simtime", cfg.SimTimeMs/1000, "simulated duration (seconds)")
 	warmup := flag.Float64("warmup", cfg.WarmupMs/1000, "warmup before measurement (seconds)")
@@ -93,6 +102,18 @@ func main() {
 	cfg.DeferRemoteWriteLocks = *deferLocks
 	cfg.Audit = *auditFlag
 	cfg.ModelLogging = *logging
+	if *mttf > 0 || *hostMTTF > 0 || *dropProb > 0 || *dupProb > 0 {
+		cfg.Faults.Enabled = true
+		cfg.Faults.NodeMTTFMs = *mttf * 1000
+		cfg.Faults.FixedInterFailure = *fixedFaults
+		cfg.Faults.MTTRMs = *mttr * 1000
+		cfg.Faults.DetectMs = *crashDetect * 1000
+		cfg.Faults.HostMTTFMs = *hostMTTF * 1000
+		cfg.Faults.HostMTTRMs = *hostMTTR * 1000
+		cfg.Faults.DropProb = *dropProb
+		cfg.Faults.DupProb = *dupProb
+		cfg.Faults.RetransmitDelayMs = *retransmit * 1000
+	}
 	cfg.Breakdown = *breakdown || *breakdownOut != ""
 	if *seq {
 		cfg.ExecPattern = ddbm.Sequential
@@ -177,6 +198,14 @@ func main() {
 		fmt.Printf("log forces           %d (%d on abort paths)\n", res.LogForces, res.AbortPathLogForces)
 	}
 	fmt.Printf("avg active txns      %.1f\n", res.AvgActiveTxns)
+	if cfg.Faults.Enabled {
+		fmt.Printf("faults               %d crashes, %d messages lost, availability %.2f%%\n",
+			res.Crashes, res.MessagesLost, res.Availability*100)
+		fmt.Printf("goodput              %.3f txns/s per available second (recovery %.0f ms total)\n",
+			res.GoodputPerSec, res.RecoveryTimeMs)
+		fmt.Printf("in-doubt             %.0f ms over %d windows, %.0f ms spent blocked behind in-doubt locks\n",
+			res.InDoubtTimeMs, res.InDoubtWindows, res.BlockedInDoubtMs)
+	}
 	if cfg.Breakdown {
 		printBreakdown(res, m.Breakdown())
 	}

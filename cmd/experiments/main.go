@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	figs := flag.String("fig", "all", "comma-separated figure numbers (2-17), 'all', 'ext', 'cps' (commit-protocol sweep), or 'bd' (response-time decomposition)")
+	figs := flag.String("fig", "all", "comma-separated figure numbers (2-17), 'all', 'ext', 'cps' (commit-protocol sweep), 'bd' (response-time decomposition), or 'ft' (fault tolerance)")
 	scale := flag.Float64("scale", 1.0, "simulated-time scale factor (1.0 = publication length)")
 	seed := flag.Int64("seed", 1, "random seed for every run")
 	reps := flag.Int("reps", 1, "replicate runs per configuration (averaged)")
@@ -135,6 +135,13 @@ func main() {
 		fig, err := experiments.CommitProtocolSweep(opts, 8000)
 		check(err)
 		emit(fig)
+	}
+
+	if want["ext"] || want["ft"] {
+		st, err := experiments.RunFaultToleranceStudy(opts, 8000)
+		check(err)
+		emit(st.InDoubtFigure())
+		emit(st.GoodputFigure())
 	}
 
 	if want["ext"] || want["bd"] {

@@ -165,6 +165,16 @@ func cfgKey(cfg ddbm.Config) string {
 	boolean(cfg.ModelLogging)
 	boolean(cfg.Breakdown)
 	boolean(cfg.Audit)
+	boolean(cfg.Faults.Enabled)
+	num(cfg.Faults.NodeMTTFMs)
+	boolean(cfg.Faults.FixedInterFailure)
+	num(cfg.Faults.MTTRMs)
+	num(cfg.Faults.DetectMs)
+	num(cfg.Faults.HostMTTFMs)
+	num(cfg.Faults.HostMTTRMs)
+	num(cfg.Faults.DropProb)
+	num(cfg.Faults.DupProb)
+	num(cfg.Faults.RetransmitDelayMs)
 	return string(buf)
 }
 
@@ -286,7 +296,9 @@ func averageResults(rs []ddbm.Result) ddbm.Result {
 	n := float64(len(rs))
 	out.Commits, out.Aborts, out.MessagesSent, out.BlockCount = 0, 0, 0, 0
 	out.LogForces, out.AbortPathLogForces = 0, 0
+	out.Crashes, out.MessagesLost, out.InDoubtWindows = 0, 0, 0
 	var tput, resp, hw, sd, max, ar, mr, blk, cpu, dsk, host, act, p50, p90, p99 float64
+	var avail, good, indoubt, blkid, recov float64
 	for _, r := range rs {
 		out.Commits += r.Commits
 		out.Aborts += r.Aborts
@@ -311,6 +323,14 @@ func averageResults(rs []ddbm.Result) ddbm.Result {
 		p50 += r.RespP50Ms
 		p90 += r.RespP90Ms
 		p99 += r.RespP99Ms
+		out.Crashes += r.Crashes
+		out.MessagesLost += r.MessagesLost
+		out.InDoubtWindows += r.InDoubtWindows
+		avail += r.Availability
+		good += r.GoodputPerSec
+		indoubt += r.InDoubtTimeMs
+		blkid += r.BlockedInDoubtMs
+		recov += r.RecoveryTimeMs
 	}
 	out.ThroughputTPS = tput / n
 	out.MeanResponseMs = resp / n
@@ -327,6 +347,11 @@ func averageResults(rs []ddbm.Result) ddbm.Result {
 	out.RespP50Ms = p50 / n
 	out.RespP90Ms = p90 / n
 	out.RespP99Ms = p99 / n
+	out.Availability = avail / n
+	out.GoodputPerSec = good / n
+	out.InDoubtTimeMs = indoubt / n
+	out.BlockedInDoubtMs = blkid / n
+	out.RecoveryTimeMs = recov / n
 	out.PhaseMeanMs = averageMaps(rs, func(r *ddbm.Result) map[string]float64 { return r.PhaseMeanMs })
 	out.PhaseP99Ms = averageMaps(rs, func(r *ddbm.Result) map[string]float64 { return r.PhaseP99Ms })
 	out.AbortsByCause = nil

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ddbm"
+)
+
+// FaultToleranceMTTFs is the default failure-rate axis of the fault study:
+// mean time to failure per processing node, milliseconds. The low end puts
+// a node crash somewhere in the machine every few seconds; the high end
+// gives each node roughly one outage per publication-length run.
+func FaultToleranceMTTFs() []float64 { return []float64{20_000, 40_000, 80_000, 160_000} }
+
+// FaultToleranceStudy holds the grid behind the fault-tolerance sweep
+// (Ext K): the 8-node, 8-way-partitioned small-database machine under 2PL
+// with logging modeled, crash-stop node failures swept over MTTF for each
+// two-phase commit variant. The write probability is lowered to 0.1 so a
+// good fraction of cohorts are read-only — exactly the cohorts whose
+// in-doubt exposure the presumed variants eliminate by short-circuiting
+// phase one, and centralized 2PC does not.
+type FaultToleranceStudy struct {
+	opts    Options
+	mttfs   []float64
+	thinkMs float64
+	results map[string]ddbm.Result
+}
+
+// faultToleranceConfig builds the configuration for one grid point. All
+// protocols at one MTTF share the seed and the dedicated fault substreams,
+// so they face the same fault schedule.
+func (o Options) faultToleranceConfig(proto ddbm.CommitProtocol, mttfMs, thinkMs float64) ddbm.Config {
+	cfg := ddbm.DefaultConfig()
+	cfg.Algorithm = ddbm.TwoPL
+	cfg.PartitionWays = 8
+	cfg.PagesPerFile = SmallDB
+	cfg.ThinkTimeMs = thinkMs
+	cfg.WriteProb = 0.1
+	cfg.ModelLogging = true
+	cfg.CommitProtocol = proto
+	cfg.Faults.Enabled = true
+	cfg.Faults.NodeMTTFMs = mttfMs
+	cfg.Faults.MTTRMs = 2_000
+	cfg.Faults.DetectMs = 500
+	o.apply(&cfg)
+	return cfg
+}
+
+// RunFaultToleranceStudy runs the sweep over the default MTTF axis.
+func RunFaultToleranceStudy(opts Options, thinkMs float64) (*FaultToleranceStudy, error) {
+	return RunFaultToleranceStudyMTTFs(opts, thinkMs, FaultToleranceMTTFs())
+}
+
+// RunFaultToleranceStudyMTTFs runs the sweep over an arbitrary MTTF axis.
+func RunFaultToleranceStudyMTTFs(opts Options, thinkMs float64, mttfs []float64) (*FaultToleranceStudy, error) {
+	o := opts.withDefaults()
+	var cfgs []ddbm.Config
+	for _, mttf := range mttfs {
+		for _, p := range ddbm.CommitProtocols() {
+			cfgs = append(cfgs, o.faultToleranceConfig(p, mttf, thinkMs))
+		}
+	}
+	results, err := runGrid(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultToleranceStudy{opts: o, mttfs: mttfs, thinkMs: thinkMs, results: results}, nil
+}
+
+// Result returns one grid point.
+func (st *FaultToleranceStudy) Result(proto ddbm.CommitProtocol, mttfMs float64) ddbm.Result {
+	return st.results[cfgKey(st.opts.faultToleranceConfig(proto, mttfMs, st.thinkMs))]
+}
+
+// InDoubtFigure is the headline comparison: mean in-doubt time per
+// committed transaction — milliseconds of cohort yes-vote-to-outcome
+// exposure, the window in which a coordinator crash strands the cohort's
+// locks — one series per commit protocol, vs MTTF. Centralized 2PC runs
+// every cohort through the full two phases; presumed abort and presumed
+// commit short-circuit read-only cohorts past phase one, so their curves
+// sit strictly below it at every failure rate.
+func (st *FaultToleranceStudy) InDoubtFigure() *Figure {
+	fig := &Figure{
+		ID: "Ext K",
+		Title: fmt.Sprintf("In-doubt exposure vs node MTTF by commit protocol (2PL, 8-way, crashes, think %g s)",
+			st.thinkMs/1000),
+		XLabel: "MTTF(s)",
+		YLabel: "in-doubt ms/commit",
+	}
+	for _, p := range ddbm.CommitProtocols() {
+		s := Series{Label: p.String()}
+		for _, mttf := range st.mttfs {
+			r := st.Result(p, mttf)
+			y := 0.0
+			if r.Commits > 0 {
+				y = r.InDoubtTimeMs / float64(r.Commits)
+			}
+			s.Points = append(s.Points, Point{X: mttf / 1000, Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// GoodputFigure shows the recovery economics: commits per second of
+// available machine time, per protocol, vs MTTF. Raw throughput conflates
+// outage time with protocol cost; goodput divides it out so the curves
+// isolate what each protocol loses to crash handling itself.
+func (st *FaultToleranceStudy) GoodputFigure() *Figure {
+	fig := &Figure{
+		ID: "Ext K goodput",
+		Title: fmt.Sprintf("Goodput vs node MTTF by commit protocol (2PL, 8-way, crashes, think %g s)",
+			st.thinkMs/1000),
+		XLabel: "MTTF(s)",
+		YLabel: "goodput (txns/s)",
+	}
+	for _, p := range ddbm.CommitProtocols() {
+		s := Series{Label: p.String()}
+		for _, mttf := range st.mttfs {
+			s.Points = append(s.Points, Point{X: mttf / 1000, Y: st.Result(p, mttf).GoodputPerSec})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// FaultTolerance runs the fault-tolerance study and returns the in-doubt
+// exposure figure: the 2PC blocking penalty against the presumed variants
+// as the failure rate climbs.
+func FaultTolerance(opts Options, thinkMs float64) (*Figure, error) {
+	st, err := RunFaultToleranceStudy(opts, thinkMs)
+	if err != nil {
+		return nil, err
+	}
+	return st.InDoubtFigure(), nil
+}

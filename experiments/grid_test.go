@@ -17,26 +17,48 @@ func TestCfgKeyCoversEveryField(t *testing.T) {
 	base := ddbm.DefaultConfig()
 	baseKey := cfgKey(base)
 
-	typ := reflect.TypeOf(base)
-	for i := 0; i < typ.NumField(); i++ {
-		field := typ.Field(i)
-		cfg := base
-		v := reflect.ValueOf(&cfg).Elem().Field(i)
+	// perturb flips one field in place; struct-kinded fields (e.g. Faults)
+	// recurse so each leaf gets its own perturbation and error name.
+	var perturb func(t *testing.T, name string, v reflect.Value, check func(field string))
+	perturb = func(t *testing.T, name string, v reflect.Value, check func(field string)) {
 		switch v.Kind() {
 		case reflect.Bool:
-			v.SetBool(!v.Bool())
+			orig := v.Bool()
+			v.SetBool(!orig)
+			check(name)
+			v.SetBool(orig)
 		case reflect.Int, reflect.Int64:
-			v.SetInt(v.Int() + 1)
+			orig := v.Int()
+			v.SetInt(orig + 1)
+			check(name)
+			v.SetInt(orig)
 		case reflect.Float64:
-			v.SetFloat(v.Float() + 0.421875)
+			orig := v.Float()
+			v.SetFloat(orig + 0.421875)
+			check(name)
+			v.SetFloat(orig)
 		case reflect.Slice:
+			orig := v.Interface()
 			v.Set(reflect.ValueOf([]ddbm.TxnClass{{Frac: 1, AvgPagesPerPartition: 3, WriteProb: 0.5, InstPerPage: 100}}))
+			check(name)
+			v.Set(reflect.ValueOf(orig))
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				perturb(t, name+"."+v.Type().Field(i).Name, v.Field(i), check)
+			}
 		default:
-			t.Fatalf("Config.%s has kind %v that this test (and likely cfgKey) does not handle", field.Name, v.Kind())
+			t.Fatalf("Config.%s has kind %v that this test (and likely cfgKey) does not handle", name, v.Kind())
 		}
-		if got := cfgKey(cfg); got == baseKey {
-			t.Errorf("changing Config.%s did not change cfgKey — grid dedup would merge distinct configurations", field.Name)
-		}
+	}
+
+	cfg := base
+	root := reflect.ValueOf(&cfg).Elem()
+	for i := 0; i < root.NumField(); i++ {
+		perturb(t, root.Type().Field(i).Name, root.Field(i), func(field string) {
+			if got := cfgKey(cfg); got == baseKey {
+				t.Errorf("changing Config.%s did not change cfgKey — grid dedup would merge distinct configurations", field)
+			}
+		})
 	}
 }
 

@@ -165,6 +165,43 @@ func TestShapeExpensiveMessagesHurtEightWay(t *testing.T) {
 	}
 }
 
+func TestShapeFaultTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	// Extension (Ext K): under the same deterministic crash schedule,
+	// centralized 2PC exposes strictly more in-doubt time per commit than
+	// presumed abort — every 2PC cohort runs the full two phases, while PA
+	// short-circuits read-only cohorts past the vulnerable vote-to-outcome
+	// window entirely. This is the blocking penalty the presumed variants
+	// exist to shrink.
+	st, err := RunFaultToleranceStudyMTTFs(shapeOpts(8000), 8000, []float64{30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := st.Result(ddbm.CentralizedTwoPC, 30_000)
+	pa := st.Result(ddbm.PresumedAbort, 30_000)
+	for _, r := range []struct {
+		proto ddbm.CommitProtocol
+		res   ddbm.Result
+	}{{ddbm.CentralizedTwoPC, base}, {ddbm.PresumedAbort, pa}} {
+		if r.res.Crashes == 0 {
+			t.Fatalf("%v: the schedule crashed nothing; the study did not exercise faults", r.proto)
+		}
+		if r.res.Commits == 0 {
+			t.Fatalf("%v: no commits under the crash schedule", r.proto)
+		}
+		if r.res.Availability <= 0 || r.res.Availability >= 1 {
+			t.Errorf("%v: availability %v with crashes, want in (0,1)", r.proto, r.res.Availability)
+		}
+	}
+	perCommit := func(r ddbm.Result) float64 { return r.InDoubtTimeMs / float64(r.Commits) }
+	if b, p := perCommit(base), perCommit(pa); b <= p {
+		t.Errorf("in-doubt exposure: centralized 2PC %.2f ms/commit not above presumed abort %.2f ms/commit",
+			b, p)
+	}
+}
+
 func TestShapeCommitProtocolSavings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test")

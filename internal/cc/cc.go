@@ -100,20 +100,28 @@ const (
 	// more specific cause (e.g. a failed vote whose origin recorded
 	// nothing).
 	CauseCoordinator
+	// CauseNodeCrash: a processing node holding one of the attempt's
+	// cohorts crash-stopped before the commit decision.
+	CauseNodeCrash
+	// CauseCoordinatorCrash: the host crashed while the attempt was still
+	// abortable; the failover coordinator aborts everything in flight.
+	CauseCoordinatorCrash
 
 	// NumCauses sizes per-cause counters.
 	NumCauses
 )
 
 var causeNames = [NumCauses]string{
-	CauseNone:           "none",
-	CauseLocalDeadlock:  "local-deadlock",
-	CauseGlobalDeadlock: "global-deadlock",
-	CauseLockTimeout:    "lock-timeout",
-	CauseWound:          "wound",
-	CauseBTOTooLate:     "bto-too-late",
-	CauseOPTCertify:     "opt-certify",
-	CauseCoordinator:    "coordinator",
+	CauseNone:             "none",
+	CauseLocalDeadlock:    "local-deadlock",
+	CauseGlobalDeadlock:   "global-deadlock",
+	CauseLockTimeout:      "lock-timeout",
+	CauseWound:            "wound",
+	CauseBTOTooLate:       "bto-too-late",
+	CauseOPTCertify:       "opt-certify",
+	CauseCoordinator:      "coordinator",
+	CauseNodeCrash:        "node-crash",
+	CauseCoordinatorCrash: "coordinator-crash",
 }
 
 func (c Cause) String() string {
@@ -274,8 +282,28 @@ type CohortMeta struct {
 	heldLocks *cohortLocks
 
 	// OnBlocked, if set, observes every blocking episode's duration
-	// (the paper's "average blocking time" metric for 2PL).
-	OnBlocked func(d sim.Time)
+	// (the paper's "average blocking time" metric for 2PL). It receives
+	// the cohort itself so the observer can read per-episode attribution
+	// flags (BlockedInDoubt) without a per-cohort closure.
+	OnBlocked func(co *CohortMeta, d sim.Time)
+
+	// InDoubt marks a cohort that has voted yes and not yet learned the
+	// decision — its locks survive a crash of its node and must block
+	// newcomers until recovery resolves it. BlockedInDoubt is set on a
+	// waiter whose conflict set included an in-doubt holder when it
+	// blocked. Both are maintained only when the fault layer is active.
+	InDoubt        bool
+	BlockedInDoubt bool
+}
+
+// CrashReset clears the wait-state a cohort held when its node crashed, so
+// a later Deny/Grant from sweep-driven cleanup cannot resume a process
+// that no longer exists. The in-doubt marker survives: it is the one piece
+// of crash state that must outlive the process.
+func (c *CohortMeta) CrashReset() {
+	c.waiting = false
+	c.resolved = false
+	c.BlockedInDoubt = false
 }
 
 // Block parks the cohort's process until Grant or Deny, returning the
@@ -291,7 +319,7 @@ func (c *CohortMeta) Block() Outcome {
 	c.blockedAt = c.Proc.Sim().Now()
 	c.Proc.Suspend()
 	if c.OnBlocked != nil {
-		c.OnBlocked(c.Proc.Sim().Now() - c.blockedAt)
+		c.OnBlocked(c, c.Proc.Sim().Now()-c.blockedAt)
 	}
 	return c.waitOutcome
 }

@@ -115,7 +115,7 @@ func TestCohortBlockGrant(t *testing.T) {
 	var blockedFor sim.Time
 	s.Spawn("cohort", func(p *sim.Proc) {
 		co = &CohortMeta{Txn: &TxnMeta{ID: 1}, Proc: p,
-			OnBlocked: func(d sim.Time) { blockedFor = d }}
+			OnBlocked: func(_ *CohortMeta, d sim.Time) { blockedFor = d }}
 		out = co.Block()
 	})
 	s.Spawn("granter", func(p *sim.Proc) {

@@ -195,6 +195,12 @@ type LockTable struct {
 	// conflictBuf backs the conflicts slice Lock returns; it is valid only
 	// until the next Lock call.
 	conflictBuf []*CohortMeta
+
+	// TrackInDoubt, set only when the fault layer is active, makes Lock
+	// tag waiters whose conflict set includes an in-doubt holder
+	// (CohortMeta.BlockedInDoubt) so blocked time behind unresolved
+	// commit decisions can be attributed separately.
+	TrackInDoubt bool
 }
 
 // NewLockTable creates an empty lock table.
@@ -414,6 +420,7 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 			buf = append(buf, q.co) //ddbmlint:allow hotpath-alloc conflict scratch grows to its high-water mark
 		}
 		lt.conflictBuf = buf
+		lt.noteInDoubtConflicts(co, buf)
 		return false, buf
 	}
 
@@ -452,7 +459,24 @@ func (lt *LockTable) Lock(co *CohortMeta, page db.PageID, mode LockMode) (grante
 		}
 	}
 	lt.conflictBuf = buf
+	lt.noteInDoubtConflicts(co, buf)
 	return false, buf
+}
+
+// noteInDoubtConflicts tags co when anything it now waits behind is an
+// in-doubt cohort — a prepared transaction whose decision is unresolved
+// (typically because its node crashed after voting). Active only under
+// the fault layer's TrackInDoubt.
+func (lt *LockTable) noteInDoubtConflicts(co *CohortMeta, conflicts []*CohortMeta) {
+	if !lt.TrackInDoubt {
+		return
+	}
+	for _, c := range conflicts {
+		if c.InDoubt {
+			co.BlockedInDoubt = true
+			return
+		}
+	}
 }
 
 func (lt *LockTable) setHolder(e *lockEntry, co *CohortMeta, mode LockMode) {

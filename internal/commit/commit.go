@@ -137,6 +137,16 @@ type Cohort struct {
 	// done marks a cohort resolved before phase two (read-only
 	// short-circuit); fanOut skips it.
 	done bool
+	// dead marks a cohort lost to a node crash: the coordinator stops
+	// addressing it (fanOut skips it) and the recovery layer resolves its
+	// node-side state instead. Set by MarkDead, reset by Attach.
+	dead bool
+	// abortSent and acked track the abort acknowledgement per cohort so
+	// crash handling can substitute a synthetic ack for a dead cohort
+	// without double counting: fanOut sets abortSent, the coordinator's
+	// ack loop sets acked on the first (real or synthetic) ack.
+	abortSent bool
+	acked     bool
 
 	t    *Txn // owning attempt, set by Attach
 	vote Vote // travels by pointer; at most one vote in flight per attempt
@@ -188,6 +198,8 @@ func (t *Txn) Attach(c *Cohort) {
 	c.t = t
 	c.ReadOnly = false
 	c.done = false
+	c.dead = false
+	c.abortSent, c.acked = false, false
 	c.Deferred = c.Deferred[:0]
 	c.vote = Vote{Idx: c.Idx}
 	c.ack = Ack{Idx: c.Idx}
@@ -243,6 +255,16 @@ type Env interface {
 	// neither may affect simulated behaviour.
 	Prepared()
 	Decided(committed bool)
+	// CohortInDoubt marks the opening of a cohort's in-doubt window: it
+	// has voted YES (non-read-only) and holds its locks until the decision
+	// arrives. CohortResolved closes the window with the outcome applied
+	// at the cohort's node; it also fires for the read-only short-circuit
+	// (which never opens a window) so the fault layer can retire the
+	// cohort's node-side registration. Down reports a crashed node. All
+	// three are no-ops in a fault-free machine.
+	CohortInDoubt(c *Cohort)
+	CohortResolved(c *Cohort, committed bool)
+	Down(node int) bool
 }
 
 // Protocol is one two-phase commit variant: the coordinator-side state
@@ -280,21 +302,63 @@ func New(k Kind) (Protocol, error) {
 
 // fanOut sends one tagged envelope to every live cohort's node, in cohort
 // order — the one primitive behind the prepare, commit phase-two and abort
-// fan-outs. Cohorts already resolved by the read-only short-circuit are
-// skipped. Each envelope carries the cohort itself as its handler and
-// holds one attempt reference until the handler's chain completes. It
-// returns the number of messages sent.
+// fan-outs. Cohorts already resolved by the read-only short-circuit, dead
+// cohorts (node crash) and cohorts at currently-down nodes are skipped.
+// Each envelope carries the cohort itself as its handler and holds one
+// attempt reference until the handler's chain completes. It returns the
+// number of messages sent.
 //
 //ddbmlint:hotpath per-cohort broadcast pinned by TestTxnPathAllocFree
 func fanOut(env Env, cohorts []*Cohort, tag int) int {
 	n := 0
 	for _, c := range cohorts {
-		if c.done {
+		if c.done || c.dead {
+			continue
+		}
+		if env.Down(c.Meta.Node) { //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+			// A crashed node's cohort state is the recovery layer's
+			// problem; sending would only be dropped at the network.
 			continue
 		}
 		n++
+		if tag == tagAbort {
+			c.abortSent = true
+		}
 		env.Retain()                              //ddbmlint:allow hotpath-alloc Env facade dispatch; the sole simulation implementation is core's free-listed protocolEnv
 		env.Send(env.Host(), c.Meta.Node, c, tag) //ddbmlint:allow hotpath-alloc Env facade dispatch; the sole simulation implementation is core's free-listed protocolEnv
 	}
 	return n
+}
+
+// MarkDead severs a cohort lost to a node crash from the coordinator's
+// protocol run: later fan-outs skip it, and if an abort acknowledgement is
+// outstanding a synthetic ack is delivered locally so the coordinator's
+// wait can finish — the cohort's node will never send the real one. Any
+// duplicate ack this can produce (the real one already in flight) is
+// deduplicated by the coordinator's Idx-keyed ack accounting, and
+// leftovers are cleared when the attempt's mailbox resets.
+func (c *Cohort) MarkDead() {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	if c.abortSent && !c.acked && c.t.tp != nil && c.t.tp.ackAborts {
+		c.t.Mail.Send(&c.ack)
+	}
+}
+
+// Dead reports whether MarkDead severed this cohort.
+func (c *Cohort) Dead() bool { return c.dead }
+
+// MsgDropped runs in place of HandleMsg when one of this cohort's protocol
+// envelopes is discarded at a crashed node: the envelope's attempt
+// reference is released, and a dropped abort or ack is substituted with a
+// locally delivered ack so the coordinator's abort wait cannot hang on a
+// message that died with the node.
+func (c *Cohort) MsgDropped(tag int) {
+	if (tag == tagAbort || tag == tagAck) && !c.acked &&
+		c.t.tp != nil && c.t.tp.ackAborts {
+		c.t.Mail.Send(&c.ack)
+	}
+	c.t.env.Release()
 }

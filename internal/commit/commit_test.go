@@ -95,6 +95,11 @@ func (e *testEnv) RecordCommit()           { e.records++ }
 func (e *testEnv) Prepared()               { e.prepared++ }
 func (e *testEnv) Decided(committed bool)  { e.decided = append(e.decided, committed) }
 
+// The fault hooks are no-ops in the fault-free protocol tests.
+func (e *testEnv) CohortInDoubt(c *Cohort)                  {}
+func (e *testEnv) CohortResolved(c *Cohort, committed bool) {}
+func (e *testEnv) Down(node int) bool                       { return false }
+
 // newTxn builds a transaction with one cohort per node; readOnly marks
 // which cohorts carry no updates.
 func (e *testEnv) newTxn(readOnly ...bool) *Txn {

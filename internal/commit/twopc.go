@@ -161,6 +161,7 @@ func (c *Cohort) prepare() {
 		if mgr.Prepare(c.Meta) { //ddbmlint:allow hotpath-alloc cc.Manager dispatch; managers are audited by TestSteadyStateAllocFree
 			mgr.Commit(c.Meta) //ddbmlint:allow hotpath-alloc cc.Manager dispatch; see above
 			c.done = true
+			env.CohortResolved(c, true) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 			c.vote.Yes, c.vote.ReadOnly = true, true
 			c.sendVote()
 		} else {
@@ -218,11 +219,17 @@ func (c *Cohort) votedAfterForce() {
 	c.t.env.Release() //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 }
 
-// sendVote ships the cohort's embedded vote to the coordinator.
+// sendVote ships the cohort's embedded vote to the coordinator. A
+// non-read-only YES vote opens the cohort's in-doubt window: from here
+// until the decision is applied at its node, a crash leaves the cohort's
+// locks held hostage to the commit protocol's resolution rules.
 //
 //ddbmlint:hotpath vote send pinned by TestTxnPathAllocFree
 func (c *Cohort) sendVote() {
 	env := c.t.env
+	if c.vote.Yes && !c.vote.ReadOnly {
+		env.CohortInDoubt(c) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	}
 	env.Retain()                                  //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 	env.Send(c.Meta.Node, env.Host(), c, tagVote) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 }
@@ -237,6 +244,7 @@ func (c *Cohort) commitAtNode() {
 	env := t.env
 	env.Manager(c.Meta.Node).Commit(c.Meta) //ddbmlint:allow hotpath-alloc Env/cc.Manager dispatch; see above
 	env.InstallCommit(c)                    //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
+	env.CohortResolved(c, true)             //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 	if t.tp.ackCommits {
 		env.Send(c.Meta.Node, env.Host(), nil, 0) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 	}
@@ -252,6 +260,7 @@ func (c *Cohort) abortAtNode() {
 	t := c.t
 	env := t.env
 	env.Manager(c.Meta.Node).Abort(c.Meta) //ddbmlint:allow hotpath-alloc Env/cc.Manager dispatch; see above
+	env.CohortResolved(c, false)           //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 	if t.tp.ackAborts {
 		if t.tp.abortForce && env.Logging() { //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
 			env.Retain()                                       //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
@@ -325,15 +334,30 @@ func (tp *twoPC) decisionForce(t *Txn) bool {
 // forces an abort record at each cohort before it acknowledges. Stale
 // messages from the doomed attempt are drained and ignored.
 //
+// The wait is keyed by cohort (Ack.Idx), not by a raw count: crash
+// handling can deliver a synthetic ack for a dead cohort whose real one is
+// also still in flight, and the Idx accounting absorbs the duplicate
+// instead of miscounting another cohort's ack. Unconsumed duplicates die
+// with the attempt's mailbox reset.
+//
 //ddbmlint:hotpath coordinator abort path on the transaction path
 func (tp *twoPC) Abort(p *sim.Proc, env Env, t *Txn, loaded int) {
 	t.env, t.tp = env, tp
 	env.Decided(false) //ddbmlint:allow hotpath-alloc Env facade dispatch; see above
-	n := fanOut(env, t.Cohorts[:loaded], tagAbort)
+	fanOut(env, t.Cohorts[:loaded], tagAbort)
 	if tp.ackAborts {
-		for acks := 0; acks < n; {
-			if _, ok := t.Mail.Recv(p).(*Ack); ok {
-				acks++
+		pending := 0
+		for _, c := range t.Cohorts[:loaded] {
+			if c.abortSent && !c.acked {
+				pending++
+			}
+		}
+		for pending > 0 {
+			if a, ok := t.Mail.Recv(p).(*Ack); ok {
+				if c := t.Cohorts[a.Idx]; !c.acked {
+					c.acked = true
+					pending--
+				}
 			}
 		}
 	}

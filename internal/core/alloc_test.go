@@ -6,6 +6,7 @@ import (
 
 	"ddbm/internal/cc"
 	"ddbm/internal/commit"
+	"ddbm/internal/fault"
 )
 
 // TestTxnPathAllocFree pins the steady-state transaction path at zero heap
@@ -29,15 +30,24 @@ func TestTxnPathAllocFree(t *testing.T) {
 		proto     commit.Kind
 		logging   bool
 		breakdown bool
+		armed     bool
 	}{
-		{"2PC-logging", commit.CentralizedTwoPC, true, false},
-		{"PA-logging", commit.PresumedAbort, true, false},
-		{"PC-logging", commit.PresumedCommit, true, false},
-		{"2PC-nologging", commit.CentralizedTwoPC, false, false},
-		{"2PC-logging-breakdown", commit.CentralizedTwoPC, true, true},
-		{"PA-logging-breakdown", commit.PresumedAbort, true, true},
-		{"PC-logging-breakdown", commit.PresumedCommit, true, true},
-		{"2PC-nologging-breakdown", commit.CentralizedTwoPC, false, true},
+		{"2PC-logging", commit.CentralizedTwoPC, true, false, false},
+		{"PA-logging", commit.PresumedAbort, true, false, false},
+		{"PC-logging", commit.PresumedCommit, true, false, false},
+		{"2PC-nologging", commit.CentralizedTwoPC, false, false, false},
+		{"2PC-logging-breakdown", commit.CentralizedTwoPC, true, true, false},
+		{"PA-logging-breakdown", commit.PresumedAbort, true, true, false},
+		{"PC-logging-breakdown", commit.PresumedCommit, true, true, false},
+		{"2PC-nologging-breakdown", commit.CentralizedTwoPC, false, true, false},
+		// The armed case pins the fault seams themselves: with an injector
+		// built but its schedule never firing, the per-attempt and
+		// per-cohort registries, in-doubt windows and simulated WAL all
+		// ride the transaction path and must be allocation-free in steady
+		// state once grown to their high-water marks. (The disabled cases
+		// above pin the nil-injector path: Config.Faults zero means no
+		// fault state exists at all.)
+		{"2PC-logging-faults-armed", commit.CentralizedTwoPC, true, false, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -45,6 +55,15 @@ func TestTxnPathAllocFree(t *testing.T) {
 			cfg.CommitProtocol = tc.proto
 			cfg.ModelLogging = tc.logging
 			cfg.Breakdown = tc.breakdown
+			if tc.armed {
+				cfg.Faults = fault.Config{
+					Enabled:           true,
+					NodeMTTFMs:        100 * cfg.SimTimeMs,
+					FixedInterFailure: true,
+					MTTRMs:            1_000,
+					DetectMs:          100,
+				}
+			}
 			cfg.SimTimeMs = 500_000
 			cfg.WarmupMs = 10_000
 			m, err := NewMachine(cfg)

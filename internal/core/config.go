@@ -10,6 +10,7 @@ import (
 
 	"ddbm/internal/cc"
 	"ddbm/internal/commit"
+	"ddbm/internal/fault"
 )
 
 // ExecPattern selects how a transaction's cohorts execute (paper §3.3).
@@ -181,6 +182,16 @@ type Config struct {
 	// order (see internal/audit). Costs memory proportional to the number
 	// of commits; off by default.
 	Audit bool
+
+	// Faults declares the deterministic fault schedule (see internal/fault):
+	// crash-stop node failures, coordinator failover, and message
+	// loss/duplication, all drawn from dedicated seed substreams so the
+	// workload stream is untouched. The zero value (Enabled false) keeps
+	// every fault-free fast path: no injector is built and runs are
+	// bit-identical to a build without the subsystem. Requires
+	// ModelLogging (crash recovery replays the forced log) and excludes
+	// O2PL, DeferRemoteWriteLocks and Audit (see Validate).
+	Faults fault.Config
 }
 
 // DefaultConfig returns the paper's baseline settings (Table 4): one 10-MIPS
@@ -279,6 +290,32 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: LockWaitTimeoutMs applies to 2PL and O2PL only")
 	case (c.Algorithm == cc.TwoPL || c.Algorithm == cc.O2PL) && c.DetectionIntervalMs <= 0 && c.LockWaitTimeoutMs <= 0:
 		return fmt.Errorf("core: %v needs a positive DetectionIntervalMs (or a LockWaitTimeoutMs)", c.Algorithm)
+	}
+	if f := &c.Faults; f.Enabled {
+		switch {
+		case !c.ModelLogging:
+			return fmt.Errorf("core: Faults requires ModelLogging (recovery replays the forced log)")
+		case c.Algorithm == cc.O2PL:
+			return fmt.Errorf("core: Faults does not support O2PL (deferred-lock processes have no crash story)")
+		case c.DeferRemoteWriteLocks:
+			return fmt.Errorf("core: Faults does not support DeferRemoteWriteLocks")
+		case c.Audit:
+			return fmt.Errorf("core: Faults does not support Audit (presumed-commit recovery can install anomalous writes by design)")
+		case f.NodeMTTFMs <= 0 && f.HostMTTFMs <= 0 && f.DropProb <= 0 && f.DupProb <= 0:
+			return fmt.Errorf("core: Faults enabled but schedules nothing (set NodeMTTFMs, HostMTTFMs, DropProb or DupProb)")
+		case f.NodeMTTFMs < 0 || f.HostMTTFMs < 0:
+			return fmt.Errorf("core: negative MTTF")
+		case f.NodeMTTFMs > 0 && (f.MTTRMs <= 0 || f.MTTRMs >= c.SimTimeMs):
+			return fmt.Errorf("core: Faults.MTTRMs %v must lie in (0, SimTimeMs)", f.MTTRMs)
+		case f.NodeMTTFMs > 0 && (f.DetectMs < 0 || f.DetectMs > f.MTTRMs):
+			return fmt.Errorf("core: Faults.DetectMs %v must lie in [0, MTTRMs]", f.DetectMs)
+		case f.HostMTTFMs > 0 && (f.HostMTTRMs <= 0 || f.HostMTTRMs >= c.SimTimeMs):
+			return fmt.Errorf("core: Faults.HostMTTRMs %v must lie in (0, SimTimeMs)", f.HostMTTRMs)
+		case f.DropProb < 0 || f.DropProb >= 1 || f.DupProb < 0 || f.DupProb >= 1:
+			return fmt.Errorf("core: message fault probabilities must lie in [0,1)")
+		case f.DropProb > 0 && f.RetransmitDelayMs <= 0:
+			return fmt.Errorf("core: Faults.DropProb needs a positive RetransmitDelayMs")
+		}
 	}
 	if c.PartitionWays == 0 {
 		if c.PartsPerRelation%c.NumProcNodes != 0 {

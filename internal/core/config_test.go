@@ -6,6 +6,7 @@ import (
 
 	"ddbm/internal/cc"
 	"ddbm/internal/commit"
+	"ddbm/internal/fault"
 )
 
 func TestDefaultConfigMatchesTable4(t *testing.T) {
@@ -88,6 +89,67 @@ func TestValidateRejections(t *testing.T) {
 			c.DetectionIntervalMs = 0
 			c.LockWaitTimeoutMs = 1000
 		}, "LockWaitTimeoutMs"},
+		// Fault-schedule combinations that look configurable but are
+		// meaningless or unsupported; see the Faults block in Validate.
+		{"faults without logging", func(c *Config) {
+			c.ModelLogging = false
+			c.Faults = validFaults()
+		}, "ModelLogging"},
+		{"faults under O2PL", func(c *Config) {
+			c.Algorithm = cc.O2PL
+			c.CommitProtocol = commit.PresumedAbort
+			c.ModelLogging = true
+			c.Faults = validFaults()
+		}, "O2PL"},
+		{"faults with deferred locks", func(c *Config) {
+			c.ReplicaCount = 2
+			c.DeferRemoteWriteLocks = true
+			c.ModelLogging = true
+			c.Faults = validFaults()
+		}, "DeferRemoteWriteLocks"},
+		{"faults with audit", func(c *Config) {
+			c.Audit = true
+			c.ModelLogging = true
+			c.Faults = validFaults()
+		}, "Audit"},
+		{"faults scheduling nothing", func(c *Config) {
+			c.ModelLogging = true
+			c.Faults = fault.Config{Enabled: true}
+		}, "schedules nothing"},
+		{"negative MTTF", func(c *Config) {
+			c.ModelLogging = true
+			c.Faults = fault.Config{Enabled: true, NodeMTTFMs: -1, HostMTTFMs: 1000, HostMTTRMs: 100}
+		}, "MTTF"},
+		{"zero MTTR", func(c *Config) {
+			c.ModelLogging = true
+			f := validFaults()
+			f.MTTRMs = 0
+			c.Faults = f
+		}, "MTTRMs"},
+		{"MTTR past sim end", func(c *Config) {
+			c.ModelLogging = true
+			f := validFaults()
+			f.MTTRMs = c.SimTimeMs
+			c.Faults = f
+		}, "MTTRMs"},
+		{"detect after repair", func(c *Config) {
+			c.ModelLogging = true
+			f := validFaults()
+			f.DetectMs = f.MTTRMs + 1
+			c.Faults = f
+		}, "DetectMs"},
+		{"zero host MTTR", func(c *Config) {
+			c.ModelLogging = true
+			c.Faults = fault.Config{Enabled: true, HostMTTFMs: 10_000}
+		}, "HostMTTRMs"},
+		{"drop prob out of range", func(c *Config) {
+			c.ModelLogging = true
+			c.Faults = fault.Config{Enabled: true, DropProb: 1, RetransmitDelayMs: 50}
+		}, "probabilities"},
+		{"drop without retransmit delay", func(c *Config) {
+			c.ModelLogging = true
+			c.Faults = fault.Config{Enabled: true, DropProb: 0.01}
+		}, "RetransmitDelayMs"},
 	}
 	for _, tc := range cases {
 		cfg := base
@@ -120,6 +182,22 @@ func TestValidateAcceptsVariants(t *testing.T) {
 			c.ReplicaCount = 2
 			c.DeferRemoteWriteLocks = true // centralized 2PC: still allowed
 		},
+		func(c *Config) { c.ModelLogging = true; c.Faults = validFaults() },
+		func(c *Config) {
+			c.ModelLogging = true
+			c.Faults = fault.Config{Enabled: true, HostMTTFMs: 10_000, HostMTTRMs: 500}
+		},
+		func(c *Config) {
+			c.ModelLogging = true
+			c.Faults = fault.Config{Enabled: true, DropProb: 0.01, DupProb: 0.01, RetransmitDelayMs: 50}
+		},
+		func(c *Config) {
+			// Zero DetectMs is legal: detection at the crash instant.
+			c.ModelLogging = true
+			f := validFaults()
+			f.DetectMs = 0
+			c.Faults = f
+		},
 	} {
 		cfg := DefaultConfig()
 		mutate(&cfg)
@@ -127,6 +205,12 @@ func TestValidateAcceptsVariants(t *testing.T) {
 			t.Errorf("valid variant rejected: %v", err)
 		}
 	}
+}
+
+// validFaults is a fault schedule every gate in Validate accepts (once
+// ModelLogging is on).
+func validFaults() fault.Config {
+	return fault.Config{Enabled: true, NodeMTTFMs: 30_000, MTTRMs: 2_000, DetectMs: 500}
 }
 
 func TestExecPatternString(t *testing.T) {

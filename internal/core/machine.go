@@ -65,9 +65,13 @@ type Machine struct {
 	// continuations. All bound once at machine construction so the
 	// steady-state transaction path allocates nothing.
 	attemptFree  []*attemptState
-	blockedFn    func(d sim.Time)
+	blockedFn    func(co *cc.CohortMeta, d sim.Time)
 	cohortNames  []string
 	writeBackFns []func()
+
+	// ft is the fault/recovery state (nil unless cfg.Faults.Enabled; the
+	// nil state is the existing fault-free fast path).
+	ft *faultState
 
 	// logForces counts modeled log forces over the whole run;
 	// abortLogForces is the subset attributed to abort handling.
@@ -117,7 +121,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Audit {
 		m.rec = audit.NewRecorder()
 	}
-	m.blockedFn = m.stats.blocked
+	m.blockedFn = m.onBlocked
 	for i := 0; i < cfg.NumProcNodes; i++ {
 		m.cpus = append(m.cpus, resource.NewCPU(s, cfg.ProcMIPS))
 		d := resource.NewDiskArray(s, cfg.NumDisks, cfg.MinDiskMs, cfg.MaxDiskMs)
@@ -219,7 +223,24 @@ func NewMachine(cfg Config) (*Machine, error) {
 	for i := 0; i < cfg.NumProcNodes; i++ {
 		m.mgrs = append(m.mgrs, m.algo.NewManager(cc.Env{Sim: s, Node: i}))
 	}
+	if cfg.Faults.Enabled {
+		m.ft = newFaultState(m)
+	}
 	return m, nil
+}
+
+// onBlocked is the pre-bound cc.CohortMeta.OnBlocked hook: the stats tally
+// for every blocking episode, plus — when the fault layer is active and
+// the lock table attributed the wait to an in-doubt cohort of a crashed
+// node — the blocked-in-doubt account.
+//
+//ddbmlint:hotpath blocking-episode tally on every lock wait
+func (m *Machine) onBlocked(co *cc.CohortMeta, d sim.Time) {
+	m.stats.blocked(d)
+	if m.ft != nil && co.BlockedInDoubt {
+		co.BlockedInDoubt = false
+		m.ft.noteInDoubtBlock(d)
+	}
 }
 
 // Sim exposes the simulator (tests and extensions).
@@ -318,6 +339,11 @@ func (m *Machine) sample() {
 		ns.ActiveCohorts = append(ns.ActiveCohorts, active)
 		ns.LockTableSize = append(ns.LockTableSize, tableSize)
 		ns.BlockedTxns = append(ns.BlockedTxns, blocked)
+		down := 0
+		if m.ft != nil && i < m.cfg.NumProcNodes && m.ft.inj.Down(i) {
+			down = 1
+		}
+		ns.Down = append(ns.Down, down)
 	}
 }
 
@@ -379,6 +405,9 @@ func (m *Machine) Start() {
 				m.sample()
 			}
 		})
+	}
+	if m.ft != nil {
+		m.ft.inj.Start()
 	}
 }
 
@@ -450,6 +479,24 @@ func (m *Machine) result() Result {
 	r.LogForces = m.logForces
 	r.AbortPathLogForces = m.abortLogForces
 	r.AvgActiveTxns = m.stats.active.Mean(m.sim.Now())
+	if ft := m.ft; ft != nil {
+		r.Crashes = ft.inj.Crashes()
+		r.MessagesLost = m.net.Lost()
+		r.InDoubtTimeMs = ft.inDoubtMs
+		r.InDoubtWindows = ft.inDoubtWindows
+		r.BlockedInDoubtMs = ft.blockedInDoubtMs
+		r.RecoveryTimeMs = ft.recoveryMs
+		var downMs float64
+		for i := 0; i < cfg.NumProcNodes; i++ {
+			downMs += ft.inj.DownMs(i, m.sim.Now())
+		}
+		if total := float64(m.sim.Now()) * float64(cfg.NumProcNodes); total > 0 {
+			r.Availability = 1 - downMs/total
+		}
+		if r.Availability > 0 {
+			r.GoodputPerSec = r.ThroughputTPS / r.Availability
+		}
+	}
 	if m.rec != nil {
 		r.AuditedTxns = int64(len(m.rec.Records()))
 		for _, v := range m.rec.Check() {

@@ -150,6 +150,28 @@ type Result struct {
 	// AvgActiveTxns is the time-average number of in-flight transactions.
 	AvgActiveTxns float64
 
+	// Fault/recovery metrics, all zero unless Config.Faults.Enabled.
+	// Crashes counts node and host crashes over the whole run;
+	// MessagesLost counts handler messages discarded at down nodes.
+	// Availability is the fraction of node-milliseconds the processing
+	// nodes were up; GoodputPerSec normalizes throughput by it (commits
+	// per second of available machine time). InDoubtTimeMs totals the
+	// in-doubt windows (a cohort's vote to its learned outcome) closed
+	// inside the measurement window, InDoubtWindows counts them, and
+	// BlockedInDoubtMs totals blocking time spent waiting on locks held
+	// by in-doubt cohorts of crashed nodes — the 2PC blocking penalty
+	// that presumed-abort resolution avoids. RecoveryTimeMs totals
+	// repair-to-rejoin time (log replay plus in-doubt resolution) over
+	// the whole run.
+	Crashes          int64
+	MessagesLost     int64
+	Availability     float64
+	GoodputPerSec    float64
+	InDoubtTimeMs    float64
+	InDoubtWindows   int64
+	BlockedInDoubtMs float64
+	RecoveryTimeMs   float64
+
 	// PhaseMeanMs and PhaseP99Ms report the time-breakdown accounting
 	// (nil unless Config.Breakdown): per-phase mean and p99 milliseconds
 	// per committed transaction, keyed by phase name (see obs.Phase),

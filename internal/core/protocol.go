@@ -155,10 +155,48 @@ func (e *protocolEnv) Decided(committed bool) {
 		detail = "abort"
 	}
 	e.m.lifecycle(TxnDecided, e.txn, e.attempt, detail)
+	if e.m.ft != nil {
+		e.m.ft.noteDecision(e.runs, committed)
+	}
 	if tr := e.m.tracer; tr != nil {
 		tr.Complete(obs.KindCommitPhase, "decide", e.m.hostID, e.txn, e.attempt, e.phaseAt)
 		e.phaseAt = e.m.sim.Now()
 	}
+}
+
+// CohortInDoubt opens a cohort's in-doubt window: from here (its yes-vote
+// is forced and about to be sent) until it learns the global outcome, a
+// crash at its node strands its locks behind the commit protocol. No-op
+// without the fault layer.
+//
+//ddbmlint:hotpath vote-send hook pinned by TestTxnPathAllocFree
+func (e *protocolEnv) CohortInDoubt(c *commit.Cohort) {
+	if e.m.ft == nil {
+		return
+	}
+	e.m.ft.openInDoubt(e.runs[c.Idx])
+}
+
+// CohortResolved closes a cohort's in-doubt window (if one was open) and
+// retires its crash-registry entry: the cohort has learned the outcome (or
+// was released read-only before any window opened). No-op without the
+// fault layer.
+//
+//ddbmlint:hotpath outcome-learned hook pinned by TestTxnPathAllocFree
+func (e *protocolEnv) CohortResolved(c *commit.Cohort, committed bool) {
+	if e.m.ft == nil {
+		return
+	}
+	e.m.ft.resolveRun(e.runs[c.Idx])
+}
+
+// Down reports whether a cohort's node is currently crashed, so the
+// protocol's fan-outs skip dead destinations. Always false without the
+// fault layer.
+//
+//ddbmlint:hotpath fan-out guard pinned by TestTxnPathAllocFree
+func (e *protocolEnv) Down(node int) bool {
+	return e.m.ft != nil && e.m.ft.inj.Down(node)
 }
 
 // countLogForce tallies modeled log forces over the whole run (like

@@ -26,13 +26,31 @@ type (
 )
 
 // Message tags for the typed network envelopes of the work phase. Tag
-// namespaces are per-handler: cohortRun handles the first three,
-// attemptState handles tagAbortNotice.
+// namespaces are per-handler: cohortRun handles the cohort tags,
+// attemptState handles the notice tags.
 const (
 	tagCohortLoad      = iota // host → node: pay startup CPU, spawn the cohort process
 	tagCohortDone             // node → host: deliver &c.doneMsg to the coordinator
 	tagCohortSelfAbort        // node → host: deliver &c.selfAbortMsg to the coordinator
 	tagAbortNotice            // node → host: deliver &a.abortNotice to the coordinator
+	tagCrashNotice            // host → host: deliver &a.crashNotice (failure detection)
+	tagCohortInquiry          // node → host: recovery asks the coordinator for the outcome
+	tagCohortDecision         // host → node: the coordinator's answer to an inquiry
+)
+
+// Cohort life-cycle phases tracked by the fault layer (cohortRun.phase;
+// maintained only while fault injection is on). A crash sweep uses the
+// phase to decide what a cohort left behind: a pending startup job
+// (loaded), a live process to kill (running), released resources
+// (exited), or — when in doubt — locks that must survive until recovery
+// resolves them (resident).
+const (
+	phaseIdle uint8 = iota
+	phaseLoaded
+	phaseRunning
+	phaseExited
+	phaseResident
+	phaseGone
 )
 
 // attemptState is the complete per-attempt transaction state: the shared
@@ -62,6 +80,14 @@ type attemptState struct {
 
 	abortNotice msgAbortNotice
 	onAbortFn   func(fromNode int, reason string) // a.onAbort, bound once
+
+	// crashNotice is the failure detector's abort demand (distinct from
+	// abortNotice so the two cannot alias when a manager-demanded abort
+	// and a crash detection race); liveIdx is the attempt's slot in the
+	// fault layer's live-attempt registry. Maintained only when faults
+	// are on.
+	crashNotice msgAbortNotice
+	liveIdx     int
 }
 
 // cohortRun is the coordinator's handle on one cohort of one attempt: the
@@ -85,6 +111,17 @@ type cohortRun struct {
 
 	spawnFn func()            // c.spawn, bound once
 	runFn   func(p *sim.Proc) // c.run, bound once
+
+	// Fault-layer state (zero/idle unless fault injection is on): the
+	// life-cycle phase and the cohort's slot in its node's crash
+	// registry; inDoubtAt stamps the open in-doubt window; recWait parks
+	// the recovery process across a 2PC inquiry round-trip and inqCommit
+	// carries the answer back.
+	phase     uint8
+	regIdx    int
+	inDoubtAt sim.Time
+	recWait   *sim.Proc
+	inqCommit bool
 
 	// bd points at bdStore while breakdown accounting is on (nil
 	// otherwise): the cohort's mini-ledger, tiling load-send to
@@ -120,6 +157,10 @@ func (m *Machine) acquireAttempt(id, origTS int64, attemptNo int, plan *workload
 	a.bd = ld
 	m.gen.Retain(plan)
 	a.refs = 1
+	if m.ft != nil {
+		a.crashNotice.reason = "node crash"
+		m.ft.attemptLive(a)
+	}
 	a.env.txn, a.env.attempt, a.env.phaseAt = id, attemptNo, 0
 	a.env.prepared = false
 	a.env.runs = nil
@@ -150,6 +191,9 @@ func (a *attemptState) release() {
 	a.mail.Reset()
 	a.m.gen.Release(a.plan)
 	a.plan = nil
+	if a.m.ft != nil {
+		a.m.ft.attemptGone(a)
+	}
 	a.m.attemptFree = append(a.m.attemptFree, a) //ddbmlint:allow hotpath-alloc free-list push; capacity reaches the concurrent-attempt high-water mark
 }
 
@@ -165,13 +209,31 @@ func (a *attemptState) onAbort(fromNode int, reason string) {
 	a.m.net.Send(fromNode, a.m.hostID, a, tagAbortNotice)
 }
 
-// HandleMsg delivers the attempt's abort notice into the coordinator's
-// mailbox (the only attempt-level message kind).
+// HandleMsg delivers the attempt's abort or crash notice into the
+// coordinator's mailbox.
 //
 //ddbmlint:hotpath abort-notice delivery
-func (a *attemptState) HandleMsg(int) {
-	a.mail.Send(&a.abortNotice)
+func (a *attemptState) HandleMsg(tag int) {
+	if tag == tagCrashNotice {
+		a.mail.Send(&a.crashNotice)
+	} else {
+		a.mail.Send(&a.abortNotice)
+	}
 	a.release()
+}
+
+// MsgDropped releases the reference an attempt-level notice held when the
+// fault layer discards it (its sender node crashed mid-flight); the
+// coordinator learns of the crash from failure detection instead.
+func (a *attemptState) MsgDropped(int) { a.release() }
+
+// sendCrashNotice wakes a coordinator whose attempt can no longer be
+// aborted through RequestAbort (the manager-side abort was already spent
+// or refused) but which may be parked waiting on a dead node: the notice
+// is a host-local self-send, exempt from fault handling.
+func (a *attemptState) sendCrashNotice() {
+	a.retain()
+	a.m.net.Send(a.m.hostID, a.m.hostID, a, tagCrashNotice)
 }
 
 // addCohort appends one cohort run to the attempt, reusing the pooled
@@ -197,6 +259,8 @@ func (a *attemptState) addCohort(cp *workload.CohortPlan, attemptNo int) *cohort
 	if a.bd != nil {
 		c.bd = &c.bdStore
 	}
+	c.phase, c.regIdx = phaseIdle, 0
+	c.inDoubtAt, c.recWait, c.inqCommit = 0, nil, false
 	c.meta = cc.CohortMeta{Txn: &a.meta, Node: cp.Node, OnBlocked: a.m.blockedFn}
 	if tr := a.m.tracer; tr != nil {
 		// Record each blocking episode as a cc-wait span before the stats
@@ -204,11 +268,11 @@ func (a *attemptState) addCohort(cp *workload.CohortPlan, attemptNo int) *cohort
 		// disabled path keeps the allocation-free pre-bound method value
 		// above.
 		m, node, id, attempt := a.m, cp.Node, a.meta.ID, attemptNo
-		c.meta.OnBlocked = func(d sim.Time) { //ddbmlint:allow hotpath-alloc traced path only; the untraced path uses the pre-bound blockedFn
+		c.meta.OnBlocked = func(co *cc.CohortMeta, d sim.Time) { //ddbmlint:allow hotpath-alloc traced path only; the untraced path uses the pre-bound blockedFn
 			if d > 0 {
 				tr.Complete(obs.KindCCWait, "cc-wait", node, id, attempt, m.sim.Now()-d)
 			}
-			m.stats.blocked(d)
+			m.onBlocked(co, d)
 		}
 	}
 	c.proto.Meta = &c.meta
@@ -276,6 +340,9 @@ func (m *Machine) runTransaction(p *sim.Proc, plan *workload.TxnPlan, ld *obs.Le
 	m.lifecycle(TxnSubmitted, id, 1, "")
 	restarts := 0
 	for {
+		if m.ft != nil {
+			m.ft.holdForHost(p)
+		}
 		attemptNo := restarts + 1
 		m.lifecycle(TxnAttemptStarted, id, attemptNo, "")
 		// The attempt span is ended explicitly, never deferred: terminals
@@ -328,6 +395,16 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *wo
 	loaded := 0
 	if cfg.ExecPattern == Sequential || plan.Sequential {
 		for _, c := range a.runs {
+			if m.ft != nil && m.ft.inj.Down(c.meta.Node) {
+				// Fail fast: a cohort's node is known dead, so the attempt
+				// aborts instead of loading into the void. Re-checked per
+				// load — a node can crash while an earlier cohort runs.
+				m.ft.markCrashAbort(&a.meta)
+				m.abortAttempt(p, env, t, loaded)
+				reason := a.meta.AbortReason
+				a.release()
+				return false, reason
+			}
 			m.loadCohort(c)
 			loaded++
 			ok, crit := m.awaitDone(p, a.mail, 1)
@@ -340,6 +417,16 @@ func (m *Machine) attempt(p *sim.Proc, id, origTS int64, attemptNo int, plan *wo
 			}
 		}
 	} else {
+		// One down check covers the whole parallel fan-out: no simulated
+		// time passes between the loads, so a node up here is up for every
+		// send below.
+		if m.ft != nil && m.ft.anyPlanNodeDown(a) {
+			m.ft.markCrashAbort(&a.meta)
+			m.abortAttempt(p, env, t, 0)
+			reason := a.meta.AbortReason
+			a.release()
+			return false, reason
+		}
 		for _, c := range a.runs {
 			m.loadCohort(c)
 			loaded++
@@ -442,6 +529,9 @@ func (c *cohortRun) HandleMsg(tag int) {
 	switch tag {
 	case tagCohortLoad:
 		c.bd.Spend(c.m.sim.Now(), obs.PhaseNetTransit)
+		if c.m.ft != nil {
+			c.m.ft.register(c)
+		}
 		c.m.cpus[c.meta.Node].UseAsync(c.m.cfg.InstPerStartup, c.spawnFn)
 	case tagCohortDone:
 		c.bd.Spend(c.m.sim.Now(), obs.PhaseNetTransit)
@@ -451,8 +541,36 @@ func (c *cohortRun) HandleMsg(tag int) {
 		c.bd.Spend(c.m.sim.Now(), obs.PhaseNetTransit)
 		c.a.mail.Send(&c.selfAbortMsg)
 		c.a.release()
+	case tagCohortInquiry:
+		// At the host: a restarted node asks for this in-doubt cohort's
+		// outcome; answer from the decision registry (no record ⇒ abort).
+		// Answering abort binds the coordinator: no record means the
+		// transaction has not reached its commit point (the decision and
+		// its registry record land in one synchronous stretch), so a
+		// still-undecided coordinator is aborted here rather than left
+		// able to commit a transaction whose cohort just rolled back.
+		committed := c.m.ft.reg.Lookup(c.meta.Txn.AttemptTS)
+		if !committed {
+			c.meta.Txn.RequestAbort(c.m.hostID, "node crash", cc.CauseNodeCrash)
+		}
+		c.inqCommit = committed
+		c.a.retain()
+		c.m.net.Send(c.m.hostID, c.meta.Node, c, tagCohortDecision)
+		c.a.release()
+	case tagCohortDecision:
+		// Back at the node: wake the parked recovery process.
+		p := c.recWait
+		c.recWait = nil
+		p.Resume()
+		c.a.release()
 	}
 }
+
+// MsgDropped releases the reference a work-phase envelope held when the
+// fault layer discards it at a crashed node. A dropped load means the
+// cohort never starts (the coordinator aborts via failure detection); a
+// dropped report means its news died with the node.
+func (c *cohortRun) MsgDropped(int) { c.a.release() }
 
 // spawn starts the cohort process once the startup CPU cost is paid. The
 // process name is the node's static cohort name: spawn names are
@@ -462,7 +580,14 @@ func (c *cohortRun) HandleMsg(tag int) {
 func (c *cohortRun) spawn() {
 	c.bd.SpendSplit(c.m.sim.Now(), c.m.cfg.InstPerStartup/c.m.cpus[c.meta.Node].Rate(),
 		obs.PhaseCPUService, obs.PhaseCPUQueue)
-	c.m.sim.Spawn(c.m.cohortNames[c.meta.Node], c.runFn)
+	p := c.m.sim.Spawn(c.m.cohortNames[c.meta.Node], c.runFn)
+	if c.m.ft != nil {
+		// Record the process (and the running phase) here, not in run: a
+		// crash landing between the spawn and the process's first step
+		// must still find something to kill.
+		c.meta.Proc = p
+		c.phase = phaseRunning
+	}
 }
 
 // run is the cohort process body.
@@ -581,6 +706,9 @@ func (m *Machine) runCohort(cp *sim.Proc, c *cohortRun) {
 func (m *Machine) cohortDone(c *cohortRun, sp *obs.Span) {
 	if m.activeCohorts != nil {
 		m.activeCohorts[c.meta.Node]--
+	}
+	if m.ft != nil {
+		c.phase = phaseExited
 	}
 	sp.End()
 }

@@ -1,0 +1,231 @@
+// Package fault is the deterministic fault-injection subsystem: it turns a
+// seed-derived, configuration-declared fault schedule into crash-stop node
+// failures, coordinator (host) failures, and message loss/duplication,
+// delivered to the machine through the narrow Target interface.
+//
+// Every random draw the injector makes — inter-failure times, per-message
+// loss and duplication coins — comes from dedicated named substreams of
+// the simulation seed (sim.Substream), never from the main workload
+// stream. Arming the injector therefore does not perturb the workload: a
+// run whose fault schedule fires nothing draws the exact same workload and
+// think-time sequences as a run with no injector at all, and a given
+// (seed, schedule) pair always produces the same failures at the same
+// instants regardless of what the workload does.
+package fault
+
+import (
+	"math/rand"
+
+	"ddbm/internal/sim"
+)
+
+// Config declares the fault schedule (all times in simulated
+// milliseconds). The zero value — Enabled false — means no injector is
+// built at all and the machine keeps its fault-free fast paths.
+type Config struct {
+	// Enabled gates the whole subsystem; when false every other field is
+	// ignored.
+	Enabled bool
+
+	// NodeMTTFMs is the mean time to failure of each processing node:
+	// after a node has been up for an exponentially distributed (or, with
+	// FixedInterFailure, exactly this) interval, it crash-stops. 0 means
+	// processing nodes never fail.
+	NodeMTTFMs float64
+	// FixedInterFailure replaces the exponential inter-failure draw with
+	// the constant NodeMTTFMs/HostMTTFMs interval — a periodic schedule
+	// for experiments that want identical failure counts across variants.
+	FixedInterFailure bool
+	// MTTRMs is the fixed repair delay: a crashed node comes back exactly
+	// this long after the crash, then replays its log and rejoins.
+	MTTRMs float64
+	// DetectMs is the coordinator-side failure-detection latency: this
+	// long after a node crash, every live transaction touching the dead
+	// node is aborted (the coordinator's timeout/termination protocol).
+	DetectMs float64
+
+	// HostMTTFMs and HostMTTRMs schedule coordinator (host) failures the
+	// same way. A host crash is modeled as instantaneous failover: every
+	// in-flight transaction aborts with the coordinator-crash cause and
+	// new transactions hold until the host recovers, but the host node is
+	// never marked down for messaging (the failover host answers cohort
+	// inquiries). 0 means the host never fails.
+	HostMTTFMs float64
+	HostMTTRMs float64
+
+	// DropProb and DupProb are per-cross-node-message loss and duplication
+	// probabilities, drawn from the injector's message stream. A lost
+	// message is retransmitted from scratch after RetransmitDelayMs; a
+	// duplicated one adds a pure-load copy (see network.FaultModel).
+	DropProb          float64
+	DupProb           float64
+	RetransmitDelayMs float64
+}
+
+// Target is the machine-side receiver of injected faults. CrashNode and
+// CrashHost run at the crash instant (the injector has already marked the
+// node down); RecoverNode runs at the repair instant (the node is already
+// marked up again) and must call Injector.NodeUp once the node has
+// finished replaying and rejoined, which is when the injector starts the
+// clock on the node's next failure.
+type Target interface {
+	CrashNode(node int)
+	RecoverNode(node int)
+	CrashHost()
+	RecoverHost()
+}
+
+// Injector drives the fault schedule. It implements network.FaultModel so
+// the network consults it on every cross-node send and delivery.
+type Injector struct {
+	sim    *sim.Sim
+	cfg    Config
+	target Target
+
+	down     []bool // per processing node
+	hostDown bool
+
+	nodeRngs []*rand.Rand // one inter-failure stream per node
+	hostRng  *rand.Rand
+	msgRng   *rand.Rand // loss/duplication coins
+
+	crashes    int64
+	downAt     []sim.Time // crash instant of a currently-down node
+	downMs     []float64  // accumulated down time per node
+	hostDownMs float64
+	hostDownAt sim.Time
+}
+
+// New builds the injector over nodes processing nodes. Target callbacks
+// are wired with SetTarget before Start.
+func New(s *sim.Sim, cfg Config, nodes int) *Injector {
+	inj := &Injector{
+		sim:    s,
+		cfg:    cfg,
+		down:   make([]bool, nodes),
+		downAt: make([]sim.Time, nodes),
+		downMs: make([]float64, nodes),
+	}
+	for i := 0; i < nodes; i++ {
+		inj.nodeRngs = append(inj.nodeRngs, s.Substream("fault-node", int64(i)))
+	}
+	inj.hostRng = s.Substream("fault-host", 0)
+	inj.msgRng = s.Substream("fault-msg", 0)
+	return inj
+}
+
+// SetTarget wires the machine-side fault receiver. Must be set before
+// Start.
+func (inj *Injector) SetTarget(t Target) { inj.target = t }
+
+// Start schedules the first failure of every node (and the host) with a
+// positive MTTF. Call once, before the simulation runs.
+func (inj *Injector) Start() {
+	if inj.cfg.NodeMTTFMs > 0 {
+		for i := range inj.down {
+			inj.scheduleNodeFailure(i)
+		}
+	}
+	if inj.cfg.HostMTTFMs > 0 {
+		inj.scheduleHostFailure()
+	}
+}
+
+// interval draws one inter-failure time from the given stream.
+func (inj *Injector) interval(r *rand.Rand, mean float64) float64 {
+	if inj.cfg.FixedInterFailure {
+		return mean
+	}
+	return sim.Exponential(r, mean)
+}
+
+func (inj *Injector) scheduleNodeFailure(i int) {
+	d := inj.interval(inj.nodeRngs[i], inj.cfg.NodeMTTFMs)
+	inj.sim.After(d, func() { inj.crashNode(i) })
+}
+
+func (inj *Injector) scheduleHostFailure() {
+	d := inj.interval(inj.hostRng, inj.cfg.HostMTTFMs)
+	inj.sim.After(d, func() { inj.crashHost() })
+}
+
+// crashNode marks the node down before telling the target, so every
+// message the crash handling itself generates already sees the node as
+// dead; repair is scheduled exactly MTTRMs later.
+func (inj *Injector) crashNode(i int) {
+	inj.down[i] = true
+	inj.downAt[i] = inj.sim.Now()
+	inj.crashes++
+	inj.target.CrashNode(i)
+	inj.sim.After(inj.cfg.MTTRMs, func() { inj.repairNode(i) })
+}
+
+// repairNode marks the node up again — it can receive messages from this
+// instant — and hands control to the target's recovery process, which
+// calls NodeUp when the node has replayed its log and rejoined.
+func (inj *Injector) repairNode(i int) {
+	inj.down[i] = false
+	inj.downMs[i] += float64(inj.sim.Now() - inj.downAt[i])
+	inj.target.RecoverNode(i)
+}
+
+// NodeUp restarts the failure clock of a recovered node: the next failure
+// interval begins only once the node has fully rejoined, so MTTF measures
+// time-to-failure of a working node.
+func (inj *Injector) NodeUp(i int) {
+	if inj.cfg.NodeMTTFMs > 0 {
+		inj.scheduleNodeFailure(i)
+	}
+}
+
+func (inj *Injector) crashHost() {
+	inj.hostDown = true
+	inj.hostDownAt = inj.sim.Now()
+	inj.crashes++
+	inj.target.CrashHost()
+	inj.sim.After(inj.cfg.HostMTTRMs, func() {
+		inj.hostDown = false
+		inj.hostDownMs += float64(inj.sim.Now() - inj.hostDownAt)
+		inj.target.RecoverHost()
+		inj.scheduleHostFailure()
+	})
+}
+
+// Down reports whether a node is crashed. The host (any id past the
+// processing nodes) is never down for messaging — host failures are
+// modeled as failover, not as a dead endpoint.
+func (inj *Injector) Down(node int) bool {
+	return node < len(inj.down) && inj.down[node]
+}
+
+// HostDown reports whether the coordinator is mid-failover: new
+// transactions hold until it clears.
+func (inj *Injector) HostDown() bool { return inj.hostDown }
+
+// LoseMsg and DupMsg flip the per-message coins (network.FaultModel). A
+// zero probability draws nothing, so enabling faults without message
+// errors consumes no stream.
+func (inj *Injector) LoseMsg() bool {
+	return inj.cfg.DropProb > 0 && inj.msgRng.Float64() < inj.cfg.DropProb
+}
+
+func (inj *Injector) DupMsg() bool {
+	return inj.cfg.DupProb > 0 && inj.msgRng.Float64() < inj.cfg.DupProb
+}
+
+// RetransmitDelayMs is the sender's abstracted timeout-and-retransmit
+// delay for a lost message (network.FaultModel).
+func (inj *Injector) RetransmitDelayMs() float64 { return inj.cfg.RetransmitDelayMs }
+
+// Crashes counts node and host crashes so far.
+func (inj *Injector) Crashes() int64 { return inj.crashes }
+
+// DownMs returns the total milliseconds node i has spent down, including
+// the current outage if one is in progress at now.
+func (inj *Injector) DownMs(i int, now sim.Time) float64 {
+	d := inj.downMs[i]
+	if inj.down[i] {
+		d += float64(now - inj.downAt[i])
+	}
+	return d
+}

@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"ddbm/internal/sim"
+)
+
+// recorder is a Target that logs callback instants and rejoins a node the
+// moment it is repaired (recovery cost zero), so the injector's scheduling
+// rules are visible in isolation.
+type recorder struct {
+	inj        *Injector
+	crashes    []sim.Time
+	recoveries []sim.Time
+	hostCrash  []sim.Time
+	hostRec    []sim.Time
+	nodes      []int
+}
+
+func (r *recorder) CrashNode(node int) {
+	r.crashes = append(r.crashes, r.inj.sim.Now())
+	r.nodes = append(r.nodes, node)
+}
+
+func (r *recorder) RecoverNode(node int) {
+	r.recoveries = append(r.recoveries, r.inj.sim.Now())
+	r.inj.NodeUp(node)
+}
+
+func (r *recorder) CrashHost()   { r.hostCrash = append(r.hostCrash, r.inj.sim.Now()) }
+func (r *recorder) RecoverHost() { r.hostRec = append(r.hostRec, r.inj.sim.Now()) }
+
+// runSchedule runs one injector over a fresh simulation and returns its
+// recorder.
+func runSchedule(seed int64, cfg Config, nodes int, horizon sim.Time) *recorder {
+	s := sim.New(seed)
+	inj := New(s, cfg, nodes)
+	rec := &recorder{inj: inj}
+	inj.SetTarget(rec)
+	inj.Start()
+	s.Run(horizon)
+	return rec
+}
+
+// TestScheduleDeterminism pins the subsystem's core contract: the fault
+// schedule is a pure function of (seed, config). Same seed, same crashes
+// at the same instants; a different seed moves them.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := Config{Enabled: true, NodeMTTFMs: 5_000, MTTRMs: 500, DetectMs: 100}
+	a := runSchedule(3, cfg, 4, 100_000)
+	b := runSchedule(3, cfg, 4, 100_000)
+	if len(a.crashes) == 0 {
+		t.Fatal("no crashes fired inside the horizon")
+	}
+	if !reflect.DeepEqual(a.crashes, b.crashes) || !reflect.DeepEqual(a.nodes, b.nodes) {
+		t.Error("same seed produced different crash schedules")
+	}
+	c := runSchedule(4, cfg, 4, 100_000)
+	if reflect.DeepEqual(a.crashes, c.crashes) {
+		t.Error("different seeds produced identical exponential schedules")
+	}
+}
+
+// TestFixedInterFailureTiming pins the deterministic schedule exactly:
+// first crash at MTTF, repair at MTTF+MTTR, and — because NodeUp restarts
+// the clock only at rejoin — the second crash at 2*MTTF+MTTR.
+func TestFixedInterFailureTiming(t *testing.T) {
+	cfg := Config{Enabled: true, NodeMTTFMs: 1_000, FixedInterFailure: true, MTTRMs: 300}
+	rec := runSchedule(1, cfg, 1, 2_500)
+	wantCrashes := []sim.Time{1_000, 2_300}
+	wantRecoveries := []sim.Time{1_300}
+	if !reflect.DeepEqual(rec.crashes, wantCrashes) {
+		t.Errorf("crash instants %v, want %v", rec.crashes, wantCrashes)
+	}
+	if !reflect.DeepEqual(rec.recoveries, wantRecoveries) {
+		t.Errorf("repair instants %v, want %v", rec.recoveries, wantRecoveries)
+	}
+	if rec.inj.Crashes() != 2 {
+		t.Errorf("Crashes() = %d, want 2", rec.inj.Crashes())
+	}
+}
+
+// TestDownWindowAndHostExemption checks Down over the outage window and
+// the host-id exemption: any id past the processing nodes is never down.
+func TestDownWindowAndHostExemption(t *testing.T) {
+	cfg := Config{Enabled: true, NodeMTTFMs: 1_000, FixedInterFailure: true, MTTRMs: 300}
+	s := sim.New(1)
+	inj := New(s, cfg, 2)
+	rec := &recorder{inj: inj}
+	inj.SetTarget(rec)
+	inj.Start()
+	check := func(at sim.Time, want bool) {
+		s.After(at-s.Now(), func() {
+			if inj.Down(0) != want {
+				t.Errorf("Down(0) at t=%v is %v, want %v", at, !want, want)
+			}
+			if inj.Down(2) || inj.Down(99) {
+				t.Errorf("host id reported down at t=%v", at)
+			}
+		})
+	}
+	check(500, false)
+	check(1_100, true)
+	check(1_400, false)
+	s.Run(2_000)
+}
+
+// TestDownMsAccounting pins the availability arithmetic: a closed outage
+// contributes exactly MTTR, an open one contributes the elapsed part.
+func TestDownMsAccounting(t *testing.T) {
+	cfg := Config{Enabled: true, NodeMTTFMs: 1_000, FixedInterFailure: true, MTTRMs: 300}
+	s := sim.New(1)
+	inj := New(s, cfg, 1)
+	rec := &recorder{inj: inj}
+	inj.SetTarget(rec)
+	inj.Start()
+	s.After(1_150, func() {
+		if d := inj.DownMs(0, s.Now()); d != 150 {
+			t.Errorf("mid-outage DownMs = %v, want 150", d)
+		}
+	})
+	s.After(1_500, func() {
+		if d := inj.DownMs(0, s.Now()); d != 300 {
+			t.Errorf("post-repair DownMs = %v, want 300", d)
+		}
+	})
+	s.Run(2_000)
+}
+
+// TestHostFailoverSchedule drives the host clock: crash, failover window,
+// recovery, and a restarted clock for the next failure.
+func TestHostFailoverSchedule(t *testing.T) {
+	cfg := Config{Enabled: true, HostMTTFMs: 1_000, FixedInterFailure: true, HostMTTRMs: 200}
+	s := sim.New(1)
+	inj := New(s, cfg, 1)
+	rec := &recorder{inj: inj}
+	inj.SetTarget(rec)
+	inj.Start()
+	s.After(1_100, func() {
+		if !inj.HostDown() {
+			t.Error("host not down mid-failover")
+		}
+		if inj.Down(0) {
+			t.Error("a host crash marked a processing node down")
+		}
+	})
+	s.Run(2_500)
+	if want := []sim.Time{1_000, 2_200}; !reflect.DeepEqual(rec.hostCrash, want) {
+		t.Errorf("host crash instants %v, want %v", rec.hostCrash, want)
+	}
+	if want := []sim.Time{1_200, 2_400}; !reflect.DeepEqual(rec.hostRec, want) {
+		t.Errorf("host recovery instants %v, want %v", rec.hostRec, want)
+	}
+	if inj.HostDown() {
+		t.Error("host still down after the failover window")
+	}
+}
+
+// TestZeroProbabilityDrawsNothing pins the stream-isolation detail the
+// golden tests rely on: with zero loss/duplication probabilities the
+// per-message coins consume nothing from the message substream, so a
+// crash-only schedule leaves the stream untouched no matter how much
+// traffic flows.
+func TestZeroProbabilityDrawsNothing(t *testing.T) {
+	s := sim.New(9)
+	inj := New(s, Config{Enabled: true, NodeMTTFMs: 1_000, MTTRMs: 100}, 2)
+	for i := 0; i < 1_000; i++ {
+		if inj.LoseMsg() || inj.DupMsg() {
+			t.Fatal("zero-probability coin came up true")
+		}
+	}
+	// The untouched stream's next draw matches a fresh sibling's first.
+	want := sim.New(9).Substream("fault-msg", 0).Float64()
+	if got := inj.msgRng.Float64(); got != want {
+		t.Errorf("message substream advanced by zero-probability coins: next draw %v, want %v", got, want)
+	}
+}
+
+// TestMessageCoinsDeterministic: with positive probabilities the coin
+// sequence is a pure function of the seed.
+func TestMessageCoinsDeterministic(t *testing.T) {
+	flip := func(seed int64) (seq []bool) {
+		inj := New(sim.New(seed), Config{Enabled: true, DropProb: 0.3, DupProb: 0.2, RetransmitDelayMs: 10}, 1)
+		for i := 0; i < 64; i++ {
+			seq = append(seq, inj.LoseMsg(), inj.DupMsg())
+		}
+		return seq
+	}
+	if !reflect.DeepEqual(flip(5), flip(5)) {
+		t.Error("same seed produced different coin sequences")
+	}
+	if reflect.DeepEqual(flip(5), flip(6)) {
+		t.Error("different seeds produced identical coin sequences")
+	}
+	inj := New(sim.New(1), Config{Enabled: true, RetransmitDelayMs: 42}, 1)
+	if inj.RetransmitDelayMs() != 42 {
+		t.Error("RetransmitDelayMs does not echo the config")
+	}
+}

@@ -102,6 +102,14 @@ func (c Config) policy(check string) Policy {
 //     of the simulation (the cmd/... allowlist does not cover it), so
 //     the histogram layer can neither allocate in steady state nor read
 //     host time.
+//
+// internal/fault and internal/recovery are deliberately absent from every
+// Skip list: the fault injector and the restart machinery are simulation
+// code in full scope, so the wall-clock ban, the global-rand ban (fault
+// schedules draw only from seeded substreams), event-retention and the
+// hot-path allocation audit all apply to them unreduced. The fixture
+// packages testdata/lint/internal/fault and .../recovery pin exactly
+// that: each check fires at those package paths.
 func DefaultConfig(module string) Config {
 	return NewConfig(
 		Policy{Check: "no-wall-clock", SkipTests: true, Skip: []string{module + "/cmd"}},

@@ -19,6 +19,30 @@ type Handler interface {
 	HandleMsg(tag int)
 }
 
+// DropHandler is implemented by handlers that hold resources (attempt
+// references) per in-flight message: when a message to or from a down node
+// is discarded instead of delivered, MsgDropped runs in delivery's place so
+// the owner can release what the send retained.
+type DropHandler interface {
+	MsgDropped(tag int)
+}
+
+// FaultModel is the network's view of the fault layer. A nil model (the
+// default) disables every check at the cost of one pointer test per send.
+// Handler messages touching a down node are discarded (MsgDropped); with
+// positive loss/duplication probabilities each cross-node handler send
+// additionally draws from the model's dedicated stream — a lost message is
+// retransmitted from scratch after RetransmitDelayMs, a duplicated one
+// adds a pure-load copy. Closure (SendFunc) control messages are exempt
+// from all of it: they model out-of-band services (the 2PL Snoop) that
+// must outlive any single node.
+type FaultModel interface {
+	Down(node int) bool
+	LoseMsg() bool
+	DupMsg() bool
+	RetransmitDelayMs() float64
+}
+
 // envelope is one in-flight message. Envelopes are free-listed by the
 // Network and carry pre-bound sender/deliver steps, so a steady-state send
 // allocates nothing: the sender-side CPU step, the receiver-side CPU step,
@@ -34,6 +58,7 @@ type envelope struct {
 
 	senderFn  func() // e.senderStep, bound once at creation
 	deliverFn func() // e.deliver, bound once at creation
+	repostFn  func() // e.repost, bound lazily on the first retransmit
 }
 
 // Network routes messages between nodes. Node ids index the cpus slice; by
@@ -45,6 +70,8 @@ type Network struct {
 	sent       int64
 	free       []*envelope // recycled envelopes
 	tr         *obs.Tracer
+	ft         FaultModel
+	lost       int64 // loss events: drops at down nodes plus coin-flip losses (retransmitted)
 }
 
 // New creates a network over the given per-node CPUs.
@@ -123,6 +150,11 @@ func (n *Network) post(e *envelope) {
 		n.sim.After(0, e.deliverFn)
 		return
 	}
+	if n.ft != nil {
+		if n.faultStep(e) {
+			return
+		}
+	}
 	n.sent++
 	if n.tr != nil {
 		e.start = n.sim.Now()
@@ -134,6 +166,74 @@ func (n *Network) post(e *envelope) {
 		return
 	}
 	n.cpus[e.from].UseMsg(n.instPerMsg, e.senderFn)
+}
+
+// faultStep applies the fault model to one cross-node send; it reports
+// whether the envelope was consumed (dropped or parked for retransmit).
+// Off the nil-model fast path, so never reached in a fault-free run.
+func (n *Network) faultStep(e *envelope) bool {
+	ft := n.ft
+	if e.fn != nil {
+		// Control (closure) messages are exempt from loss and never pay a
+		// down node's CPU: crash-clearing that CPU's queues must not be
+		// able to swallow an out-of-band service's request or reply.
+		if ft.Down(e.from) || ft.Down(e.to) { //ddbmlint:allow hotpath-alloc fault-model dispatch; reached only with a non-nil model, off the pinned fault-free path
+			n.sent++
+			n.sim.After(0, e.deliverFn)
+			return true
+		}
+		return false
+	}
+	if ft.Down(e.from) || ft.Down(e.to) { //ddbmlint:allow hotpath-alloc fault-model dispatch; reached only with a non-nil model, off the pinned fault-free path
+		n.drop(e)
+		return true
+	}
+	if ft.LoseMsg() { //ddbmlint:allow hotpath-alloc fault-model dispatch; reached only with a non-nil model, off the pinned fault-free path
+		// The sender's timeout-and-retransmit, abstracted: the message
+		// re-enters the full send pipeline (both CPU ends re-paid) after
+		// the retransmission delay.
+		n.lost++
+		if e.repostFn == nil {
+			e.repostFn = e.repost
+		}
+		n.sim.After(ft.RetransmitDelayMs(), e.repostFn) //ddbmlint:allow hotpath-alloc fault-model dispatch; reached only with a non-nil model, off the pinned fault-free path
+		return true
+	}
+	if ft.DupMsg() { //ddbmlint:allow hotpath-alloc fault-model dispatch; reached only with a non-nil model, off the pinned fault-free path
+		// A duplicate shows up as pure load: both ends pay the message
+		// CPU cost but nothing runs at the destination, so protocol state
+		// sees each logical message exactly once.
+		d := n.alloc()
+		d.h, d.tag, d.from, d.to = nil, 0, e.from, e.to
+		n.sent++
+		if n.tr != nil {
+			d.start = n.sim.Now()
+		}
+		if n.instPerMsg <= 0 {
+			n.sim.After(0, d.deliverFn)
+		} else {
+			n.cpus[d.from].UseMsg(n.instPerMsg, d.senderFn)
+		}
+	}
+	return false
+}
+
+// repost re-enters the send pipeline after a retransmission delay.
+func (e *envelope) repost() {
+	e.n.post(e)
+}
+
+// drop discards a handler message touching a down node: the envelope is
+// recycled and the handler's MsgDropped (if implemented) runs in
+// delivery's place so per-message resources are released.
+func (n *Network) drop(e *envelope) {
+	n.lost++
+	h, tag := e.h, e.tag
+	e.h, e.fn = nil, nil
+	n.free = append(n.free, e) //ddbmlint:allow hotpath-alloc free-list growth; drop runs only with a non-nil fault model, off the pinned fault-free path
+	if dh, ok := h.(DropHandler); ok {
+		dh.MsgDropped(tag) //ddbmlint:allow hotpath-alloc drop-handler dispatch; reached only with a non-nil fault model, off the pinned fault-free path
+	}
 }
 
 // senderStep runs when the sender's CPU finishes its message-protocol
@@ -152,6 +252,14 @@ func (e *envelope) senderStep() {
 //ddbmlint:hotpath destination dispatch on every send
 func (e *envelope) deliver() {
 	n := e.n
+	if n.ft != nil && e.fn == nil && e.h != nil && e.from != e.to &&
+		(n.ft.Down(e.from) || n.ft.Down(e.to)) { //ddbmlint:allow hotpath-alloc fault-model dispatch; reached only with a non-nil model, off the pinned fault-free path
+		// A crash between send and delivery (the zero-cost After(0) path,
+		// or a completion racing the crash event at one instant): the
+		// message dies with the node.
+		n.drop(e)
+		return
+	}
 	if n.tr != nil && e.from != e.to {
 		// The transit span covers send to delivery, both ends' message-
 		// processing CPU included. Observation only; delivery order is
@@ -173,8 +281,17 @@ func (e *envelope) deliver() {
 // inter-node message transit. Must be set before the simulation runs.
 func (n *Network) SetTracer(t *obs.Tracer) { n.tr = t }
 
+// SetFaultModel attaches a fault model consulted on every cross-node
+// handler send and delivery. Must be set before the simulation runs; a nil
+// model keeps the fault-free fast path.
+func (n *Network) SetFaultModel(ft FaultModel) { n.ft = ft }
+
 // Sent returns the number of inter-node messages transmitted.
 func (n *Network) Sent() int64 { return n.sent }
+
+// Lost returns the number of loss events: handler messages discarded at a
+// down node, plus coin-flip losses that were retransmitted.
+func (n *Network) Lost() int64 { return n.lost }
 
 // NumNodes returns the number of attached nodes (including the host).
 func (n *Network) NumNodes() int { return len(n.cpus) }

@@ -58,6 +58,11 @@ const (
 	// KindInstant is a zero-duration life-cycle event (submitted,
 	// committed, cc-reject, ...).
 	KindInstant
+	// KindFault is a fault-layer event: a node "crash" instant, a "down"
+	// span (crash to repair), a "recovery" span (repair to rejoin) or an
+	// "in-doubt" span (a cohort's prepared-to-resolved window). Appended
+	// last so existing traces keep their kind numbering.
+	KindFault
 )
 
 var kindNames = [...]string{
@@ -69,6 +74,7 @@ var kindNames = [...]string{
 	KindCPU:         "cpu",
 	KindDisk:        "disk",
 	KindInstant:     "instant",
+	KindFault:       "fault",
 }
 
 func (k Kind) String() string {

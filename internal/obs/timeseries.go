@@ -17,6 +17,10 @@ type NodeSeries struct {
 	BlockedTxns   []int
 	CPUUtil       []float64
 	DiskUtil      []float64
+	// Down is the availability gauge: 1 when the node was crashed at the
+	// sample instant, 0 otherwise (always 0 without fault injection; the
+	// host never reports down — host failures are modeled as failover).
+	Down []int
 }
 
 // TimeSeries is the product of the periodic probe sampler: per-node gauge
@@ -58,6 +62,7 @@ func NewTimeSeries(intervalMs float64, nodes, samples int) *TimeSeries {
 			BlockedTxns:   make([]int, 0, samples),
 			CPUUtil:       make([]float64, 0, samples),
 			DiskUtil:      make([]float64, 0, samples),
+			Down:          make([]int, 0, samples),
 		}
 	}
 	return ts

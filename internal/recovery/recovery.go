@@ -1,0 +1,114 @@
+// Package recovery models crash recovery for the commit protocols: a
+// simulated per-node write-ahead log fed by the machine's forced-log seam,
+// the coordinator-side decision registry a restarting node's inquiries
+// consult, and the per-protocol rules for resolving in-doubt cohorts.
+//
+// The log is deliberately a ledger of live (unresolved) forced prepare
+// records rather than a byte-accurate log: what restart cost and in-doubt
+// resolution need is exactly how many prepared-but-undecided cohorts the
+// crashed node must reconstruct, and what each protocol lets it conclude
+// about them:
+//
+//	protocol   in-doubt cohort at restart resolves by
+//	2PC        inquiry to the coordinator; no record found → abort
+//	PA         local presumption: abort (no record ⇒ abort is the rule)
+//	PC         local presumption: commit (the documented PC anomaly: an
+//	           explicitly aborted cohort whose abort record was never
+//	           forced would be presumed committed — which is exactly why
+//	           PC forces abort records, keeping the presumption sound)
+package recovery
+
+import "ddbm/internal/commit"
+
+// WAL is the machine's simulated write-ahead log: one live-record count
+// per processing node. Append marks a forced prepare record whose cohort
+// is now in doubt; Resolve retires it once the decision is applied at the
+// node (or once recovery resolves the cohort). LiveCount is what a
+// restarting node must replay.
+type WAL struct {
+	live []int64
+}
+
+// NewWAL creates the log over nodes processing nodes.
+func NewWAL(nodes int) *WAL { return &WAL{live: make([]int64, nodes)} }
+
+// Append records a forced, still-unresolved prepare record at a node.
+func (w *WAL) Append(node int) { w.live[node]++ }
+
+// Resolve retires one live record at a node.
+func (w *WAL) Resolve(node int) {
+	w.live[node]--
+	if w.live[node] < 0 {
+		panic("recovery: WAL live-record count underflow")
+	}
+}
+
+// LiveCount returns the number of live records a restart at the node must
+// replay.
+func (w *WAL) LiveCount(node int) int64 { return w.live[node] }
+
+// ReplayMs is the simulated cost of replaying the log at restart: a fixed
+// startup scan plus a per-live-record cost. The recovery process pays it
+// as pure delay — the node's (just-crashed, empty) disks are not driven,
+// so recovery perturbs no resource stream.
+func ReplayMs(live int64, perRecordMs, fixedMs float64) float64 {
+	return fixedMs + float64(live)*perRecordMs
+}
+
+// DecisionRegistry is the coordinator-side outcome memory a restarting
+// node's 2PC inquiries consult, keyed by the attempt timestamp (unique per
+// attempt). Entries exist only for attempts that still have an in-doubt
+// cohort stranded at a crashed node, and are deleted when the attempt's
+// state recycles, so the registry stays bounded by the number of
+// outstanding residents.
+type DecisionRegistry struct {
+	m map[int64]bool
+}
+
+// NewDecisionRegistry creates an empty registry.
+func NewDecisionRegistry() *DecisionRegistry {
+	return &DecisionRegistry{m: make(map[int64]bool)}
+}
+
+// Record stores an attempt's outcome.
+func (r *DecisionRegistry) Record(attemptTS int64, committed bool) {
+	r.m[attemptTS] = committed
+}
+
+// Lookup answers an inquiry: the recorded outcome, or abort when no
+// record exists — a coordinator with no memory of the transaction cannot
+// have committed it (2PC's termination rule for forgotten transactions).
+func (r *DecisionRegistry) Lookup(attemptTS int64) (committed bool) {
+	return r.m[attemptTS]
+}
+
+// Forget drops an attempt's entry (called when the attempt recycles).
+func (r *DecisionRegistry) Forget(attemptTS int64) { delete(r.m, attemptTS) }
+
+// Len reports the number of outstanding entries (tests and gauges).
+func (r *DecisionRegistry) Len() int { return len(r.m) }
+
+// Resolution is how a protocol resolves an in-doubt cohort at restart.
+type Resolution int
+
+const (
+	// Inquire asks the coordinator (2PC): a round-trip message exchange
+	// against the decision registry before the cohort can release.
+	Inquire Resolution = iota
+	// PresumeAbort resolves locally as aborted (presumed abort).
+	PresumeAbort
+	// PresumeCommit resolves locally as committed (presumed commit).
+	PresumeCommit
+)
+
+// ResolutionFor returns a protocol's in-doubt resolution rule.
+func ResolutionFor(k commit.Kind) Resolution {
+	switch k {
+	case commit.PresumedAbort:
+		return PresumeAbort
+	case commit.PresumedCommit:
+		return PresumeCommit
+	default:
+		return Inquire
+	}
+}

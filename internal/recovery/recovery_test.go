@@ -1,0 +1,77 @@
+package recovery
+
+import (
+	"testing"
+
+	"ddbm/internal/commit"
+)
+
+func TestWALLiveCounts(t *testing.T) {
+	w := NewWAL(3)
+	w.Append(0)
+	w.Append(0)
+	w.Append(2)
+	if w.LiveCount(0) != 2 || w.LiveCount(1) != 0 || w.LiveCount(2) != 1 {
+		t.Errorf("live counts %d/%d/%d, want 2/0/1", w.LiveCount(0), w.LiveCount(1), w.LiveCount(2))
+	}
+	w.Resolve(0)
+	if w.LiveCount(0) != 1 {
+		t.Errorf("live count after resolve %d, want 1", w.LiveCount(0))
+	}
+}
+
+func TestWALUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("resolving an empty log did not panic")
+		}
+	}()
+	NewWAL(1).Resolve(0)
+}
+
+func TestReplayMs(t *testing.T) {
+	if got := ReplayMs(0, 10, 25); got != 25 {
+		t.Errorf("empty-log replay %v, want the fixed scan cost 25", got)
+	}
+	if got := ReplayMs(4, 10, 25); got != 65 {
+		t.Errorf("replay of 4 records %v, want 65", got)
+	}
+}
+
+func TestDecisionRegistry(t *testing.T) {
+	r := NewDecisionRegistry()
+	if r.Lookup(7) {
+		t.Error("no record must resolve to abort (2PC termination rule)")
+	}
+	r.Record(7, true)
+	r.Record(9, false)
+	if !r.Lookup(7) || r.Lookup(9) {
+		t.Error("recorded outcomes not returned")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	r.Forget(7)
+	if r.Lookup(7) {
+		t.Error("forgotten attempt still resolves to commit")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len after Forget = %d, want 1", r.Len())
+	}
+}
+
+func TestResolutionFor(t *testing.T) {
+	cases := []struct {
+		kind commit.Kind
+		want Resolution
+	}{
+		{commit.CentralizedTwoPC, Inquire},
+		{commit.PresumedAbort, PresumeAbort},
+		{commit.PresumedCommit, PresumeCommit},
+	}
+	for _, c := range cases {
+		if got := ResolutionFor(c.kind); got != c.want {
+			t.Errorf("ResolutionFor(%v) = %v, want %v", c.kind, got, c.want)
+		}
+	}
+}

@@ -328,6 +328,36 @@ func (c *CPU) complete() {
 	}
 }
 
+// Crash discards every queued and in-service job without delivering any
+// completion — the crash-stop failure semantics. Work in flight at the
+// crash instant is simply lost: blocked submitters are NOT resumed (the
+// fault layer kills or rescues their processes separately) and async
+// callbacks never run. The busy-time accounting keeps everything accrued
+// up to the crash instant; a crashed CPU is idle until work arrives after
+// repair.
+func (c *CPU) Crash() {
+	c.advance()
+	if c.next != nil {
+		c.sim.Cancel(c.next)
+		c.next = nil
+	}
+	if c.tr != nil && c.msgLen+len(c.ps) > 0 {
+		c.tr.CPUBusy(c.node, c.busyStart)
+	}
+	for i := range c.ps {
+		c.ps[i] = cpuJob{}
+	}
+	c.ps = c.ps[:0]
+	for i := 0; i < c.msgLen; i++ {
+		c.msgs[(c.msgHead+i)&(len(c.msgs)-1)] = cpuJob{}
+	}
+	c.msgHead, c.msgLen = 0, 0
+	for i := range c.finScratch {
+		c.finScratch[i] = cpuJob{}
+	}
+	c.finScratch = c.finScratch[:0]
+}
+
 // QueueLen returns the number of in-progress jobs (messages + PS).
 func (c *CPU) QueueLen() int { return c.msgLen + len(c.ps) }
 

@@ -89,6 +89,7 @@ type disk struct {
 	writes     reqQueue
 	cur        diskReq // request currently in service
 	curDur     float64 // its service time, for trace/busy accounting
+	lost       bool    // the in-service request was discarded by a crash
 	completeFn func()  // dk.complete, bound once at construction
 	busyTime   float64
 	nReads     int64
@@ -240,6 +241,14 @@ func (d *DiskArray) serve(dk *disk) {
 //ddbmlint:hotpath disk completion dispatch pinned by TestTxnPathAllocFree
 func (dk *disk) complete() {
 	d := dk.arr
+	if dk.lost {
+		// The request in service at a crash was discarded; its completion
+		// event could not be canceled (serve does not retain it) and fires
+		// here as a no-op before the spindle returns to service.
+		dk.lost = false
+		d.serve(dk)
+		return
+	}
 	req, dur := dk.cur, dk.curDur
 	dk.cur = diskReq{}
 	if d.tr != nil {
@@ -256,6 +265,30 @@ func (dk *disk) complete() {
 		req.done() //ddbmlint:allow hotpath-alloc completion callbacks are pre-bound by their owners
 	}
 	d.serve(dk)
+}
+
+// Crash discards every queued and in-service request without delivering
+// any completion — the crash-stop failure semantics. Blocked submitters
+// are NOT resumed (the fault layer handles their processes) and async
+// callbacks never run. The in-service request's completion event cannot
+// be canceled (serve does not retain it), so the spindle marks it lost
+// and absorbs the phantom completion when it fires; until then the
+// spindle reports busy, which only matters if the node repairs within one
+// access time.
+func (d *DiskArray) Crash() {
+	for _, dk := range d.disks {
+		for dk.reads.count > 0 {
+			dk.reads.pop()
+		}
+		for dk.writes.count > 0 {
+			dk.writes.pop()
+		}
+		if dk.busy && !dk.lost {
+			dk.cur = diskReq{}
+			dk.curDur = 0
+			dk.lost = true
+		}
+	}
 }
 
 // QueueLen returns the total number of queued (not in-service) requests.

@@ -54,6 +54,7 @@ type Sim struct {
 	free       []*Event // recycled callback events
 	seq        uint64
 	dispatched uint64
+	seed       int64
 	rng        *rand.Rand
 	yield      chan struct{}
 	cur        *Proc
@@ -67,10 +68,38 @@ type Sim struct {
 // New creates a simulator with the given random seed.
 func New(seed int64) *Sim {
 	return &Sim{
+		seed:  seed,
 		rng:   rand.New(rand.NewSource(seed)),
 		yield: make(chan struct{}),
 		procs: make(map[*Proc]struct{}),
 	}
+}
+
+// Seed returns the seed the simulator was created with.
+func (s *Sim) Seed() int64 { return s.seed }
+
+// Substream returns an independent deterministic random source derived from
+// the simulator's seed, a stream name, and a numeric id. Substreams let a
+// subsystem (the fault injector, for one) consume randomness without
+// perturbing the main stream: the workload draws from Rand() in exactly the
+// same order whether or not anyone draws from a substream. The derivation
+// is a pure function of (seed, name, id), so runs stay reproducible.
+func (s *Sim) Substream(name string, id int64) *rand.Rand {
+	// FNV-1a over the name, then splitmix64-style finalization folding in
+	// the seed and id — cheap, stateless, and well-spread for adjacent ids.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(s.seed) * 0x9e3779b97f4a7c15
+	h ^= uint64(id) * 0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return rand.New(rand.NewSource(int64(h)))
 }
 
 // Now returns the current simulated time in milliseconds.
@@ -247,6 +276,25 @@ func (s *Sim) Shutdown() {
 // LiveProcs returns the number of processes that have started but not yet
 // finished. After Shutdown it reports the processes that leaked (should be 0).
 func (s *Sim) LiveProcs() int { return len(s.procs) }
+
+// Kill terminates a live process mid-run — the crash-stop primitive. The
+// victim unwinds via the kill sentinel exactly as at Shutdown, and its
+// goroutine parks in the idle pool for reuse by a later Spawn. A pending
+// resume (Delay, SpawnAt) is canceled first so the embedded event never
+// fires for the dead process. Killing a finished process is a no-op;
+// killing the currently running process is a kernel-usage bug.
+func (s *Sim) Kill(p *Proc) {
+	if p == nil || p.done {
+		return
+	}
+	if p == s.cur {
+		panic(fmt.Sprintf("sim: process %q cannot kill itself", p.name))
+	}
+	if p.ev.index >= 0 {
+		s.Cancel(&p.ev)
+	}
+	p.kill()
+}
 
 // killed is the sentinel panic value used to unwind terminated processes.
 type killed struct{}
